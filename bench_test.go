@@ -1,0 +1,180 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§7). Each benchmark drives the corresponding internal/bench runner and
+// prints the rows/series the paper reports (once per run; repeat iterations
+// hit the suite's cache and measure the post-warm runner cost).
+//
+// Dataset scale defaults to "small" so `go test -bench=.` finishes in
+// minutes; set GEARBOX_BENCH_SIZE=medium for the EXPERIMENTS.md reporting
+// configuration or =tiny for a fast pass.
+package gearbox_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"gearbox/internal/bench"
+	"gearbox/internal/gen"
+)
+
+var (
+	suiteOnce sync.Once
+	suiteVal  *bench.Suite
+	suiteErr  error
+	printed   sync.Map
+)
+
+func benchSuite(b *testing.B) *bench.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		cfg := bench.DefaultConfig()
+		switch os.Getenv("GEARBOX_BENCH_SIZE") {
+		case "tiny":
+			cfg = bench.TinyConfig()
+		case "medium":
+			cfg.Size = gen.Medium
+		}
+		suiteVal, suiteErr = bench.NewSuite(cfg)
+		if suiteErr == nil {
+			suiteErr = suiteVal.Prewarm(0)
+		}
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suiteVal
+}
+
+// emit prints a table once per process so repeated benchmark iterations
+// don't flood the output.
+func emit(name string, t bench.Table) {
+	if _, dup := printed.LoadOrStore(name, true); !dup {
+		fmt.Println(t.String())
+	}
+}
+
+func runTable(b *testing.B, name string, f func() (bench.Table, error)) {
+	s := benchSuite(b)
+	_ = s
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			emit(name, t)
+		}
+	}
+}
+
+func BenchmarkTable3_Datasets(b *testing.B) {
+	runTable(b, "table3", benchSuite(b).Table3)
+}
+
+func BenchmarkFig5_ColumnLengthDistribution(b *testing.B) {
+	runTable(b, "fig5", benchSuite(b).Fig5)
+}
+
+func BenchmarkFig12_Speedup(b *testing.B) {
+	runTable(b, "fig12", func() (bench.Table, error) { t, _, err := benchSuite(b).Fig12(); return t, err })
+}
+
+func BenchmarkFig13_Optimizations(b *testing.B) {
+	runTable(b, "fig13", func() (bench.Table, error) { t, _, err := benchSuite(b).Fig13(); return t, err })
+}
+
+func BenchmarkFig14a_TimeBreakdown(b *testing.B) {
+	runTable(b, "fig14a", func() (bench.Table, error) { t, _, err := benchSuite(b).Fig14a(); return t, err })
+}
+
+func BenchmarkFig14b_EnergyBreakdown(b *testing.B) {
+	runTable(b, "fig14b", func() (bench.Table, error) { t, _, err := benchSuite(b).Fig14b(); return t, err })
+}
+
+func BenchmarkFig15_IdealModels(b *testing.B) {
+	runTable(b, "fig15", func() (bench.Table, error) { t, _, err := benchSuite(b).Fig15(); return t, err })
+}
+
+func BenchmarkTable5_NonPIM(b *testing.B) {
+	runTable(b, "table5", func() (bench.Table, error) { t, _, err := benchSuite(b).Table5(); return t, err })
+}
+
+func BenchmarkFig16a_LongThreshold(b *testing.B) {
+	runTable(b, "fig16a", func() (bench.Table, error) { t, _, err := benchSuite(b).Fig16a(); return t, err })
+}
+
+func BenchmarkFig16b_Placement(b *testing.B) {
+	runTable(b, "fig16b", func() (bench.Table, error) { t, _, err := benchSuite(b).Fig16b(); return t, err })
+}
+
+func BenchmarkFig17a_Power(b *testing.B) {
+	runTable(b, "fig17a", func() (bench.Table, error) { t, _, err := benchSuite(b).Fig17a(); return t, err })
+}
+
+func BenchmarkFig17b_PowerBudget(b *testing.B) {
+	runTable(b, "fig17b", func() (bench.Table, error) { t, _, err := benchSuite(b).Fig17b(); return t, err })
+}
+
+func BenchmarkTable6_Area(b *testing.B) {
+	runTable(b, "table6", func() (bench.Table, error) { t, _, err := benchSuite(b).Table6(); return t, err })
+}
+
+func BenchmarkFig18_RegularKernels(b *testing.B) {
+	runTable(b, "fig18", func() (bench.Table, error) { t, _, err := benchSuite(b).Fig18(); return t, err })
+}
+
+// BenchmarkMachineIteration measures the harness's cached-run retrieval for
+// a full GearboxV3 PageRank run on the holly stand-in (the first iteration
+// of the process pays the actual simulation, done during prewarm).
+func BenchmarkMachineIteration(b *testing.B) {
+	s := benchSuite(b)
+	d := s.Datasets()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunVersion("PR", d, "V3"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaling_MultiStack regenerates the §6 multi-stack extension table.
+func BenchmarkScaling_MultiStack(b *testing.B) {
+	runTable(b, "scaling", func() (bench.Table, error) { t, _, err := benchSuite(b).Scaling(); return t, err })
+}
+
+// BenchmarkUtilization reports the per-SPU load-imbalance analysis.
+func BenchmarkUtilization(b *testing.B) {
+	runTable(b, "utilization", func() (bench.Table, error) { t, _, err := benchSuite(b).Utilization(); return t, err })
+}
+
+// BenchmarkAblation_Overlap regenerates the row-activation overlap ablation.
+func BenchmarkAblation_Overlap(b *testing.B) {
+	runTable(b, "ablation-overlap", func() (bench.Table, error) { t, _, err := benchSuite(b).AblationOverlap(); return t, err })
+}
+
+// BenchmarkAblation_DispatchBuffer regenerates the §6 buffer-size ablation.
+func BenchmarkAblation_DispatchBuffer(b *testing.B) {
+	runTable(b, "ablation-buffer", func() (bench.Table, error) { t, _, err := benchSuite(b).AblationDispatchBuffer(); return t, err })
+}
+
+// BenchmarkAblation_ErrorRate regenerates the §9 reliability sweep.
+func BenchmarkAblation_ErrorRate(b *testing.B) {
+	runTable(b, "ablation-errors", func() (bench.Table, error) { t, _, err := benchSuite(b).AblationErrorRate(); return t, err })
+}
+
+// BenchmarkAmortization regenerates the §6 one-time-cost amortization table.
+func BenchmarkAmortization(b *testing.B) {
+	runTable(b, "amortization", func() (bench.Table, error) { t, _, err := benchSuite(b).Amortization(); return t, err })
+}
+
+// BenchmarkAblation_Balance regenerates the column-assignment ablation.
+func BenchmarkAblation_Balance(b *testing.B) {
+	runTable(b, "ablation-balance", func() (bench.Table, error) { t, _, err := benchSuite(b).AblationBalance(); return t, err })
+}
+
+// BenchmarkSweepGeometry regenerates the intra-stack parallelism sweep.
+func BenchmarkSweepGeometry(b *testing.B) {
+	runTable(b, "geometry", func() (bench.Table, error) { t, _, err := benchSuite(b).SweepGeometry(); return t, err })
+}

@@ -1,0 +1,76 @@
+// Command gearbox-asm works with the Table 1 assembly library: it
+// disassembles the shipped kernels to the textual syntax and validates
+// hand-written assembly files against the ISA constraints (8-entry buffer,
+// field widths, jump targets).
+//
+// Usage:
+//
+//	gearbox-asm -list                  # names of the shipped kernels
+//	gearbox-asm -kernel columnmac      # print one kernel's assembly
+//	gearbox-asm -check prog.asm        # assemble and validate a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"gearbox/internal/fulcrum"
+)
+
+func kernels() map[string][]fulcrum.Instruction {
+	return map[string][]fulcrum.Instruction{
+		"scatter":        fulcrum.ScatterAccumulate(fulcrum.PlusTimesOps, fulcrum.ScatterOptions{}),
+		"scatter-clean":  fulcrum.ScatterAccumulate(fulcrum.PlusTimesOps, fulcrum.ScatterOptions{CheckClean: true, CleanDst: fulcrum.CleanToDispatcher}),
+		"columnmac":      fulcrum.ColumnMAC(fulcrum.PlusTimesOps, fulcrum.ScatterOptions{}),
+		"columnmac-bfs":  fulcrum.ColumnMAC(fulcrum.BoolOps, fulcrum.ScatterOptions{CheckClean: true, CleanDst: fulcrum.CleanToDispatcher}),
+		"columnmac-sssp": fulcrum.ColumnMAC(fulcrum.MinPlusOps, fulcrum.ScatterOptions{LongTreat: fulcrum.LongSendDown}),
+		"stream-apply":   fulcrum.StreamApply(fulcrum.PlusTimesOps),
+		"stream-reduce":  fulcrum.StreamReduce(fulcrum.OpAdd),
+		"offset-packing": fulcrum.OffsetPacking(),
+	}
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the shipped kernels")
+	kernel := flag.String("kernel", "", "print one kernel's assembly")
+	check := flag.String("check", "", "assemble and validate a file")
+	flag.Parse()
+
+	switch {
+	case *list:
+		var names []string
+		for name := range kernels() {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	case *kernel != "":
+		prog, ok := kernels()[*kernel]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gearbox-asm: unknown kernel %q (try -list)\n", *kernel)
+			os.Exit(2)
+		}
+		fmt.Printf("# %s: %d instructions (8-entry buffer, Table 1 ISA)\n", *kernel, len(prog))
+		fmt.Print(fulcrum.Format(prog))
+	case *check != "":
+		src, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gearbox-asm:", err)
+			os.Exit(1)
+		}
+		prog, err := fulcrum.Parse(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gearbox-asm:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("ok: %d instructions\n", len(prog))
+		fmt.Print(fulcrum.Format(prog))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

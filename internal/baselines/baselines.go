@@ -1,0 +1,247 @@
+// Package baselines implements the comparison architectures of §7: the
+// NVIDIA P100 running Gunrock (the paper's primary GPU baseline), the ideal
+// GPU and ideal in-logic-layer GPU bounds of §7.5, the ideal SpaceA
+// row-oriented PIM accelerator of §7.2, the GearboxV0 row-oriented Fulcrum
+// variant of Table 4, and the literature-derived Table 5 conversions.
+//
+// All models are analytic: they price the same algorithmic Work an
+// application run produced on the simulator. That mirrors the paper's own
+// methodology (ideal models "only account for the overhead of data
+// movement"; SpaceA is evaluated under generous assumptions; Table 5 uses
+// reported speedups). Constants are documented at their definition.
+package baselines
+
+import (
+	"gearbox/internal/apps"
+	"gearbox/internal/mem"
+)
+
+// Model prices a workload on one architecture.
+type Model interface {
+	Name() string
+	// TimeNs is the modeled execution time for the whole run.
+	TimeNs(w apps.Work) float64
+}
+
+// wordBytes is the 4-byte element size shared by all models.
+const wordBytes = 8 // one (index,value) pair
+
+// GPUModel is the P100 + Gunrock analytic model.
+type GPUModel struct {
+	// PeakBWBytesPerNs: 549 GB/s aggregate over three HBM2 stacks (Table 2).
+	PeakBWBytesPerNs float64
+	Stacks           int
+	// StreamEff is the fraction of peak achieved on streaming (frontier and
+	// CSC pair scans).
+	StreamEff float64
+	// RandomEff is the fraction of peak achieved on the random
+	// scatter/atomic traffic of column-oriented SpMSpV; measured GPU
+	// scatter throughput on power-law workloads sits in the tens of GB/s,
+	// orders below peak — this is the paper's "lower overhead for random
+	// accesses" argument quantified.
+	RandomEff float64
+	// SectorBytes is the DRAM sector charged per random 4-byte access.
+	SectorBytes float64
+	// OpsPerNs is effective instruction throughput on irregular kernels
+	// (SIMT divergence keeps it far from peak; §7.2 source (iii)).
+	OpsPerNs float64
+	// KernelLaunchNs charges Gunrock's per-iteration kernel sequence.
+	KernelLaunchNs float64
+	// Watts is the measured-class average power of the P100 under Gunrock
+	// (Fig. 17a shows ~130 W).
+	Watts float64
+}
+
+// P100Gunrock returns the calibrated model.
+func P100Gunrock() GPUModel {
+	return GPUModel{
+		PeakBWBytesPerNs: 549,
+		Stacks:           3,
+		StreamEff:        0.60,
+		RandomEff:        0.045,
+		SectorBytes:      32,
+		OpsPerNs:         1.5,
+		KernelLaunchNs:   9000,
+		Watts:            130,
+	}
+}
+
+// Name implements Model.
+func (g GPUModel) Name() string { return "Gunrock-P100" }
+
+// TimeNs implements Model: per run, memory time and compute time overlap;
+// kernel launches serialize per iteration.
+func (g GPUModel) TimeNs(w apps.Work) float64 {
+	streamBytes := float64(w.ProcessedNNZ)*wordBytes + float64(w.FrontierSum)*wordBytes +
+		float64(w.DenseIters)*float64(w.Rows)*4
+	randomBytes := float64(w.ProcessedNNZ) * g.SectorBytes
+	memNs := streamBytes/(g.PeakBWBytesPerNs*g.StreamEff) + randomBytes/(g.PeakBWBytesPerNs*g.RandomEff)
+	opNs := 2 * float64(w.ProcessedNNZ) / g.OpsPerNs
+	t := memNs
+	if opNs > t {
+		t = opNs
+	}
+	return t + float64(w.Iterations)*g.KernelLaunchNs
+}
+
+// EnergyJ prices the run at the measured-class average power.
+func (g GPUModel) EnergyJ(w apps.Work) float64 { return g.Watts * g.TimeNs(w) * 1e-9 }
+
+// IdealGPU is the §7.5 bound: data movement only, at full aggregate
+// bandwidth, with every byte useful and zero compute/launch cost.
+type IdealGPU struct {
+	PeakBWBytesPerNs float64
+	Stacks           int
+}
+
+// NewIdealGPU returns the three-stack P100 bound.
+func NewIdealGPU() IdealGPU { return IdealGPU{PeakBWBytesPerNs: 549, Stacks: 3} }
+
+// Name implements Model.
+func (g IdealGPU) Name() string { return "Ideal-GPU" }
+
+// TimeNs implements Model.
+func (g IdealGPU) TimeNs(w apps.Work) float64 {
+	bytes := float64(w.ProcessedNNZ)*(wordBytes+4) + float64(w.FrontierSum)*wordBytes +
+		float64(w.DenseIters)*float64(w.Rows)*4
+	return bytes / g.PeakBWBytesPerNs
+}
+
+// IdealInLogicLayerGPU is the §7.5 in-logic-layer bound: 512 GB/s per stack,
+// perfect caches capturing all reuse (only compulsory traffic), enough
+// parallelism to saturate the bandwidth.
+type IdealInLogicLayerGPU struct {
+	PerStackBWBytesPerNs float64
+}
+
+// NewIdealInLogicLayerGPU returns the single-stack bound of Table 2.
+func NewIdealInLogicLayerGPU() IdealInLogicLayerGPU {
+	return IdealInLogicLayerGPU{PerStackBWBytesPerNs: 512}
+}
+
+// Name implements Model.
+func (g IdealInLogicLayerGPU) Name() string { return "Ideal-InLogicLayer-GPU" }
+
+// TimeNs implements Model.
+func (g IdealInLogicLayerGPU) TimeNs(w apps.Work) float64 {
+	bytes := float64(w.ProcessedNNZ)*wordBytes + float64(w.FrontierSum)*wordBytes +
+		float64(w.DenseIters)*float64(w.Rows)*4
+	return bytes / g.PerStackBWBytesPerNs
+}
+
+// SpaceAIdeal models the row-oriented PIM accelerator of §7.2 under the
+// paper's generous assumptions: no area overhead, perfect load balancing,
+// free remote reads. Being row-oriented it must touch every stored non-zero
+// every iteration (Fig. 1a); that is the asymmetry Gearbox's
+// column-oriented processing exploits.
+type SpaceAIdeal struct {
+	Units int // bank-level processing units: 64 banks x 8 layers
+	// StreamNs prices scanning one stored pair through the bank's row
+	// buffer and CAM (1.56 ns of streaming at 256 B / 50 ns rows plus a few
+	// bank-unit cycles).
+	StreamNs float64
+	// GatherNs prices the work an *activated* entry adds: the CAM hit, the
+	// bank-local random gather of the input value (a row activation), and
+	// the MAC. Remote reads are free per the paper's generous assumptions.
+	GatherNs float64
+}
+
+// NewSpaceAIdeal returns the single-stack configuration.
+func NewSpaceAIdeal(g mem.Geometry) SpaceAIdeal {
+	return SpaceAIdeal{Units: g.BanksPerLayer * g.Layers, StreamNs: 10, GatherNs: 120}
+}
+
+// Name implements Model.
+func (s SpaceAIdeal) Name() string { return "Ideal-SpaceA" }
+
+// TimeNs implements Model.
+func (s SpaceAIdeal) TimeNs(w apps.Work) float64 {
+	stream := float64(w.TotalNNZ) * float64(w.Iterations) * s.StreamNs
+	gather := float64(w.ProcessedNNZ) * s.GatherNs
+	return (stream + gather) / float64(s.Units)
+}
+
+// GearboxV0 models Table 4's V0: row-oriented processing on Fulcrum with
+// local random access, frontier broadcasting, and sequential index matching
+// per row. Every SPU scans its rows' entries and merge-matches each row
+// against the full broadcast frontier, which is what makes it orders of
+// magnitude slower on sparse inputs (§7.3).
+type GearboxV0 struct {
+	SPUs       int
+	CycleNs    float64
+	MatchInstr float64 // instructions per (row x frontier-entry) match step
+	EntryInstr float64 // instructions per stored entry scanned
+	BcastNsPer float64 // per-word broadcast serialization
+	LaunchNs   float64 // per-iteration kernel launch + latch loads
+}
+
+// NewGearboxV0 returns the Table 2 configuration.
+func NewGearboxV0(g mem.Geometry, t mem.Timing) GearboxV0 {
+	return GearboxV0{
+		SPUs:       g.TotalComputeSPUs(),
+		CycleNs:    t.SPUCycleNs(),
+		MatchInstr: 1,
+		EntryInstr: 2,
+		BcastNsPer: t.PacketSerializationNs(32),
+		LaunchNs:   2 * t.LaunchNs,
+	}
+}
+
+// Name implements Model.
+func (v GearboxV0) Name() string { return "GearboxV0" }
+
+// TimeNs implements Model.
+func (v GearboxV0) TimeNs(w apps.Work) float64 {
+	if w.Iterations == 0 {
+		return 0
+	}
+	fPerIter := float64(w.FrontierSum) / float64(w.Iterations)
+	// The merge-match term Rows x frontier is what explodes at full scale
+	// (the §7.3 "three orders of magnitude slower than Gunrock"); on the
+	// ~100x-scaled datasets it compresses quadratically, so the harness
+	// also reports a paper-scale extrapolation.
+	perIter := (float64(w.TotalNNZ)*v.EntryInstr + float64(w.Rows)*fPerIter*v.MatchInstr) /
+		float64(v.SPUs) * v.CycleNs
+	bcast := 2 * fPerIter * v.BcastNsPer
+	return (perIter + bcast + v.LaunchNs) * float64(w.Iterations)
+}
+
+// ScaleWork rescales a workload summary to a different matrix size, keeping
+// the per-iteration activation ratios: used to extrapolate analytic models
+// to the paper's full-scale datasets (Table 3).
+func ScaleWork(w apps.Work, rows, nnz int64) apps.Work {
+	if w.Rows == 0 || w.TotalNNZ == 0 {
+		return w
+	}
+	rowF := float64(rows) / float64(w.Rows)
+	nnzF := float64(nnz) / float64(w.TotalNNZ)
+	w.Rows = rows
+	w.TotalNNZ = nnz
+	w.ProcessedNNZ = int64(float64(w.ProcessedNNZ) * nnzF)
+	w.FrontierSum = int64(float64(w.FrontierSum) * rowF)
+	return w
+}
+
+// Literature holds a Table 5 comparator with its published speedup converted
+// to the paper's GPU reference (§7.5: reported CPU speedups converted via
+// Graphicionado's GPU numbers).
+type Literature struct {
+	Name string
+	// SpeedupVsGPUPerStack: the comparator's own speedup over the P100-class
+	// GPU baseline per memory stack/chip, derived from its paper.
+	SpeedupVsGPUPerStack float64
+	// AreaFactor is silicon relative to plain DRAM (0 = not reported).
+	AreaFactor float64
+}
+
+// Table5Comparators returns the three non-in-memory-layer systems.
+func Table5Comparators() []Literature {
+	return []Literature{
+		// Graphicionado: ASIC with eDRAM, roughly GPU-class per chip.
+		{Name: "Graphicionado", SpeedupVsGPUPerStack: 1.57, AreaFactor: 0},
+		// Tesseract: HMC logic-layer cores.
+		{Name: "Tesseract", SpeedupVsGPUPerStack: 0.58, AreaFactor: 1.16},
+		// GraphP: Tesseract-class with better partitioning.
+		{Name: "GraphP", SpeedupVsGPUPerStack: 0.715, AreaFactor: 1.15},
+	}
+}

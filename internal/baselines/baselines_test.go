@@ -1,0 +1,176 @@
+package baselines
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gearbox/internal/apps"
+	"gearbox/internal/mem"
+)
+
+func sampleWork() apps.Work {
+	return apps.Work{
+		Rows:         1 << 14,
+		TotalNNZ:     800_000,
+		Iterations:   10,
+		ProcessedNNZ: 8_000_000,
+		FrontierSum:  160_000,
+		DenseIters:   10,
+	}
+}
+
+func TestAllModelsPositive(t *testing.T) {
+	models := []Model{
+		P100Gunrock(),
+		NewIdealGPU(),
+		NewIdealInLogicLayerGPU(),
+		NewSpaceAIdeal(mem.DefaultGeometry()),
+		NewGearboxV0(mem.DefaultGeometry(), mem.DefaultTiming()),
+	}
+	w := sampleWork()
+	for _, m := range models {
+		if ts := m.TimeNs(w); ts <= 0 {
+			t.Fatalf("%s: time = %v", m.Name(), ts)
+		}
+		if m.Name() == "" {
+			t.Fatal("unnamed model")
+		}
+	}
+}
+
+func TestIdealGPUFasterThanGunrock(t *testing.T) {
+	w := sampleWork()
+	if NewIdealGPU().TimeNs(w) >= P100Gunrock().TimeNs(w) {
+		t.Fatal("ideal GPU must lower-bound Gunrock")
+	}
+}
+
+func TestGunrockRandomTrafficDominates(t *testing.T) {
+	// The paper's premise: random accesses waste most of the GPU's
+	// bandwidth. Doubling ProcessedNNZ (random accums) must grow time far
+	// more than doubling FrontierSum (streamed).
+	g := P100Gunrock()
+	w := sampleWork()
+	base := g.TimeNs(w)
+	wr := w
+	wr.ProcessedNNZ *= 2
+	wf := w
+	wf.FrontierSum *= 2
+	if g.TimeNs(wr)-base < 5*(g.TimeNs(wf)-base) {
+		t.Fatalf("random traffic should dominate: dRandom=%v dStream=%v",
+			g.TimeNs(wr)-base, g.TimeNs(wf)-base)
+	}
+}
+
+func TestSpaceAPaysForAllNNZ(t *testing.T) {
+	// Row-oriented: the streaming term scales with stored nnz every
+	// iteration even when the frontier activates almost nothing.
+	s := NewSpaceAIdeal(mem.DefaultGeometry())
+	w := sampleWork()
+	sparseRun := w
+	sparseRun.ProcessedNNZ = 1000 // tiny frontier run
+	floor := float64(w.TotalNNZ) * float64(w.Iterations) * s.StreamNs / float64(s.Units)
+	if s.TimeNs(sparseRun) < floor {
+		t.Fatal("SpaceA must pay the full stored-nnz scan each iteration")
+	}
+	bigger := w
+	bigger.TotalNNZ *= 3
+	if s.TimeNs(bigger) <= s.TimeNs(w) {
+		t.Fatal("SpaceA time must scale with stored nnz")
+	}
+	gatherHeavy := w
+	gatherHeavy.ProcessedNNZ *= 3
+	if s.TimeNs(gatherHeavy) <= s.TimeNs(w) {
+		t.Fatal("SpaceA gathers must scale with activated nnz")
+	}
+}
+
+func TestGearboxV0QuadraticInFrontier(t *testing.T) {
+	v0 := NewGearboxV0(mem.DefaultGeometry(), mem.DefaultTiming())
+	w := sampleWork()
+	wide := w
+	wide.FrontierSum *= 4
+	// Rows x frontier matching: 4x frontier must grow time by nearly 4x of
+	// the matching term, far beyond linear streaming.
+	if v0.TimeNs(wide) < 2*v0.TimeNs(w) {
+		t.Fatalf("V0 matching cost is not frontier-sensitive: %v vs %v", v0.TimeNs(wide), v0.TimeNs(w))
+	}
+	if v0.TimeNs(apps.Work{}) != 0 {
+		t.Fatal("zero-iteration run must cost zero")
+	}
+}
+
+func TestGunrockEnergyTracksTime(t *testing.T) {
+	g := P100Gunrock()
+	w := sampleWork()
+	e := g.EnergyJ(w)
+	if e <= 0 {
+		t.Fatalf("energy = %v", e)
+	}
+	want := g.Watts * g.TimeNs(w) * 1e-9
+	if e != want {
+		t.Fatalf("energy = %v, want %v", e, want)
+	}
+}
+
+func TestTable5ComparatorsPresent(t *testing.T) {
+	cs := Table5Comparators()
+	if len(cs) != 3 {
+		t.Fatalf("comparators = %d, want 3", len(cs))
+	}
+	names := map[string]bool{}
+	for _, c := range cs {
+		names[c.Name] = true
+		if c.SpeedupVsGPUPerStack <= 0 {
+			t.Fatalf("%s speedup = %v", c.Name, c.SpeedupVsGPUPerStack)
+		}
+	}
+	for _, want := range []string{"Graphicionado", "Tesseract", "GraphP"} {
+		if !names[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+}
+
+func TestQuickModelsMonotoneInWork(t *testing.T) {
+	models := []Model{P100Gunrock(), NewIdealGPU(), NewIdealInLogicLayerGPU()}
+	f := func(nnz uint32) bool {
+		w := sampleWork()
+		w2 := w
+		w2.ProcessedNNZ += int64(nnz % 1_000_000)
+		for _, m := range models {
+			if m.TimeNs(w2) < m.TimeNs(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOffloadModel(t *testing.T) {
+	o := DefaultOffload()
+	w := sampleWork()
+	if o.TransferNs(w) <= 0 || o.PreprocessNs(w) <= 0 {
+		t.Fatal("one-time costs must be positive")
+	}
+	if o.TotalNs(w) != o.TransferNs(w)+o.PreprocessNs(w) {
+		t.Fatal("total must sum the parts")
+	}
+	// Amortization: a 10x-faster Gearbox repays the offload in finitely
+	// many runs; a slower one never does.
+	runs := o.AmortizationRuns(w, 1e6, 1e7)
+	if runs <= 0 {
+		t.Fatalf("amortization runs = %v", runs)
+	}
+	if o.AmortizationRuns(w, 1e7, 1e6) != 0 {
+		t.Fatal("slower accelerator must not amortize")
+	}
+	bigger := w
+	bigger.TotalNNZ *= 2
+	if o.TotalNs(bigger) <= o.TotalNs(w) {
+		t.Fatal("one-time cost must grow with the matrix")
+	}
+}

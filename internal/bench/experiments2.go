@@ -1,0 +1,469 @@
+package bench
+
+import (
+	"fmt"
+
+	"gearbox/internal/apps"
+	"gearbox/internal/area"
+	"gearbox/internal/baselines"
+	"gearbox/internal/energy"
+	"gearbox/internal/partition"
+	"gearbox/internal/regular"
+)
+
+// energyModel centralizes the model the harness prices events with.
+func (s *Suite) energyModel() energy.Model { return energy.DefaultModel() }
+
+// Fig15Data carries the ideal-model comparison for tests.
+type Fig15Data struct {
+	// PerStackVsIdealGPU[app]: Gearbox (1 stack) speedup per stack against
+	// the ideal 3-stack GPU (paper avg: 7.94x).
+	PerStackVsIdealGPU map[string]float64
+	// VsIdealLogicLayer[app]: against the ideal 1-stack in-logic-layer GPU
+	// (paper avg: 2.83x).
+	VsIdealLogicLayer map[string]float64
+}
+
+// Fig15 compares Gearbox against the ideal data-movement-only models of §7.5.
+func (s *Suite) Fig15() (Table, Fig15Data, error) {
+	ideal := baselines.NewIdealGPU()
+	logic := baselines.NewIdealInLogicLayerGPU()
+	data := Fig15Data{PerStackVsIdealGPU: map[string]float64{}, VsIdealLogicLayer: map[string]float64{}}
+	t := Table{
+		Title:  "Fig 15: Speedup per memory stack vs ideal models",
+		Header: []string{"App", "vs Ideal GPU (per stack)", "vs Ideal in-logic-layer GPU"},
+	}
+	for _, app := range apps.Names {
+		var vsGPU, vsLogic []float64
+		for _, d := range s.Datasets() {
+			r, err := s.RunVersion(app, d, "V3")
+			if err != nil {
+				return t, data, err
+			}
+			tGB := r.Stats.TimeNs()
+			// Per stack: the ideal GPU spreads over 3 stacks, Gearbox is 1.
+			vsGPU = append(vsGPU, ideal.TimeNs(r.Work)*float64(ideal.Stacks)/tGB)
+			vsLogic = append(vsLogic, logic.TimeNs(r.Work)/tGB)
+		}
+		data.PerStackVsIdealGPU[app] = geomean(vsGPU)
+		data.VsIdealLogicLayer[app] = geomean(vsLogic)
+		t.Rows = append(t.Rows, []string{app, f2(data.PerStackVsIdealGPU[app]), f2(data.VsIdealLogicLayer[app])})
+	}
+	return t, data, nil
+}
+
+// Table5Data carries the literature comparison for tests.
+type Table5Data struct {
+	PerStack map[string]float64
+	PerArea  map[string]float64
+}
+
+// Table5 compares against the non-in-memory-layer accelerators over the two
+// common algorithms (PR and SSSP), converting via the comparators' published
+// GPU-relative speedups.
+func (s *Suite) Table5() (Table, Table5Data, error) {
+	gpu := baselines.P100Gunrock()
+	est := area.NewEstimate(s.Cfg.Geo)
+	data := Table5Data{PerStack: map[string]float64{}, PerArea: map[string]float64{}}
+
+	// Gearbox's own speedup per stack vs the GPU on PR+SSSP: the GPU has 3
+	// stacks, Gearbox 1.
+	var sp []float64
+	for _, app := range []string{"PR", "SSSP"} {
+		for _, d := range s.Datasets() {
+			r, err := s.RunVersion(app, d, "V3")
+			if err != nil {
+				return Table{}, data, err
+			}
+			sp = append(sp, gpu.TimeNs(r.Work)/r.Stats.TimeNs()*float64(gpu.Stacks))
+		}
+	}
+	ourPerStack := geomean(sp)
+	gearboxAreaFactor := est.GearboxPerLayer(false) / est.DRAMPerLayer
+
+	t := Table{
+		Title:  "Table 5: Speedup against non-in-memory-layer approaches (PR+SSSP)",
+		Header: []string{"", "Graphicionado", "Tesseract", "GraphP"},
+	}
+	perStack := []string{"Per stack/chip"}
+	perArea := []string{"Per area"}
+	for _, c := range baselines.Table5Comparators() {
+		v := ourPerStack / c.SpeedupVsGPUPerStack
+		data.PerStack[c.Name] = v
+		perStack = append(perStack, f2(v))
+		if c.AreaFactor > 0 {
+			a := v * c.AreaFactor / gearboxAreaFactor
+			data.PerArea[c.Name] = a
+			perArea = append(perArea, f2(a))
+		} else {
+			perArea = append(perArea, "-")
+		}
+	}
+	t.Rows = [][]string{perStack, perArea}
+	t.Notes = append(t.Notes, "paper: 10.01/27.08/21.99 per stack; -/13.47/10.9 per area")
+	return t, data, nil
+}
+
+// Fig16aThresholds are the long-fraction sweep points: the paper's 0.00 /
+// 0.01 / 0.05 / 0.10 percent, scaled ~50x for the ~100x-smaller stand-ins
+// (DESIGN.md §2).
+var Fig16aThresholds = []struct {
+	Label string
+	Frac  float64
+}{
+	{"0.00%", 0},
+	{"0.01%", 0.005},
+	{"0.05%", 0.025},
+	{"0.10%", 0.05},
+}
+
+// Fig16aData carries the sweep for tests.
+type Fig16aData struct {
+	// Speedup[label][app] normalized to the 0.00% threshold.
+	Speedup map[string]map[string]float64
+}
+
+// Fig16a sweeps the percentage of rows/columns labeled long.
+func (s *Suite) Fig16a() (Table, Fig16aData, error) {
+	data := Fig16aData{Speedup: map[string]map[string]float64{}}
+	t := Table{
+		Title:  "Fig 16a: Effect of the long-row/column threshold (speedup vs 0.00%)",
+		Header: []string{"App", "0.00%", "0.01%", "0.05%", "0.10%"},
+		Notes:  []string{"threshold fractions scaled ~50x for the scaled-down datasets (DESIGN.md)"},
+	}
+	base := map[string]map[string]float64{} // app -> dataset -> time
+	for i, th := range Fig16aThresholds {
+		data.Speedup[th.Label] = map[string]float64{}
+		for _, app := range apps.Names {
+			if i == 0 {
+				base[app] = map[string]float64{}
+			}
+			var sp []float64
+			for _, d := range s.Datasets() {
+				pcfg := partition.Config{
+					Scheme: partition.Hybrid, Placement: partition.Shuffled,
+					LongFrac: th.Frac, Replicate: true, Seed: s.Cfg.Seed,
+				}
+				r, err := s.Run(app, d, pcfg, s.Cfg.Tim)
+				if err != nil {
+					return t, data, err
+				}
+				if i == 0 {
+					base[app][d.Name] = r.Stats.TimeNs()
+				}
+				sp = append(sp, base[app][d.Name]/r.Stats.TimeNs())
+			}
+			data.Speedup[th.Label][app] = geomean(sp)
+		}
+	}
+	for _, app := range apps.Names {
+		row := []string{app}
+		for _, th := range Fig16aThresholds {
+			row = append(row, f2(data.Speedup[th.Label][app]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, data, nil
+}
+
+// Fig16bPlacements are the consecutive-column placement policies.
+var Fig16bPlacements = []partition.Placement{
+	partition.SameSubarray, partition.SameBank, partition.SameVault, partition.Distributed,
+}
+
+// Fig16bData carries the placement comparison for tests.
+type Fig16bData struct {
+	// Speedup[placement][app] normalized to SameSubarray.
+	Speedup map[partition.Placement]map[string]float64
+}
+
+// Fig16b compares the placement of consecutive columns.
+func (s *Suite) Fig16b() (Table, Fig16bData, error) {
+	data := Fig16bData{Speedup: map[partition.Placement]map[string]float64{}}
+	t := Table{
+		Title:  "Fig 16b: Placement of consecutive columns (speedup vs SameSubarray)",
+		Header: []string{"App", "SameSubarray", "SameBank", "SameVault", "Distributed"},
+	}
+	base := map[string]map[string]float64{}
+	for i, pl := range Fig16bPlacements {
+		data.Speedup[pl] = map[string]float64{}
+		for _, app := range apps.Names {
+			if i == 0 {
+				base[app] = map[string]float64{}
+			}
+			var sp []float64
+			for _, d := range s.Datasets() {
+				pcfg := partition.Config{
+					Scheme: partition.Hybrid, Placement: pl,
+					LongFrac: s.Cfg.LongFrac, Replicate: true, Seed: s.Cfg.Seed,
+				}
+				r, err := s.Run(app, d, pcfg, s.Cfg.Tim)
+				if err != nil {
+					return t, data, err
+				}
+				if i == 0 {
+					base[app][d.Name] = r.Stats.TimeNs()
+				}
+				sp = append(sp, base[app][d.Name]/r.Stats.TimeNs())
+			}
+			data.Speedup[pl][app] = geomean(sp)
+		}
+	}
+	for _, app := range apps.Names {
+		row := []string{app}
+		for _, pl := range Fig16bPlacements {
+			row = append(row, f2(data.Speedup[pl][app]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, data, nil
+}
+
+// Fig17aData carries the power comparison for tests.
+type Fig17aData struct {
+	GPUWatts     float64
+	GearboxWatts float64
+}
+
+// Fig17a compares chip power: the GPU's measured-class average against the
+// Gearbox stack's modeled full-utilization power (§7.7).
+func (s *Suite) Fig17a() (Table, Fig17aData, error) {
+	gpu := baselines.P100Gunrock()
+	model := s.energyModel()
+	gb := model.PeakPowerWatts(s.Cfg.Geo.TotalComputeSPUs(), s.Cfg.Tim.SPUCycleNs(), s.Cfg.Tim.RowCycleNs)
+	data := Fig17aData{GPUWatts: gpu.Watts, GearboxWatts: gb}
+	t := Table{
+		Title:  "Fig 17a: Power consumption",
+		Header: []string{"App", "Gunrock (W)", "Gearbox (W)"},
+	}
+	for _, app := range apps.Names {
+		t.Rows = append(t.Rows, []string{app, f1(gpu.Watts), f1(gb)})
+	}
+	t.Notes = append(t.Notes, "paper: Gearbox averages 32.72 W, a 75% reduction vs the GPU")
+	return t, data, nil
+}
+
+// Fig17bBudgets are the §7.7 power budgets in watts.
+var Fig17bBudgets = []float64{10, 40}
+
+// Fig17bData carries the budgeted speedups for tests.
+type Fig17bData struct {
+	// Speedup[budget][app] vs Gunrock, with the SPU clock scaled to fit.
+	Speedup map[float64]map[string]float64
+	// Scale[budget] is the frequency multiplier applied.
+	Scale map[float64]float64
+}
+
+// Fig17b evaluates Gearbox under the 10 W and 40 W power budgets by scaling
+// the SPU frequency and re-running the simulator.
+func (s *Suite) Fig17b() (Table, Fig17bData, error) {
+	gpu := baselines.P100Gunrock()
+	model := s.energyModel()
+	peak := model.PeakPowerWatts(s.Cfg.Geo.TotalComputeSPUs(), s.Cfg.Tim.SPUCycleNs(), s.Cfg.Tim.RowCycleNs)
+	dynamic := peak - model.StaticWatts
+
+	data := Fig17bData{Speedup: map[float64]map[string]float64{}, Scale: map[float64]float64{}}
+	t := Table{
+		Title:  "Fig 17b: Speedup vs Gunrock under power budgets (frequency scaling)",
+		Header: []string{"App", "10W", "40W"},
+	}
+	rows := map[string][]string{}
+	for _, app := range apps.Names {
+		rows[app] = []string{app}
+	}
+	for _, budget := range Fig17bBudgets {
+		scale, err := energy.FrequencyScaleForBudget(dynamic, model.StaticWatts, budget)
+		if err != nil {
+			return t, data, err
+		}
+		data.Scale[budget] = scale
+		data.Speedup[budget] = map[string]float64{}
+		tim := s.Cfg.Tim.Scale(scale)
+		pcfg, err := s.versionConfig("V3")
+		if err != nil {
+			return t, data, err
+		}
+		for _, app := range apps.Names {
+			var sp []float64
+			for _, d := range s.Datasets() {
+				r, err := s.Run(app, d, pcfg, tim)
+				if err != nil {
+					return t, data, err
+				}
+				sp = append(sp, gpu.TimeNs(r.Work)/r.Stats.TimeNs())
+			}
+			data.Speedup[budget][app] = geomean(sp)
+			rows[app] = append(rows[app], f2(data.Speedup[budget][app]))
+		}
+	}
+	for _, app := range apps.Names {
+		t.Rows = append(t.Rows, rows[app])
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("frequency scale: %.2f at 10W, %.2f at 40W", data.Scale[10], data.Scale[40]))
+	return t, data, nil
+}
+
+// Table6 emits the area evaluation.
+func (s *Suite) Table6() (Table, area.Estimate, error) {
+	est := area.NewEstimate(s.Cfg.Geo)
+	t := Table{
+		Title:  "Table 6: Area evaluation (mm^2)",
+		Header: []string{"Component", "PerTwoSubarrays(opt)", "PerTwoSubarrays(pes)", "PerLayer(opt)", "PerLayer(pes)"},
+	}
+	pairs := float64(s.Cfg.Geo.BanksPerLayer * s.Cfg.Geo.SPUsPerBank())
+	for _, c := range area.Table6() {
+		optPair, pesPair := c.OptimisticPerPair, c.PessimisticPerPair
+		optLayer, pesLayer := c.OptimisticPerLayerFixed, c.PessimisticPerLayerFixed
+		if optPair > 0 {
+			optLayer = optPair * pairs
+		}
+		if pesPair > 0 {
+			pesLayer = pesPair * pairs
+		}
+		cell := func(v float64) string {
+			if v == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.4g", v)
+		}
+		t.Rows = append(t.Rows, []string{c.Name, cell(optPair), cell(pesPair), cell(optLayer), cell(pesLayer)})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("overhead vs Fulcrum: %.2f%% (opt) / %.2f%% (pes); vs HMC: %.0f%% / %.0f%%; paper: 2.42/10.93 and 73/100",
+			100*est.OverheadVsFulcrum(true), 100*est.OverheadVsFulcrum(false),
+			100*est.OverheadVsHMC(true), 100*est.OverheadVsHMC(false)))
+	return t, est, nil
+}
+
+// Fig18Data carries the regular-kernel comparison for tests.
+type Fig18Data struct {
+	// PerStackVsGPU[kernel][arch] is throughput normalized to the GPU per
+	// memory stack; 0 means the architecture cannot run the kernel.
+	PerStackVsGPU map[string]map[string]float64
+	// GeomeanGearboxOverBankSIMD is the §7.9 headline (paper: 4.4x).
+	GeomeanGearboxOverBankSIMD float64
+}
+
+// Fig18Elements is the per-kernel element count priced in Fig18.
+const Fig18Elements = 1 << 18
+
+// Fig18 evaluates the regular kernels across architectures.
+func (s *Suite) Fig18() (Table, Fig18Data, error) {
+	fu := regular.NewFulcrum(s.Cfg.Geo, s.Cfg.Tim)
+	bs := regular.NewBankSIMD(s.Cfg.Geo, s.Cfg.Tim)
+	dr := regular.NewBitwiseSIMD(s.Cfg.Geo, s.Cfg.Tim)
+	gpu := regular.NewGPU()
+	id := regular.NewIdeal(s.Cfg.Geo, s.Cfg.Tim)
+	archNames := []string{gpu.Name(), id.Name(), dr.Name(), bs.Name(), fu.Name()}
+
+	data := Fig18Data{PerStackVsGPU: map[string]map[string]float64{}}
+	t := Table{
+		Title:  "Fig 18: Regular kernels, throughput per memory stack normalized to GPU",
+		Header: append([]string{"Kernel"}, archNames...),
+	}
+	var ratio []float64
+	for _, k := range regular.Kernels() {
+		ops, _ := k.Run(Fig18Elements, s.Cfg.Seed)
+		tGPU, _ := gpu.TimeNs(ops)
+		gpuPerStack := tGPU * float64(gpu.Stacks) // slower per single stack
+		row := []string{k.Name}
+		data.PerStackVsGPU[k.Name] = map[string]float64{}
+		price := func(a regular.Arch) float64 {
+			tn, ok := a.TimeNs(ops)
+			if !ok {
+				return 0
+			}
+			return gpuPerStack / tn
+		}
+		for _, a := range []regular.Arch{gpu, id, dr, bs, fu} {
+			v := price(a)
+			if a.Name() == gpu.Name() {
+				v = 1 // GPU normalized to itself per stack
+			}
+			data.PerStackVsGPU[k.Name][a.Name()] = v
+			if v == 0 {
+				row = append(row, "n/a")
+			} else {
+				row = append(row, f2(v))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+		tf, _ := fu.TimeNs(ops)
+		tb, _ := bs.TimeNs(ops)
+		ratio = append(ratio, tb/tf)
+	}
+	data.GeomeanGearboxOverBankSIMD = geomean(ratio)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("Gearbox over bank-level SIMD (geomean): %.2fx; paper: 4.4x", data.GeomeanGearboxOverBankSIMD))
+	return t, data, nil
+}
+
+// All runs every experiment and returns the tables in paper order.
+func (s *Suite) All() ([]Table, error) {
+	var out []Table
+	add := func(t Table, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, t)
+		return nil
+	}
+	t3, err := s.Table3()
+	if err := add(t3, err); err != nil {
+		return nil, err
+	}
+	f5, err := s.Fig5()
+	if err := add(f5, err); err != nil {
+		return nil, err
+	}
+	f12, _, err := s.Fig12()
+	if err := add(f12, err); err != nil {
+		return nil, err
+	}
+	f13, _, err := s.Fig13()
+	if err := add(f13, err); err != nil {
+		return nil, err
+	}
+	f14a, _, err := s.Fig14a()
+	if err := add(f14a, err); err != nil {
+		return nil, err
+	}
+	f14b, _, err := s.Fig14b()
+	if err := add(f14b, err); err != nil {
+		return nil, err
+	}
+	f15, _, err := s.Fig15()
+	if err := add(f15, err); err != nil {
+		return nil, err
+	}
+	t5, _, err := s.Table5()
+	if err := add(t5, err); err != nil {
+		return nil, err
+	}
+	f16a, _, err := s.Fig16a()
+	if err := add(f16a, err); err != nil {
+		return nil, err
+	}
+	f16b, _, err := s.Fig16b()
+	if err := add(f16b, err); err != nil {
+		return nil, err
+	}
+	f17a, _, err := s.Fig17a()
+	if err := add(f17a, err); err != nil {
+		return nil, err
+	}
+	f17b, _, err := s.Fig17b()
+	if err := add(f17b, err); err != nil {
+		return nil, err
+	}
+	t6, _, err := s.Table6()
+	if err := add(t6, err); err != nil {
+		return nil, err
+	}
+	f18, _, err := s.Fig18()
+	if err := add(f18, err); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,29 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSmokeAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke of the full suite")
+	}
+	start := time.Now()
+	cfg := TinyConfig()
+	s, err := NewSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Prewarm(0); err != nil {
+		t.Fatal(err)
+	}
+	tables, err := s.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tables {
+		t.Log("\n" + tb.String())
+	}
+	t.Logf("wall: %v", time.Since(start))
+}

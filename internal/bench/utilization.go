@@ -1,0 +1,49 @@
+package bench
+
+import "fmt"
+
+// Utilization reports the per-SPU load-imbalance of the accumulation steps
+// (max/mean busy time): the quantity that separates this scaled reproduction
+// from the paper's ideal-model comparisons (EXPERIMENTS.md, Fig 15 note).
+// At the paper's ~150-2,700 columns per SPU the ratio approaches 1; at the
+// stand-ins' ~2-34 it does not.
+func (s *Suite) Utilization() (Table, map[string]float64, error) {
+	t := Table{
+		Title:  "Utilization: per-SPU load imbalance (max/mean busy, GearboxV3)",
+		Header: []string{"App", "Step3 imbalance", "Step5 imbalance", "Columns/SPU"},
+	}
+	out := map[string]float64{}
+	for _, app := range []string{"BFS", "PR", "SSSP"} {
+		var s3, s5, w3, w5 float64
+		var colsPerSPU float64
+		for _, d := range s.Datasets() {
+			r, err := s.RunVersion(app, d, "V3")
+			if err != nil {
+				return t, nil, err
+			}
+			for _, it := range r.Stats.Iterations {
+				// Weight by busy mass so empty iterations don't skew.
+				if m := it.Steps[2].BusyMeanNs; m > 0 {
+					s3 += it.Steps[2].Imbalance() * m
+					w3 += m
+				}
+				if m := it.Steps[4].BusyMeanNs; m > 0 {
+					s5 += it.Steps[4].Imbalance() * m
+					w5 += m
+				}
+			}
+			colsPerSPU += float64(d.Matrix.NumRows) / float64(s.Cfg.Geo.TotalComputeSPUs())
+		}
+		im3, im5 := 0.0, 0.0
+		if w3 > 0 {
+			im3 = s3 / w3
+		}
+		if w5 > 0 {
+			im5 = s5 / w5
+		}
+		out[app] = im3
+		t.Rows = append(t.Rows, []string{app, f1(im3), f1(im5),
+			fmt.Sprintf("%.1f", colsPerSPU/float64(len(s.Datasets())))})
+	}
+	return t, out, nil
+}

@@ -1,0 +1,108 @@
+// Package energy converts the machine's event counts into the Fig. 14b
+// energy breakdown (row activation, computation, communication, logic layer,
+// control, TSV), the Fig. 17a power comparison, and the Fig. 17b
+// frequency-scaling-under-power-budget experiment.
+//
+// Per-event constants are seeded from the per-component numbers the paper's
+// methodology cites (CACTI-3DD for memory elements and interconnect, a 14 nm
+// RTL synthesis scaled to 22 nm with the 3.08x merged-DRAM-process penalty
+// for the SPUs); they are constants, not measurements, exactly as in the
+// paper's own flow.
+package energy
+
+import (
+	"fmt"
+
+	"gearbox/internal/gearbox"
+)
+
+// Model holds per-event energies in picojoules plus static power.
+type Model struct {
+	RowActivationPJ float64 // activate+restore one 256-byte row
+	ALUOpPJ         float64 // one 32-bit operation in the DRAM process
+	SPUInstrPJ      float64 // control: decode + latch + one-hot shift
+	HopWordPJ       float64 // one 64-bit packet over one line/ring segment
+	TSVWordPJ       float64 // one 64-bit packet across one TSV layer crossing
+	LogicOpPJ       float64 // one logic-layer SRAM access / core op
+	StaticWatts     float64 // stack background power
+}
+
+// DefaultModel returns the calibrated constants.
+func DefaultModel() Model {
+	return Model{
+		RowActivationPJ: 250, // CACTI-3DD class value for a short 256B row in 22nm
+		ALUOpPJ:         3,
+		SPUInstrPJ:      1.5,
+		HopWordPJ:       4,
+		TSVWordPJ:       6,
+		LogicOpPJ:       10,
+		StaticWatts:     4,
+	}
+}
+
+// Breakdown is the Fig. 14b decomposition, in joules.
+type Breakdown struct {
+	RowActivation float64
+	Computation   float64
+	Communication float64
+	LogicLayer    float64
+	Control       float64
+	TSV           float64
+	Static        float64
+}
+
+// Total sums all categories.
+func (b Breakdown) Total() float64 {
+	return b.RowActivation + b.Computation + b.Communication + b.LogicLayer + b.Control + b.TSV + b.Static
+}
+
+// Breakdown prices a run's events. timeNs scales the static component.
+func (m Model) Breakdown(ev gearbox.Events, timeNs float64) Breakdown {
+	const pj = 1e-12
+	return Breakdown{
+		RowActivation: float64(ev.RowActs()) * m.RowActivationPJ * pj,
+		Computation:   float64(ev.ALUOps) * m.ALUOpPJ * pj,
+		Communication: float64(ev.NetHopWords+ev.BroadcastWords) * m.HopWordPJ * pj,
+		LogicLayer:    float64(ev.LogicOps) * m.LogicOpPJ * pj,
+		Control:       float64(ev.SPUInstrs+ev.DispatchInstrs) * m.SPUInstrPJ * pj,
+		TSV:           float64(ev.TSVWords) * m.TSVWordPJ * pj,
+		Static:        m.StaticWatts * timeNs * 1e-9,
+	}
+}
+
+// PowerWatts reports average power for a run.
+func (m Model) PowerWatts(ev gearbox.Events, timeNs float64) float64 {
+	if timeNs <= 0 {
+		return 0
+	}
+	return m.Breakdown(ev, timeNs).Total() / (timeNs * 1e-9)
+}
+
+// PeakPowerWatts models the full-tilt stack power of §7.7: every compute SPU
+// continuously running the LocalAccumulations inner loop (six instruction
+// slots plus one unhidden row activation per accumulation), with a 20%
+// uplift for the concurrently active dispatchers and interconnect. The
+// paper reports 32.72 W average under this kind of load.
+func (m Model) PeakPowerWatts(spus int, spuCycleNs, rowCycleNs float64) float64 {
+	periodNs := 6*spuCycleNs + rowCycleNs
+	perSPUMilliwatts := (m.RowActivationPJ + 6*m.SPUInstrPJ + 2*m.ALUOpPJ) / periodNs
+	return float64(spus)*perSPUMilliwatts*1.2*1e-3 + m.StaticWatts
+}
+
+// FrequencyScaleForBudget returns the SPU frequency multiplier that fits the
+// measured power into budgetW (Fig. 17b): dynamic power scales ~linearly
+// with frequency (voltage held, DRAM process), static power does not.
+// The result is clamped to (0, 1].
+func FrequencyScaleForBudget(dynamicWatts, staticWatts, budgetW float64) (float64, error) {
+	if budgetW <= staticWatts {
+		return 0, fmt.Errorf("energy: budget %.1fW cannot cover static %.1fW", budgetW, staticWatts)
+	}
+	if dynamicWatts <= 0 {
+		return 1, nil
+	}
+	s := (budgetW - staticWatts) / dynamicWatts
+	if s > 1 {
+		s = 1
+	}
+	return s, nil
+}

@@ -1,0 +1,112 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gearbox/internal/gearbox"
+)
+
+func sampleEvents() gearbox.Events {
+	return gearbox.Events{
+		SPUInstrs:      1000,
+		ALUOps:         400,
+		SeqRowActs:     50,
+		RandRowActs:    30,
+		DispatchInstrs: 100,
+		NetHopWords:    200,
+		TSVWords:       40,
+		LogicOps:       60,
+		BroadcastWords: 10,
+	}
+}
+
+func TestBreakdownCategories(t *testing.T) {
+	m := DefaultModel()
+	b := m.Breakdown(sampleEvents(), 1000)
+	approx := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-15+1e-9*math.Abs(want) {
+			t.Fatalf("%s = %v, want %v", name, got, want)
+		}
+	}
+	approx("row activation", b.RowActivation, 80*250e-12)
+	approx("computation", b.Computation, 400*3e-12)
+	approx("communication", b.Communication, 210*4e-12)
+	approx("tsv", b.TSV, 40*6e-12)
+	approx("logic", b.LogicLayer, 60*10e-12)
+	approx("control", b.Control, 1100*1.5e-12)
+	approx("static", b.Static, 4*1000e-9)
+	sum := b.RowActivation + b.Computation + b.Communication + b.LogicLayer + b.Control + b.TSV + b.Static
+	if math.Abs(sum-b.Total()) > 1e-18 {
+		t.Fatal("Total does not sum the categories")
+	}
+}
+
+func TestRowActivationDominatesTypicalMix(t *testing.T) {
+	// §7.4: "in most applications, row activations are the major source of
+	// energy consumption". A typical mix (one activation per ~6
+	// instructions) must reproduce that.
+	m := DefaultModel()
+	ev := gearbox.Events{SPUInstrs: 600, ALUOps: 200, RandRowActs: 100, NetHopWords: 100}
+	b := m.Breakdown(ev, 0)
+	if b.RowActivation <= b.Computation+b.Communication+b.Control {
+		t.Fatalf("row activation %v does not dominate (%v)", b.RowActivation, b)
+	}
+}
+
+func TestPowerWatts(t *testing.T) {
+	m := DefaultModel()
+	if p := m.PowerWatts(gearbox.Events{}, 0); p != 0 {
+		t.Fatalf("zero-time power = %v", p)
+	}
+	// Static only: no events over 1 second = StaticWatts.
+	p := m.PowerWatts(gearbox.Events{}, 1e9)
+	if math.Abs(p-m.StaticWatts) > 1e-9 {
+		t.Fatalf("static power = %v, want %v", p, m.StaticWatts)
+	}
+}
+
+func TestFrequencyScaleForBudget(t *testing.T) {
+	s, err := FrequencyScaleForBudget(30, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-0.2) > 1e-12 {
+		t.Fatalf("scale = %v, want 0.2", s)
+	}
+	// Budget above current power: no downscaling.
+	s, err = FrequencyScaleForBudget(30, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 1 {
+		t.Fatalf("scale = %v, want 1", s)
+	}
+	if _, err := FrequencyScaleForBudget(30, 4, 3); err == nil {
+		t.Fatal("budget below static accepted")
+	}
+}
+
+func TestQuickBreakdownMonotoneInEvents(t *testing.T) {
+	m := DefaultModel()
+	f := func(a, b uint16) bool {
+		ev1 := gearbox.Events{RandRowActs: int64(a), ALUOps: int64(b)}
+		ev2 := ev1
+		ev2.RandRowActs++
+		return m.Breakdown(ev2, 100).Total() > m.Breakdown(ev1, 100).Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeakPowerInPaperRange(t *testing.T) {
+	// §7.7: Gearbox consumes on average 32.72 W.
+	m := DefaultModel()
+	p := m.PeakPowerWatts(7680, 1e9/164e6, 50)
+	if p < 25 || p > 42 {
+		t.Fatalf("peak power = %.1f W, want ~33", p)
+	}
+}

@@ -1,0 +1,345 @@
+package fulcrum
+
+// A textual assembly format for the Table 1 ISA, supporting the paper's
+// programmability claim (§4: "Our support for local random accesses,
+// Accumulation dispatching, and Hybrid partitioning is programmable") and
+// §6's assembly library. Format renders a program canonically; Parse
+// round-trips it. One instruction per line, clauses separated by ';':
+//
+//	read w1 w2 ; shift w1 w2 ; ifloopzero halt
+//	mov w2reg reg1 ; indirect w1reg w3 ; decloop ; ifremote 0
+//	op1 add reg1 w3reg ; checkclean w1reg dispatcher
+//	mov aluout1 w3reg ; write w3 ; read w1 w2 ; shift w1 w2 ; goto 1 ; ifloopzero halt
+//
+// Control flow: `goto N` sets the fall-through target (default: next
+// instruction); `if<cond> N|halt` sets the taken target. `halt` resolves to
+// the program length. Per-walker shift conditions use `shift w1:ifremote`.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+var regNames = map[Reg]string{
+	W1Reg: "w1reg", W2Reg: "w2reg", W3Reg: "w3reg",
+	Reg1: "reg1", Reg2: "reg2", Reg3: "reg3",
+	ALUOut1: "aluout1", ALUOut2: "aluout2",
+}
+
+var opNames = map[OpCode]string{
+	OpNop: "nop", OpAdd: "add", OpMul: "mul", OpMin: "min", OpMax: "max",
+	OpSub: "sub", OpBoolAnd: "and", OpBoolOr: "or", OpPass: "pass",
+}
+
+var condNames = map[Cond]string{
+	CondAlways: "always", CondRemote: "remote", CondNotRemote: "notremote",
+	CondLoopZero: "loopzero", CondCleanHit: "cleanhit",
+}
+
+var shiftNames = map[ShiftCond]string{
+	ShiftAlways: "", ShiftIfNotRemote: ":ifnotremote", ShiftIfRemote: ":ifremote",
+}
+
+func invert[K comparable, V comparable](m map[K]V) map[V]K {
+	out := make(map[V]K, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+var (
+	regByName   = invert(regNames)
+	opByName    = invert(opNames)
+	condByName  = invert(condNames)
+	shiftByName = map[string]ShiftCond{
+		"": ShiftAlways, ":ifnotremote": ShiftIfNotRemote, ":ifremote": ShiftIfRemote,
+	}
+)
+
+// Format renders a program in the canonical assembly syntax.
+func Format(prog []Instruction) string {
+	var b strings.Builder
+	for pc, in := range prog {
+		var clauses []string
+		if r := walkerList(in.Read); r != "" {
+			clauses = append(clauses, "read "+r)
+		}
+		if in.RegDst != DstNone {
+			dst := "down"
+			if in.RegDst != DstDownPort {
+				dst = regNames[Reg(in.RegDst)]
+			}
+			clauses = append(clauses, fmt.Sprintf("mov %s %s", regNames[in.RegSrc], dst))
+		}
+		if in.IndirectDst != 0 {
+			c := fmt.Sprintf("indirect %s w%d", regNames[in.IndirectSrc], in.IndirectDst)
+			if in.LongEntryTreat == LongSendDown {
+				c += " longsend"
+			}
+			clauses = append(clauses, c)
+		}
+		if in.CheckCleanVal {
+			dst := "append"
+			if in.CleanPairDst == CleanToDispatcher {
+				dst = "dispatcher"
+			}
+			clauses = append(clauses, fmt.Sprintf("checkclean %s %s", regNames[in.CleanIndexSrc], dst))
+		}
+		if in.OpCode1 != OpNop {
+			clauses = append(clauses, fmt.Sprintf("op1 %s %s %s",
+				opNames[in.OpCode1], regNames[in.Src1Op1], regNames[in.Src2Op1]))
+		}
+		if in.OpCode2 != OpNop {
+			clauses = append(clauses, fmt.Sprintf("op2 %s %s %s",
+				opNames[in.OpCode2], regNames[in.Src1Op2], regNames[in.Src2Op2]))
+		}
+		if w := walkerList(in.Write); w != "" {
+			clauses = append(clauses, "write "+w)
+		}
+		if sh := shiftList(in.Shift); sh != "" {
+			clauses = append(clauses, "shift "+sh)
+		}
+		if in.DecLoop {
+			clauses = append(clauses, "decloop")
+		}
+		if int(in.NextPC1) != pc+1 {
+			clauses = append(clauses, "goto "+target(in.NextPC1, len(prog)))
+		}
+		if in.NextPCCond != CondNever {
+			clauses = append(clauses, fmt.Sprintf("if%s %s", condNames[in.NextPCCond], target(in.NextPC2, len(prog))))
+		}
+		if len(clauses) == 0 {
+			clauses = append(clauses, "nopinstr")
+		}
+		fmt.Fprintf(&b, "%s\n", strings.Join(clauses, " ; "))
+	}
+	return b.String()
+}
+
+func target(pc uint8, progLen int) string {
+	if int(pc) >= progLen {
+		return "halt"
+	}
+	return strconv.Itoa(int(pc))
+}
+
+func walkerList(ws [3]bool) string {
+	var out []string
+	for i, on := range ws {
+		if on {
+			out = append(out, fmt.Sprintf("w%d", i+1))
+		}
+	}
+	return strings.Join(out, " ")
+}
+
+func shiftList(sh [3]ShiftCond) string {
+	var out []string
+	for i, c := range sh {
+		if c == ShiftNever {
+			continue
+		}
+		out = append(out, fmt.Sprintf("w%d%s", i+1, shiftNames[c]))
+	}
+	return strings.Join(out, " ")
+}
+
+// Parse assembles the textual syntax back into an instruction buffer.
+func Parse(src string) ([]Instruction, error) {
+	var lines []string
+	for _, line := range strings.Split(src, "\n") {
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			lines = append(lines, line)
+		}
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("fulcrum: empty assembly")
+	}
+	if len(lines) > MaxProgram {
+		return nil, fmt.Errorf("fulcrum: %d instructions exceed the %d-entry buffer", len(lines), MaxProgram)
+	}
+	prog := make([]Instruction, len(lines))
+	for pc, line := range lines {
+		in := Instruction{RegDst: DstNone, NextPC1: uint8(pc + 1)}
+		for _, clause := range strings.Split(line, ";") {
+			fields := strings.Fields(strings.ToLower(clause))
+			if len(fields) == 0 {
+				continue
+			}
+			if err := parseClause(&in, fields, len(lines)); err != nil {
+				return nil, fmt.Errorf("fulcrum: line %d: %w", pc+1, err)
+			}
+		}
+		prog[pc] = in
+	}
+	if err := ValidateProgram(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func parseClause(in *Instruction, f []string, progLen int) error {
+	switch head := f[0]; {
+	case head == "read" || head == "write":
+		for _, w := range f[1:] {
+			i, err := walkerIndex(w)
+			if err != nil {
+				return err
+			}
+			if head == "read" {
+				in.Read[i] = true
+			} else {
+				in.Write[i] = true
+			}
+		}
+	case head == "shift":
+		for _, w := range f[1:] {
+			name, cond := w, ""
+			if i := strings.Index(w, ":"); i >= 0 {
+				name, cond = w[:i], w[i:]
+			}
+			i, err := walkerIndex(name)
+			if err != nil {
+				return err
+			}
+			sc, ok := shiftByName[cond]
+			if !ok {
+				return fmt.Errorf("unknown shift condition %q", cond)
+			}
+			in.Shift[i] = sc
+		}
+	case head == "mov":
+		if len(f) != 3 {
+			return fmt.Errorf("mov wants src dst")
+		}
+		src, ok := regByName[f[1]]
+		if !ok {
+			return fmt.Errorf("unknown register %q", f[1])
+		}
+		in.RegSrc = src
+		if f[2] == "down" {
+			in.RegDst = DstDownPort
+		} else {
+			dst, ok := regByName[f[2]]
+			if !ok {
+				return fmt.Errorf("unknown register %q", f[2])
+			}
+			in.RegDst = DstReg(dst)
+		}
+	case head == "indirect":
+		if len(f) < 3 {
+			return fmt.Errorf("indirect wants src walker")
+		}
+		src, ok := regByName[f[1]]
+		if !ok {
+			return fmt.Errorf("unknown register %q", f[1])
+		}
+		i, err := walkerIndex(f[2])
+		if err != nil {
+			return err
+		}
+		in.IndirectSrc = src
+		in.IndirectDst = uint8(i + 1)
+		if len(f) == 4 {
+			if f[3] != "longsend" {
+				return fmt.Errorf("unknown indirect flag %q", f[3])
+			}
+			in.LongEntryTreat = LongSendDown
+		}
+	case head == "checkclean":
+		if len(f) != 3 {
+			return fmt.Errorf("checkclean wants idxsrc dispatcher|append")
+		}
+		src, ok := regByName[f[1]]
+		if !ok {
+			return fmt.Errorf("unknown register %q", f[1])
+		}
+		in.CheckCleanVal = true
+		in.CleanIndexSrc = src
+		switch f[2] {
+		case "dispatcher":
+			in.CleanPairDst = CleanToDispatcher
+		case "append":
+			in.CleanPairDst = CleanToWalker3Append
+		default:
+			return fmt.Errorf("unknown clean destination %q", f[2])
+		}
+	case head == "op1" || head == "op2":
+		if len(f) != 4 {
+			return fmt.Errorf("%s wants opcode src1 src2", head)
+		}
+		op, ok := opByName[f[1]]
+		if !ok {
+			return fmt.Errorf("unknown opcode %q", f[1])
+		}
+		s1, ok1 := regByName[f[2]]
+		s2, ok2 := regByName[f[3]]
+		if !ok1 || !ok2 {
+			return fmt.Errorf("unknown operand in %v", f)
+		}
+		if head == "op1" {
+			in.OpCode1, in.Src1Op1, in.Src2Op1 = op, s1, s2
+		} else {
+			in.OpCode2, in.Src1Op2, in.Src2Op2 = op, s1, s2
+		}
+	case head == "decloop":
+		in.DecLoop = true
+	case head == "goto":
+		if len(f) != 2 {
+			return fmt.Errorf("goto wants a target")
+		}
+		pc, err := parseTarget(f[1], progLen)
+		if err != nil {
+			return err
+		}
+		in.NextPC1 = pc
+	case strings.HasPrefix(head, "if"):
+		cond, ok := condByName[head[2:]]
+		if !ok {
+			return fmt.Errorf("unknown condition %q", head)
+		}
+		if len(f) != 2 {
+			return fmt.Errorf("%s wants a target", head)
+		}
+		pc, err := parseTarget(f[1], progLen)
+		if err != nil {
+			return err
+		}
+		in.NextPCCond = cond
+		in.NextPC2 = pc
+	case head == "nopinstr":
+		// explicit empty instruction
+	default:
+		return fmt.Errorf("unknown clause %q", head)
+	}
+	return nil
+}
+
+func walkerIndex(name string) (int, error) {
+	switch name {
+	case "w1":
+		return 0, nil
+	case "w2":
+		return 1, nil
+	case "w3":
+		return 2, nil
+	}
+	return 0, fmt.Errorf("unknown walker %q", name)
+}
+
+func parseTarget(s string, progLen int) (uint8, error) {
+	if s == "halt" {
+		return uint8(progLen), nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 || n > progLen {
+		return 0, fmt.Errorf("bad jump target %q", s)
+	}
+	return uint8(n), nil
+}

@@ -1,0 +1,128 @@
+package fulcrum
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// libraryKernels enumerates the shipped assembly library.
+func libraryKernels() map[string][]Instruction {
+	return map[string][]Instruction{
+		"scatter-plus":       ScatterAccumulate(PlusTimesOps, ScatterOptions{}),
+		"scatter-minplus":    ScatterAccumulate(MinPlusOps, ScatterOptions{LongTreat: LongSendDown}),
+		"scatter-clean":      ScatterAccumulate(PlusTimesOps, ScatterOptions{CheckClean: true, CleanDst: CleanToDispatcher}),
+		"columnmac":          ColumnMAC(PlusTimesOps, ScatterOptions{}),
+		"columnmac-clean":    ColumnMAC(BoolOps, ScatterOptions{CheckClean: true, CleanDst: CleanToWalker3Append}),
+		"stream-apply":       StreamApply(PlusTimesOps),
+		"stream-reduce-add":  StreamReduce(OpAdd),
+		"stream-reduce-min":  StreamReduce(OpMin),
+		"offset-packing":     OffsetPacking(),
+		"scatter-longreduce": ScatterAccumulate(MinPlusOps, ScatterOptions{LongTreat: LongLocalReduce}),
+	}
+}
+
+// TestAssemblyRoundTrip: Format then Parse must reproduce every kernel of
+// the shipped library exactly.
+func TestAssemblyRoundTrip(t *testing.T) {
+	for name, prog := range libraryKernels() {
+		name, prog := name, prog
+		t.Run(name, func(t *testing.T) {
+			text := Format(prog)
+			back, err := Parse(text)
+			if err != nil {
+				t.Fatalf("parse failed:\n%s\nerror: %v", text, err)
+			}
+			if !reflect.DeepEqual(prog, back) {
+				t.Fatalf("round trip mismatch:\n%s\nwant %+v\ngot  %+v", text, prog, back)
+			}
+		})
+	}
+}
+
+func TestParseWalkthroughProgram(t *testing.T) {
+	// The §4.2 walk-through, hand-written in assembly.
+	src := `
+# C[A[i]] += B[i]
+read w1 w2 ; shift w1 w2 ; goto 1 ; ifloopzero halt
+mov w2reg reg1 ; indirect w1reg w3 ; decloop ; goto 2 ; ifremote 0
+op1 add reg1 w3reg ; goto 3
+mov aluout1 w3reg ; write w3 ; read w1 w2 ; shift w1 w2 ; goto 1 ; ifloopzero halt
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ScatterAccumulate(PlusTimesOps, ScatterOptions{})
+	if !reflect.DeepEqual(prog, want) {
+		t.Fatalf("hand assembly differs from the builder:\ngot  %+v\nwant %+v", prog, want)
+	}
+
+	// And it runs: same fixture as TestScatterAccumulateAllLocal.
+	a := []float32{10, 12, 10, 13}
+	b := []float32{1, 2, 3, 4}
+	s := scatterSPU(t, a, b, 10, 4)
+	if err := s.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	wantC := []float32{4, 0, 2, 4}
+	for i, w := range wantC {
+		if s.Mem[8+i] != w {
+			t.Fatalf("C[%d] = %v, want %v", i, s.Mem[8+i], w)
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"too long":       strings.Repeat("decloop\n", 9),
+		"unknown clause": "frobnicate w1",
+		"bad walker":     "read w9",
+		"bad register":   "mov nope reg1",
+		"bad opcode":     "op1 exp reg1 reg2",
+		"bad target":     "goto 99",
+		"bad condition":  "ifsunny 0",
+		"bad shift cond": "shift w1:sometimes",
+		"bad indirect":   "indirect w1reg w3 sideways",
+		"bad clean dst":  "checkclean w1reg nowhere",
+		"mov arity":      "mov reg1",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestParseCommentsAndBlankLines(t *testing.T) {
+	src := `
+# leading comment
+
+decloop ; ifloopzero halt   # trailing comment
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 1 || !prog[0].DecLoop {
+		t.Fatalf("prog = %+v", prog)
+	}
+}
+
+func TestFormatIsStable(t *testing.T) {
+	// Formatting twice through a parse must be idempotent.
+	for name, prog := range libraryKernels() {
+		text := Format(prog)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if Format(back) != text {
+			t.Fatalf("%s: Format not stable", name)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package fulcrum implements the subarray-level processing unit (SPU) of the
+// Fulcrum baseline architecture together with the Gearbox extensions of §4:
+// three row-wide Walkers with one-hot sequential access, an 8-entry
+// instruction buffer with the Table 1 instruction format, local random
+// (indirect) accesses, the FirstLocal/LastLocal/LastLong comparator latches,
+// remote-accumulation dispatch to the DownPort, and clean-value tracking for
+// sparse output maintenance (§4.4).
+//
+// The interpreter in this package is the executable reference for the ISA;
+// the gearbox machine charges per-entry costs derived from these kernels
+// (validated against the interpreter in tests) so full-dataset simulations
+// stay fast.
+package fulcrum
+
+import "fmt"
+
+// MaxProgram is the instruction-buffer depth (Table 1: 8 entries).
+const MaxProgram = 8
+
+// Reg names one of the eight 3-bit-addressable registers of an SPU.
+type Reg uint8
+
+// Register file layout. Walker registers hold the word at the Walker's
+// one-hot position after a read; Reg1-3 are scratch; ALUOut1/2 latch the two
+// per-instruction operation results.
+const (
+	W1Reg Reg = iota
+	W2Reg
+	W3Reg
+	Reg1
+	Reg2
+	Reg3
+	ALUOut1
+	ALUOut2
+	numRegs
+)
+
+// Dst is a 4-bit register-transfer destination: any register, the DownPort
+// (sending an (index,value) pair toward the Dispatcher), or none.
+type Dst uint8
+
+const (
+	// DstNone disables the register transfer.
+	DstNone Dst = 15
+	// DstDownPort places (RegSrc as index, Reg1 as value) on the line
+	// interconnection's down port.
+	DstDownPort Dst = 8
+)
+
+// DstReg wraps a register as a transfer destination.
+func DstReg(r Reg) Dst { return Dst(r) }
+
+// OpCode is a 4-bit ALU operation.
+type OpCode uint8
+
+// ALU operations. The generalized ⊕/⊗ of each semiring maps onto these
+// (plus-times → OpMul/OpAdd, min-plus → OpAdd/OpMin, BFS → OpBoolAnd/OpBoolOr).
+const (
+	OpNop OpCode = iota
+	OpAdd
+	OpMul
+	OpMin
+	OpMax
+	OpSub
+	OpBoolAnd
+	OpBoolOr
+	OpPass // result = src1
+	numOps
+)
+
+// Apply executes the operation.
+func (op OpCode) Apply(a, b float32) float32 {
+	switch op {
+	case OpNop:
+		return 0
+	case OpAdd:
+		return a + b
+	case OpMul:
+		return a * b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpSub:
+		return a - b
+	case OpBoolAnd:
+		if a != 0 && b != 0 {
+			return 1
+		}
+		return 0
+	case OpBoolOr:
+		if a != 0 || b != 0 {
+			return 1
+		}
+		return 0
+	case OpPass:
+		return a
+	}
+	panic(fmt.Sprintf("fulcrum: unknown opcode %d", op))
+}
+
+// Cond is the 4-bit NextPC condition: when it holds, control transfers to
+// NextPC2, otherwise to NextPC1. Conditions are evaluated after the
+// instruction's effects.
+type Cond uint8
+
+// Conditions available to NextPCCond.
+const (
+	CondNever  Cond = iota // always NextPC1
+	CondAlways             // always NextPC2
+	CondRemote             // last indirect access classified remote
+	CondNotRemote
+	CondLoopZero // loop counter reached zero
+	CondCleanHit // last clean-value check fired
+	numConds
+)
+
+// ShiftCond is the 3-bit per-Walker shift condition.
+type ShiftCond uint8
+
+// Shift conditions.
+const (
+	ShiftNever ShiftCond = iota
+	ShiftAlways
+	ShiftIfNotRemote // suppress consuming the element when it was dispatched
+	ShiftIfRemote
+	numShiftConds
+)
+
+// LongTreat selects how indexes in the long region [0, LastLong] are handled
+// by an indirect access (Table 1's LongEntryTreat bit).
+type LongTreat uint8
+
+const (
+	// LongLocalReduce accumulates into the replicated region at LongStart3
+	// (GearboxV3 behaviour, Fig. 7b).
+	LongLocalReduce LongTreat = iota
+	// LongSendDown dispatches long-index pairs toward the logic layer
+	// (GearboxV2 behaviour, Fig. 7a).
+	LongSendDown
+)
+
+// CleanDst selects where a detected clean-index pair goes (Table 1's
+// CleanPairDst): appended to a Walker-backed array or sent to the Dispatcher.
+type CleanDst uint8
+
+const (
+	// CleanToWalker3Append appends the clean index to the array behind
+	// Walker3's End latch. (Used when building the next frontier locally.)
+	CleanToWalker3Append CleanDst = iota
+	// CleanToDispatcher sends (cleanIndicator, index) to the DownPort,
+	// as LocalAccumulations does in Fig. 11.
+	CleanToDispatcher
+)
+
+// Instruction is one entry of the 8-deep instruction buffer, following the
+// field list of Table 1. Field widths are enforced by Validate, not by the
+// Go types.
+type Instruction struct {
+	// Control flow: NextPC selects the following instruction; values equal
+	// to the program length halt the SPU.
+	NextPC1, NextPC2 uint8
+	NextPCCond       Cond
+	DecLoop          bool
+
+	// Two ALU operations per instruction; results latch into ALUOut1/2.
+	OpCode1, OpCode2                   OpCode
+	Src1Op1, Src2Op1, Src1Op2, Src2Op2 Reg
+
+	// Walker access: concurrent read and write of the word at each Walker's
+	// one-hot position, plus per-Walker shift conditions.
+	Read, Write [3]bool
+	Shift       [3]ShiftCond
+
+	// Register transfer (async, Fig. 9 step 3).
+	RegSrc Reg
+	RegDst Dst
+
+	// Indirect access (§4.1): IndirectSrc holds the element index; the row
+	// containing it is loaded into Walker IndirectDst (1-based; 0 = none).
+	IndirectSrc Reg
+	IndirectDst uint8
+
+	// Hybrid-partitioning treatment of long-region indexes.
+	LongEntryTreat LongTreat
+
+	// Clean-value support (§4.4).
+	CheckCleanVal bool
+	CleanIndexSrc Reg
+	CleanPairDst  CleanDst
+}
+
+// Validate checks that every field fits its Table 1 bit budget and that
+// register/walker references are in range for a program of length progLen.
+func (in Instruction) Validate(progLen int) error {
+	if progLen > MaxProgram {
+		return fmt.Errorf("fulcrum: program length %d exceeds buffer depth %d", progLen, MaxProgram)
+	}
+	if int(in.NextPC1) > progLen || int(in.NextPC2) > progLen {
+		return fmt.Errorf("fulcrum: NextPC %d/%d beyond program length %d", in.NextPC1, in.NextPC2, progLen)
+	}
+	if in.NextPCCond >= numConds {
+		return fmt.Errorf("fulcrum: condition %d out of range", in.NextPCCond)
+	}
+	if in.OpCode1 >= numOps || in.OpCode2 >= numOps {
+		return fmt.Errorf("fulcrum: opcode out of range: %d/%d", in.OpCode1, in.OpCode2)
+	}
+	for _, r := range []Reg{in.Src1Op1, in.Src2Op1, in.Src1Op2, in.Src2Op2, in.RegSrc, in.IndirectSrc, in.CleanIndexSrc} {
+		if r >= numRegs {
+			return fmt.Errorf("fulcrum: register %d out of range", r)
+		}
+	}
+	if in.RegDst != DstNone && in.RegDst != DstDownPort && in.RegDst >= Dst(numRegs) {
+		return fmt.Errorf("fulcrum: transfer destination %d out of range", in.RegDst)
+	}
+	for w := 0; w < 3; w++ {
+		if in.Shift[w] >= numShiftConds {
+			return fmt.Errorf("fulcrum: walker %d shift condition %d out of range", w+1, in.Shift[w])
+		}
+	}
+	if in.IndirectDst > 3 {
+		return fmt.Errorf("fulcrum: indirect destination walker %d out of range", in.IndirectDst)
+	}
+	return nil
+}
+
+// ValidateProgram checks a whole instruction buffer.
+func ValidateProgram(prog []Instruction) error {
+	if len(prog) == 0 {
+		return fmt.Errorf("fulcrum: empty program")
+	}
+	if len(prog) > MaxProgram {
+		return fmt.Errorf("fulcrum: program length %d exceeds buffer depth %d", len(prog), MaxProgram)
+	}
+	for i, in := range prog {
+		if err := in.Validate(len(prog)); err != nil {
+			return fmt.Errorf("instruction %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,324 @@
+package fulcrum
+
+// This file holds the assembly library of §6 ("We will release our assembly
+// library for the evaluated kernels"): the instruction sequences the logic
+// layer broadcasts to SPUs for each step of SpMSpV, expressed in the Table 1
+// format. The per-element instruction costs exported at the bottom are what
+// the gearbox machine charges; TestKernelCostsMatchInterpreter pins them to
+// the interpreter.
+
+// AccumOps selects the generalized ⊗ (multiply) and ⊕ (accumulate) opcodes.
+type AccumOps struct {
+	Mul, Acc OpCode
+}
+
+// PlusTimesOps is ordinary multiply-accumulate.
+var PlusTimesOps = AccumOps{Mul: OpMul, Acc: OpAdd}
+
+// MinPlusOps is the SSSP algebra (⊗ = add, ⊕ = min).
+var MinPlusOps = AccumOps{Mul: OpAdd, Acc: OpMin}
+
+// BoolOps is the BFS algebra (⊗ = and, ⊕ = or).
+var BoolOps = AccumOps{Mul: OpBoolAnd, Acc: OpBoolOr}
+
+// cleanSrc and cleanDst keep the clean-value fields zero when the check is
+// disabled, so programs have one canonical encoding (the assembler
+// round-trips them).
+func cleanSrc(opt ScatterOptions, src Reg) Reg {
+	if !opt.CheckClean {
+		return 0
+	}
+	return src
+}
+
+func cleanDst(opt ScatterOptions) CleanDst {
+	if !opt.CheckClean {
+		return 0
+	}
+	return opt.CleanDst
+}
+
+// ScatterOptions configures ScatterAccumulate.
+type ScatterOptions struct {
+	// CheckClean enables §4.4 sparse-output maintenance; detected clean
+	// slots go to CleanDst.
+	CheckClean bool
+	CleanDst   CleanDst
+	// LongTreat selects V2 (send down) or V3 (reduce locally) handling.
+	LongTreat LongTreat
+}
+
+// ScatterAccumulate assembles the §4.2 walk-through kernel
+//
+//	C[A[i]] ⊕= B[i]
+//
+// with Walker1 streaming A, Walker2 streaming B and Walker3 doing indirect
+// access into C. The SPU's LoopCounter must hold len(A) and halts the loop.
+//
+//	i0: read W1,W2; shift W1,W2; if loop==0 halt           (entry / post-remote)
+//	i1: Reg1 <- W2Reg; indirect W1Reg -> W3; dec loop; if remote goto i0
+//	i2: ALUOut1 <- Reg1 ⊕ W3Reg  (+ clean check on old W3Reg)
+//	i3: W3Reg <- ALUOut1; write W3; read W1,W2; shift W1,W2; if loop==0 halt else goto i1
+func ScatterAccumulate(ops AccumOps, opt ScatterOptions) []Instruction {
+	halt := uint8(4)
+	return []Instruction{
+		{ // i0
+			Read:       [3]bool{true, true, false},
+			Shift:      [3]ShiftCond{ShiftAlways, ShiftAlways, ShiftNever},
+			RegDst:     DstNone,
+			NextPC1:    1,
+			NextPC2:    halt,
+			NextPCCond: CondLoopZero,
+		},
+		{ // i1
+			RegSrc:         W2Reg,
+			RegDst:         DstReg(Reg1),
+			IndirectSrc:    W1Reg,
+			IndirectDst:    3,
+			LongEntryTreat: opt.LongTreat,
+			DecLoop:        true,
+			NextPC1:        2,
+			NextPC2:        0,
+			NextPCCond:     CondRemote,
+		},
+		{ // i2
+			OpCode1: ops.Acc, Src1Op1: Reg1, Src2Op1: W3Reg,
+			CheckCleanVal: opt.CheckClean,
+			CleanIndexSrc: cleanSrc(opt, W1Reg),
+			CleanPairDst:  cleanDst(opt),
+			RegDst:        DstNone,
+			NextPC1:       3,
+		},
+		{ // i3
+			RegSrc:     ALUOut1,
+			RegDst:     DstReg(W3Reg),
+			Write:      [3]bool{false, false, true},
+			Read:       [3]bool{true, true, false},
+			Shift:      [3]ShiftCond{ShiftAlways, ShiftAlways, ShiftNever},
+			NextPC1:    1,
+			NextPC2:    halt,
+			NextPCCond: CondLoopZero,
+		},
+	}
+}
+
+// ColumnMAC assembles the inner loop of LocalAccumulations (Fig. 11): with
+// Walker1 streaming one activated column's CSC_Pair words
+// (row_index,row_value) and Reg2 pre-loaded with the frontier value f, it
+// performs
+//
+//	Output[row_index] ⊕= row_value ⊗ f
+//
+// dispatching remote and (per LongTreat) long contributions as already
+// multiplied (index, partial) pairs. LoopCounter must hold the column's
+// non-zero count.
+//
+//	i0: read W1 (row_index); shift W1; if loop==0 halt
+//	i1: Reg3 <- W1Reg                       (save the index)
+//	i2: read W1 (row_value); shift W1; dec loop; ALUOut1 <- W1Reg ⊗ Reg2
+//	i3: Reg1 <- ALUOut1; indirect Reg3 -> W3; if remote goto i0
+//	i4: ALUOut1 <- Reg1 ⊕ W3Reg  (+ clean check on old W3Reg)
+//	i5: W3Reg <- ALUOut1; write W3; if loop==0 halt else goto i0
+func ColumnMAC(ops AccumOps, opt ScatterOptions) []Instruction {
+	halt := uint8(6)
+	return []Instruction{
+		{ // i0
+			Read:       [3]bool{true, false, false},
+			Shift:      [3]ShiftCond{ShiftAlways, ShiftNever, ShiftNever},
+			RegDst:     DstNone,
+			NextPC1:    1,
+			NextPC2:    halt,
+			NextPCCond: CondLoopZero,
+		},
+		{ // i1
+			RegSrc:  W1Reg,
+			RegDst:  DstReg(Reg3),
+			NextPC1: 2,
+		},
+		{ // i2
+			Read:    [3]bool{true, false, false},
+			Shift:   [3]ShiftCond{ShiftAlways, ShiftNever, ShiftNever},
+			DecLoop: true,
+			OpCode1: ops.Mul, Src1Op1: W1Reg, Src2Op1: Reg2,
+			RegDst:  DstNone,
+			NextPC1: 3,
+		},
+		{ // i3
+			RegSrc:         ALUOut1,
+			RegDst:         DstReg(Reg1),
+			IndirectSrc:    Reg3,
+			IndirectDst:    3,
+			LongEntryTreat: opt.LongTreat,
+			NextPC1:        4,
+			NextPC2:        0,
+			NextPCCond:     CondRemote,
+		},
+		{ // i4
+			OpCode1: ops.Acc, Src1Op1: Reg1, Src2Op1: W3Reg,
+			CheckCleanVal: opt.CheckClean,
+			CleanIndexSrc: cleanSrc(opt, Reg3),
+			CleanPairDst:  cleanDst(opt),
+			RegDst:        DstNone,
+			NextPC1:       5,
+		},
+		{ // i5
+			RegSrc:     ALUOut1,
+			RegDst:     DstReg(W3Reg),
+			Write:      [3]bool{false, false, true},
+			NextPC1:    0,
+			NextPC2:    halt,
+			NextPCCond: CondLoopZero,
+		},
+	}
+}
+
+// StreamApply assembles the §2.2 Apply step, out[i] = out[i] ⊕ (α ⊗ y[i]),
+// streaming y on Walker1 and out on Walker2 with α in Reg2:
+//
+//	i0: read W1,W2; ALUOut1 <- W1Reg ⊗ Reg2; dec loop; if loop==0 -> i3? (no: guard below)
+//	i1: ALUOut2 <- ALUOut1 ⊕ W2Reg
+//	i2: W2Reg <- ALUOut2; write W2; shift W1,W2; if loop==0 halt else goto i0
+//
+// An initial LoopCounter of zero halts on i0 without touching memory.
+func StreamApply(ops AccumOps) []Instruction {
+	halt := uint8(3)
+	return []Instruction{
+		{ // i0
+			Read:    [3]bool{true, true, false},
+			OpCode1: ops.Mul, Src1Op1: W1Reg, Src2Op1: Reg2,
+			RegDst:     DstNone,
+			NextPC1:    1,
+			NextPC2:    halt,
+			NextPCCond: CondLoopZero,
+		},
+		{ // i1
+			OpCode1: ops.Acc, Src1Op1: ALUOut1, Src2Op1: W2Reg,
+			RegDst:  DstNone,
+			NextPC1: 2,
+		},
+		{ // i2
+			RegSrc:     ALUOut1,
+			RegDst:     DstReg(W2Reg),
+			Write:      [3]bool{false, true, false},
+			Shift:      [3]ShiftCond{ShiftAlways, ShiftAlways, ShiftNever},
+			DecLoop:    true,
+			NextPC1:    0,
+			NextPC2:    halt,
+			NextPCCond: CondLoopZero,
+		},
+	}
+}
+
+// OffsetPacking assembles Step 2 of §5 (Fig. 10): Walker1 streams the
+// frontier's (column,value) pairs, Walker3 performs indirect lookups into
+// the CSC_offsets array (bound as the local shard with FirstLocal=0), and
+// Walker2 appends (offset, length, value) triples to the pack array. Reg2
+// must hold the constant 1; LoopCounter must hold the frontier entry count.
+//
+//	i0: read W1 (column); shift W1; if loop==0 halt
+//	i1: ALUOut1 <- W1Reg + Reg2; indirect W1Reg -> W3       (offsets[c])
+//	i2: Reg3 <- W3Reg; indirect ALUOut1 -> W3               (offsets[c+1])
+//	i3: W2Reg <- Reg3; ALUOut1 <- W3Reg - Reg3; write W2; shift W2
+//	i4: read W1 (value); W2Reg <- ALUOut1; write W2; shift W1,W2; dec loop
+//	i5: W2Reg <- W1Reg; write W2; shift W2; if loop==0 halt else goto i0
+func OffsetPacking() []Instruction {
+	halt := uint8(6)
+	return []Instruction{
+		{ // i0
+			Read:       [3]bool{true, false, false},
+			Shift:      [3]ShiftCond{ShiftAlways, ShiftNever, ShiftNever},
+			RegDst:     DstNone,
+			NextPC1:    1,
+			NextPC2:    halt,
+			NextPCCond: CondLoopZero,
+		},
+		{ // i1
+			OpCode1: OpAdd, Src1Op1: W1Reg, Src2Op1: Reg2,
+			RegDst:      DstNone,
+			IndirectSrc: W1Reg,
+			IndirectDst: 3,
+			NextPC1:     2,
+		},
+		{ // i2
+			RegSrc:      W3Reg,
+			RegDst:      DstReg(Reg3),
+			IndirectSrc: ALUOut1,
+			IndirectDst: 3,
+			NextPC1:     3,
+		},
+		{ // i3
+			RegSrc:  Reg3,
+			RegDst:  DstReg(W2Reg),
+			OpCode1: OpSub, Src1Op1: W3Reg, Src2Op1: Reg3,
+			Write:   [3]bool{false, true, false},
+			Shift:   [3]ShiftCond{ShiftNever, ShiftAlways, ShiftNever},
+			NextPC1: 4,
+		},
+		{ // i4
+			Read:    [3]bool{true, false, false},
+			RegSrc:  ALUOut1,
+			RegDst:  DstReg(W2Reg),
+			Write:   [3]bool{false, true, false},
+			Shift:   [3]ShiftCond{ShiftAlways, ShiftAlways, ShiftNever},
+			DecLoop: true,
+			NextPC1: 5,
+		},
+		{ // i5
+			RegSrc:     W1Reg,
+			RegDst:     DstReg(W2Reg),
+			Write:      [3]bool{false, true, false},
+			Shift:      [3]ShiftCond{ShiftNever, ShiftAlways, ShiftNever},
+			NextPC1:    0,
+			NextPC2:    halt,
+			NextPCCond: CondLoopZero,
+		},
+	}
+}
+
+// StreamReduce folds an array into Reg3 with the ⊕ operation, Walker1
+// streaming the input (the Reduction kernel of the InSituBench suite; also
+// how a Dispatcher combines same-slot replica partials):
+//
+//	i0: read W1; shift W1; dec loop; ALUOut1 <- Reg3 ⊕ W1Reg
+//	i1: Reg3 <- ALUOut1; if loop==0 halt else goto i0
+//
+// Reg3 must be pre-loaded with the ⊕-identity.
+func StreamReduce(acc OpCode) []Instruction {
+	halt := uint8(2)
+	return []Instruction{
+		{ // i0
+			Read:    [3]bool{true, false, false},
+			Shift:   [3]ShiftCond{ShiftAlways, ShiftNever, ShiftNever},
+			DecLoop: true,
+			OpCode1: acc, Src1Op1: Reg3, Src2Op1: W1Reg,
+			RegDst:  DstNone,
+			NextPC1: 1,
+		},
+		{ // i1
+			RegSrc:     ALUOut1,
+			RegDst:     DstReg(Reg3),
+			NextPC1:    0,
+			NextPC2:    halt,
+			NextPCCond: CondLoopZero,
+		},
+	}
+}
+
+// Per-element instruction costs of the kernels above, charged by the gearbox
+// machine's fast path and pinned to the interpreter by
+// TestKernelCostsMatchInterpreter.
+const (
+	// ScatterAccumulate: local element retires i1,i2,i3; remote retires
+	// i1 plus the re-entry i0.
+	ScatterLocalInstrs  = 3
+	ScatterRemoteInstrs = 2
+	// ColumnMAC: local element retires i0..i5; remote retires i0..i3.
+	ColumnMACLocalInstrs  = 6
+	ColumnMACRemoteInstrs = 4
+	// StreamApply retires i0..i2 per word.
+	StreamApplyInstrs = 3
+	// StreamReduce retires i0,i1 per word.
+	StreamReduceInstrs = 2
+	// OffsetPacking retires i0..i5 per frontier entry.
+	OffsetPackingInstrs = 6
+)

@@ -1,0 +1,189 @@
+package fulcrum
+
+import "fmt"
+
+// MiniMachine wires several Compute SPUs and one Dispatcher SPU together
+// entirely through the ISA interpreter: every accumulation, dispatch, buffer
+// append and remote fold executes as Table 1 instructions. It is the
+// "assertion testing" validation layer of §7.1 — the fast gearbox machine
+// and this model must agree with the same reference — and a readable
+// end-to-end demonstration of §4.3's accumulation-dispatching flow.
+//
+// The modeled flow for one C[A[i]] ⊕= B[i] workload:
+//
+//  1. every Compute SPU runs ScatterAccumulate over its (A,B) share; local
+//     accumulations land in its C shard, remote pairs go to its DownPort;
+//  2. the Dispatcher SPU buffers every pair through Walker appends (§4.3:
+//     "the Dispatcher loads the index-value pair in one of its walkers");
+//  3. the Dispatcher forwards each pair to the owner SPU's receive arrays;
+//  4. every Compute SPU runs ScatterAccumulate again over the received
+//     pairs, which are all local now (§5 Step 5).
+type MiniMachine struct {
+	WordsPerRow int
+	Compute     []*SPU
+	Dispatcher  *SPU
+	ops         AccumOps
+
+	// Per-SPU owned index ranges [first, last] and memory layout.
+	first, last []int64
+	shardBase   []int64
+	recvBase    []int64
+	recvCap     int64
+
+	// Counters aggregated across phases.
+	Instructions int64
+	Dispatched   int64
+}
+
+// MiniConfig sizes a MiniMachine.
+type MiniConfig struct {
+	SPUs         int
+	IndexesPer   int64 // owned output indexes per SPU
+	MemWords     int64 // word space per SPU
+	RecvCapPairs int64 // receive reservation per SPU (§6 overflow bound)
+	Ops          AccumOps
+	CleanValue   float32
+}
+
+// NewMiniMachine lays out shards: SPU k owns output indexes
+// [k*IndexesPer, (k+1)*IndexesPer).
+func NewMiniMachine(cfg MiniConfig) (*MiniMachine, error) {
+	if cfg.SPUs < 1 || cfg.IndexesPer < 1 {
+		return nil, fmt.Errorf("fulcrum: bad mini-machine shape %+v", cfg)
+	}
+	if cfg.MemWords < 4*cfg.IndexesPer+4*cfg.RecvCapPairs {
+		return nil, fmt.Errorf("fulcrum: mini-machine memory too small")
+	}
+	m := &MiniMachine{WordsPerRow: 64, ops: cfg.Ops, recvCap: cfg.RecvCapPairs}
+	for k := 0; k < cfg.SPUs; k++ {
+		s := NewSPU(64, cfg.MemWords)
+		s.CleanValue = cfg.CleanValue
+		m.Compute = append(m.Compute, s)
+		m.first = append(m.first, int64(k)*cfg.IndexesPer)
+		m.last = append(m.last, int64(k+1)*cfg.IndexesPer-1)
+		m.shardBase = append(m.shardBase, 0)
+		m.recvBase = append(m.recvBase, cfg.IndexesPer)
+		for i := int64(0); i < cfg.IndexesPer; i++ {
+			s.Mem[i] = cfg.CleanValue
+		}
+	}
+	m.Dispatcher = NewSPU(64, cfg.MemWords)
+	return m, nil
+}
+
+// Owner reports which SPU owns output index idx, or -1.
+func (m *MiniMachine) Owner(idx int64) int {
+	for k := range m.Compute {
+		if idx >= m.first[k] && idx <= m.last[k] {
+			return k
+		}
+	}
+	return -1
+}
+
+// Run executes the §4.3 flow for per-SPU (A,B) workloads: work[k] holds SPU
+// k's index/value pairs, interleaved as (A0,B0,A1,B1,...).
+func (m *MiniMachine) Run(work [][]Pair) error {
+	if len(work) != len(m.Compute) {
+		return fmt.Errorf("fulcrum: %d workloads for %d SPUs", len(work), len(m.Compute))
+	}
+
+	// Phase 1: local accumulation + dispatch (Steps 3 of §5).
+	for k, s := range m.Compute {
+		if err := m.scatter(k, s, work[k], m.shardBase[k]); err != nil {
+			return fmt.Errorf("phase1 spu %d: %w", k, err)
+		}
+	}
+
+	// Phase 2: the Dispatcher buffers every pair via Walker appends.
+	d := m.Dispatcher
+	d.Walkers[0].Bind(0, 0, m.WordsPerRow)
+	var buffered []Pair
+	for _, s := range m.Compute {
+		for _, p := range s.DownPort {
+			if err := d.Walkers[0].Append(d.Mem, float32(p.Index), int64(len(d.Mem))); err != nil {
+				return fmt.Errorf("dispatcher buffer: %w", err)
+			}
+			if err := d.Walkers[0].Append(d.Mem, p.Value, int64(len(d.Mem))); err != nil {
+				return fmt.Errorf("dispatcher buffer: %w", err)
+			}
+			buffered = append(buffered, p)
+			m.Dispatched++
+		}
+		s.DownPort = s.DownPort[:0]
+	}
+
+	// Phase 3: forward to owners' receive arrays (Step 4).
+	recvCount := make([]int64, len(m.Compute))
+	for _, p := range buffered {
+		owner := m.Owner(int64(p.Index))
+		if owner < 0 {
+			return fmt.Errorf("fulcrum: pair index %d has no owner", p.Index)
+		}
+		if recvCount[owner] >= m.recvCap {
+			return fmt.Errorf("fulcrum: SPU %d receive buffer overflow (§6 stall would trigger)", owner)
+		}
+		s := m.Compute[owner]
+		base := m.recvBase[owner] + 2*recvCount[owner]
+		s.Mem[base] = float32(p.Index)
+		s.Mem[base+1] = p.Value
+		recvCount[owner]++
+	}
+
+	// Phase 4: remote accumulations at the owners (Step 5).
+	for k, s := range m.Compute {
+		n := recvCount[k]
+		if n == 0 {
+			continue
+		}
+		pairs := make([]Pair, n)
+		for i := int64(0); i < n; i++ {
+			pairs[i] = Pair{Index: int32(s.Mem[m.recvBase[k]+2*i]), Value: s.Mem[m.recvBase[k]+2*i+1]}
+		}
+		if err := m.scatter(k, s, pairs, m.shardBase[k]); err != nil {
+			return fmt.Errorf("phase4 spu %d: %w", k, err)
+		}
+		if len(s.DownPort) != 0 {
+			return fmt.Errorf("fulcrum: SPU %d re-dispatched during remote accumulation", k)
+		}
+	}
+	return nil
+}
+
+// scatter runs ScatterAccumulate on SPU k over the given pairs, laying A and
+// B out behind the receive region.
+func (m *MiniMachine) scatter(k int, s *SPU, pairs []Pair, shardBase int64) error {
+	n := int64(len(pairs))
+	if n == 0 {
+		return nil
+	}
+	aBase := m.recvBase[k] + 2*m.recvCap
+	bBase := aBase + n
+	for i, p := range pairs {
+		s.Mem[aBase+int64(i)] = float32(p.Index)
+		s.Mem[bBase+int64(i)] = p.Value
+	}
+	s.Walkers[0].Bind(aBase, aBase+n, m.WordsPerRow)
+	s.Walkers[1].Bind(bBase, bBase+n, m.WordsPerRow)
+	s.Walkers[2].Bind(shardBase, shardBase+(m.last[k]-m.first[k]+1), m.WordsPerRow)
+	s.FirstLocal, s.LastLocal, s.LastLong = m.first[k], m.last[k], -1
+	s.Start3Word = shardBase
+	s.LoopCounter = n
+	if err := s.Load(ScatterAccumulate(m.ops, ScatterOptions{})); err != nil {
+		return err
+	}
+	if err := s.Run(100 * (n + 1) * 10); err != nil {
+		return err
+	}
+	m.Instructions += s.Counters.Instructions
+	s.ResetCounters()
+	return nil
+}
+
+// Shard returns SPU k's output values (owned index order).
+func (m *MiniMachine) Shard(k int) []float32 {
+	n := m.last[k] - m.first[k] + 1
+	out := make([]float32, n)
+	copy(out, m.Compute[k].Mem[m.shardBase[k]:m.shardBase[k]+n])
+	return out
+}

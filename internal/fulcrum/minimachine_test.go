@@ -1,0 +1,152 @@
+package fulcrum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func miniConfig(spus int, per int64) MiniConfig {
+	return MiniConfig{
+		SPUs: spus, IndexesPer: per,
+		MemWords: 16384, RecvCapPairs: 512,
+		Ops: PlusTimesOps, CleanValue: 0,
+	}
+}
+
+func TestMiniMachineScatterAcrossSPUs(t *testing.T) {
+	m, err := NewMiniMachine(miniConfig(4, 8)) // indexes 0..31 over 4 SPUs
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each SPU gets work touching both its own and other SPUs' indexes.
+	work := [][]Pair{
+		{{Index: 0, Value: 1}, {Index: 9, Value: 2}, {Index: 31, Value: 3}},
+		{{Index: 8, Value: 4}, {Index: 0, Value: 5}},
+		{{Index: 16, Value: 6}, {Index: 16, Value: 7}, {Index: 8, Value: 8}},
+		{{Index: 24, Value: 9}, {Index: 1, Value: 10}},
+	}
+	if err := m.Run(work); err != nil {
+		t.Fatal(err)
+	}
+	// Reference.
+	ref := make([]float32, 32)
+	for _, w := range work {
+		for _, p := range w {
+			ref[p.Index] += p.Value
+		}
+	}
+	for k := 0; k < 4; k++ {
+		shard := m.Shard(k)
+		for i, v := range shard {
+			if want := ref[k*8+i]; v != want {
+				t.Fatalf("spu %d shard[%d] = %v, want %v", k, i, v, want)
+			}
+		}
+	}
+	// Remote pairs: everything not owned by the producing SPU — 9 and 31
+	// from SPU0, 0 from SPU1, 8 from SPU2, 1 from SPU3.
+	if m.Dispatched != 5 {
+		t.Fatalf("dispatched = %d, want 5", m.Dispatched)
+	}
+	if m.Instructions == 0 {
+		t.Fatal("no interpreter instructions retired")
+	}
+}
+
+func TestMiniMachineMinPlus(t *testing.T) {
+	inf := float32(math.Inf(1))
+	cfg := miniConfig(2, 4)
+	cfg.Ops = MinPlusOps
+	cfg.CleanValue = inf
+	m, err := NewMiniMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := [][]Pair{
+		{{Index: 0, Value: 5}, {Index: 6, Value: 9}},
+		{{Index: 0, Value: 3}, {Index: 6, Value: 11}},
+	}
+	if err := m.Run(work); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Shard(0)[0]; got != 3 {
+		t.Fatalf("min at 0 = %v, want 3", got)
+	}
+	if got := m.Shard(1)[2]; got != 9 {
+		t.Fatalf("min at 6 = %v, want 9", got)
+	}
+}
+
+func TestMiniMachineReceiveOverflow(t *testing.T) {
+	cfg := miniConfig(2, 4)
+	cfg.RecvCapPairs = 1
+	m, err := NewMiniMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two remote pairs to SPU 1: overflows the 1-pair reservation.
+	work := [][]Pair{
+		{{Index: 5, Value: 1}, {Index: 6, Value: 2}},
+		nil,
+	}
+	if err := m.Run(work); err == nil {
+		t.Fatal("receive overflow did not surface")
+	}
+}
+
+func TestMiniMachineRejectsBadShape(t *testing.T) {
+	if _, err := NewMiniMachine(MiniConfig{SPUs: 0, IndexesPer: 4, MemWords: 1024}); err == nil {
+		t.Fatal("0 SPUs accepted")
+	}
+	if _, err := NewMiniMachine(MiniConfig{SPUs: 2, IndexesPer: 100, MemWords: 64, RecvCapPairs: 4}); err == nil {
+		t.Fatal("undersized memory accepted")
+	}
+	m, err := NewMiniMachine(miniConfig(2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(make([][]Pair, 3)); err == nil {
+		t.Fatal("workload/SPU mismatch accepted")
+	}
+}
+
+// TestQuickMiniMachineMatchesReference fuzzes random workloads through the
+// full interpreter pipeline.
+func TestQuickMiniMachineMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spus := 2 + rng.Intn(4)
+		per := int64(4 + rng.Intn(8))
+		m, err := NewMiniMachine(miniConfig(spus, per))
+		if err != nil {
+			return false
+		}
+		total := int64(spus) * per
+		ref := make([]float32, total)
+		work := make([][]Pair, spus)
+		for k := range work {
+			for i := 0; i < rng.Intn(20); i++ {
+				p := Pair{Index: int32(rng.Int63n(total)), Value: float32(rng.Intn(9) + 1)}
+				work[k] = append(work[k], p)
+				ref[p.Index] += p.Value
+			}
+		}
+		if err := m.Run(work); err != nil {
+			return false
+		}
+		for k := 0; k < spus; k++ {
+			shard := m.Shard(k)
+			for i, v := range shard {
+				if ref[int64(k)*per+int64(i)] != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

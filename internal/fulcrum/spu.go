@@ -1,0 +1,295 @@
+package fulcrum
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pair is an (index,value) packet on the line interconnect (§4.3). Clean
+// marks clean-value indicator pairs used for sparse-output maintenance
+// (§4.4): their index is a vector position that just turned non-clean.
+type Pair struct {
+	Index int32
+	Value float32
+	Clean bool
+}
+
+// Counters aggregates the micro-events an SPU run produces; the gearbox
+// machine converts them into time and energy.
+type Counters struct {
+	Instructions int64
+	ALUOps       int64
+	WalkerReads  int64
+	WalkerWrites int64
+	Dispatched   int64 // pairs placed on the DownPort
+	CleanHits    int64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Instructions += other.Instructions
+	c.ALUOps += other.ALUOps
+	c.WalkerReads += other.WalkerReads
+	c.WalkerWrites += other.WalkerWrites
+	c.Dispatched += other.Dispatched
+	c.CleanHits += other.CleanHits
+}
+
+// SPU is the executable model of one subarray-level processing unit with the
+// Gearbox extensions: comparator latches for local/long/remote
+// classification, indirect access, DownPort dispatch, and clean-value checks.
+//
+// Words are float32; index-valued words are exact for indexes below 2^24,
+// which the scaled datasets respect (documented in DESIGN.md).
+type SPU struct {
+	WordsPerRow int
+	Mem         []float32 // the subarray pair's word space
+	Walkers     [3]Walker
+	Regs        [numRegs]float32
+
+	// Index-space latches (Fig. 8c). LastLong = -1 disables the long region;
+	// the local output shard covers [FirstLocal, LastLocal].
+	FirstLocal, LastLocal, LastLong int64
+	// Start3Word is the base word of the indirect-access array bound to
+	// Walker3 (the output shard); LongStartWord is the base of the
+	// replicated long region (GearboxV3).
+	Start3Word, LongStartWord int64
+	// CleanValue is the ⊕-identity the clean check compares against.
+	CleanValue float32
+	// Walker3AppendCap bounds Append growth for CleanToWalker3Append.
+	Walker3AppendCap int64
+
+	LoopCounter int64
+	Prog        []Instruction
+	PC          int
+	Halted      bool
+
+	DownPort []Pair
+
+	remoteFlag, cleanFlag bool
+	Counters              Counters
+}
+
+// NewSPU returns an SPU over a fresh word space of memWords words.
+func NewSPU(wordsPerRow int, memWords int64) *SPU {
+	if wordsPerRow <= 0 || memWords <= 0 {
+		panic(fmt.Sprintf("fulcrum: bad SPU shape %d/%d", wordsPerRow, memWords))
+	}
+	return &SPU{
+		WordsPerRow: wordsPerRow,
+		Mem:         make([]float32, memWords),
+		LastLong:    -1,
+	}
+}
+
+// Load installs a program after validating it and resets the PC.
+func (s *SPU) Load(prog []Instruction) error {
+	if err := ValidateProgram(prog); err != nil {
+		return err
+	}
+	s.Prog = prog
+	s.PC = 0
+	s.Halted = false
+	s.remoteFlag, s.cleanFlag = false, false
+	return nil
+}
+
+// Run executes until the SPU halts or maxSteps instructions retire.
+func (s *SPU) Run(maxSteps int64) error {
+	for !s.Halted {
+		if maxSteps--; maxSteps < 0 {
+			return fmt.Errorf("fulcrum: SPU exceeded step budget (PC=%d, loop=%d)", s.PC, s.LoopCounter)
+		}
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step retires one instruction following the documented micro-order:
+// walker reads; register transfer; indirect access; clean check + ALU;
+// walker writes; shifts; loop decrement; next-PC selection.
+func (s *SPU) Step() error {
+	if s.Halted {
+		return nil
+	}
+	if s.PC < 0 || s.PC >= len(s.Prog) {
+		return fmt.Errorf("fulcrum: PC %d outside program", s.PC)
+	}
+	in := s.Prog[s.PC]
+	s.Counters.Instructions++
+
+	// 1. Walker reads.
+	for w := 0; w < 3; w++ {
+		if in.Read[w] {
+			s.Regs[W1Reg+Reg(w)] = s.Walkers[w].Read(s.Mem)
+			s.Counters.WalkerReads++
+		}
+	}
+
+	// 2. Register transfer.
+	if in.RegDst != DstNone {
+		v := s.Regs[in.RegSrc]
+		if in.RegDst == DstDownPort {
+			s.dispatch(Pair{Index: int32(v), Value: s.Regs[Reg1]})
+		} else {
+			s.Regs[Reg(in.RegDst)] = v
+		}
+	}
+
+	// 3. Indirect access.
+	s.remoteFlag = false
+	if in.IndirectDst != 0 {
+		if err := s.indirect(in); err != nil {
+			return err
+		}
+	}
+
+	// 4. Clean check, then the two ALU operations.
+	s.cleanFlag = false
+	if in.CheckCleanVal {
+		// The accumulate's second source holds the old output word; a clean
+		// old value means this slot just became non-clean (§4.4).
+		if old := s.Regs[in.Src2Op1]; old == s.CleanValue || (isInf(old) && isInf(s.CleanValue)) {
+			s.cleanFlag = true
+			s.Counters.CleanHits++
+			idx := int32(s.Regs[in.CleanIndexSrc])
+			switch in.CleanPairDst {
+			case CleanToDispatcher:
+				s.dispatch(Pair{Index: idx, Value: s.CleanValue, Clean: true})
+			case CleanToWalker3Append:
+				if err := s.Walkers[2].Append(s.Mem, float32(idx), s.Walker3AppendCap); err != nil {
+					return err
+				}
+				s.Counters.WalkerWrites++
+			}
+		}
+	}
+	if in.OpCode1 != OpNop {
+		s.Regs[ALUOut1] = in.OpCode1.Apply(s.Regs[in.Src1Op1], s.Regs[in.Src2Op1])
+		s.Counters.ALUOps++
+	}
+	if in.OpCode2 != OpNop {
+		s.Regs[ALUOut2] = in.OpCode2.Apply(s.Regs[in.Src1Op2], s.Regs[in.Src2Op2])
+		s.Counters.ALUOps++
+	}
+
+	// 5. Walker writes.
+	for w := 0; w < 3; w++ {
+		if in.Write[w] {
+			s.Walkers[w].Write(s.Mem, s.Regs[W1Reg+Reg(w)])
+			s.Counters.WalkerWrites++
+		}
+	}
+
+	// 6. Shifts.
+	for w := 0; w < 3; w++ {
+		if s.shouldShift(in.Shift[w]) {
+			s.Walkers[w].Shift()
+		}
+	}
+
+	// 7. Loop decrement.
+	if in.DecLoop && s.LoopCounter > 0 {
+		s.LoopCounter--
+	}
+
+	// 8. Next PC.
+	next := in.NextPC1
+	if s.condHolds(in.NextPCCond) {
+		next = in.NextPC2
+	}
+	if int(next) >= len(s.Prog) {
+		s.Halted = true
+		return nil
+	}
+	s.PC = int(next)
+	return nil
+}
+
+func (s *SPU) shouldShift(c ShiftCond) bool {
+	switch c {
+	case ShiftNever:
+		return false
+	case ShiftAlways:
+		return true
+	case ShiftIfNotRemote:
+		return !s.remoteFlag
+	case ShiftIfRemote:
+		return s.remoteFlag
+	}
+	return false
+}
+
+func (s *SPU) condHolds(c Cond) bool {
+	switch c {
+	case CondNever:
+		return false
+	case CondAlways:
+		return true
+	case CondRemote:
+		return s.remoteFlag
+	case CondNotRemote:
+		return !s.remoteFlag
+	case CondLoopZero:
+		return s.LoopCounter == 0
+	case CondCleanHit:
+		return s.cleanFlag
+	}
+	return false
+}
+
+// indirect implements the Fig. 9 classification: local shard, replicated
+// long region, or remote dispatch. The dispatched pair's value comes from
+// Reg1, which kernels populate with the (already multiplied) contribution.
+func (s *SPU) indirect(in Instruction) error {
+	idx := int64(s.Regs[in.IndirectSrc])
+	w := &s.Walkers[in.IndirectDst-1]
+	switch {
+	case idx >= s.FirstLocal && idx <= s.LastLocal:
+		word := s.Start3Word + (idx - s.FirstLocal)
+		if err := w.JumpTo(word, int64(len(s.Mem)), s.WordsPerRow); err != nil {
+			return err
+		}
+		s.Regs[W1Reg+Reg(in.IndirectDst-1)] = s.Mem[word]
+		s.Counters.WalkerReads++
+	case idx >= 0 && idx <= s.LastLong:
+		if in.LongEntryTreat == LongSendDown {
+			s.remoteFlag = true
+			s.dispatch(Pair{Index: int32(idx), Value: s.Regs[Reg1]})
+			return nil
+		}
+		word := s.LongStartWord + idx
+		if err := w.JumpTo(word, int64(len(s.Mem)), s.WordsPerRow); err != nil {
+			return err
+		}
+		s.Regs[W1Reg+Reg(in.IndirectDst-1)] = s.Mem[word]
+		s.Counters.WalkerReads++
+	default:
+		s.remoteFlag = true
+		s.dispatch(Pair{Index: int32(idx), Value: s.Regs[Reg1]})
+	}
+	return nil
+}
+
+func (s *SPU) dispatch(p Pair) {
+	s.DownPort = append(s.DownPort, p)
+	s.Counters.Dispatched++
+}
+
+// ResetCounters zeroes the event counters (walker activation counts live on
+// the walkers and are rebound per kernel).
+func (s *SPU) ResetCounters() { s.Counters = Counters{} }
+
+// RandomActivations sums unhidden row activations across walkers.
+func (s *SPU) RandomActivations() int64 {
+	return s.Walkers[0].RandomActivations + s.Walkers[1].RandomActivations + s.Walkers[2].RandomActivations
+}
+
+// SeqActivations sums overlap-hidden row activations across walkers.
+func (s *SPU) SeqActivations() int64 {
+	return s.Walkers[0].SeqActivations + s.Walkers[1].SeqActivations + s.Walkers[2].SeqActivations
+}
+
+func isInf(v float32) bool { return math.IsInf(float64(v), 0) }

@@ -1,0 +1,487 @@
+package fulcrum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// scatterSPU builds an SPU with A, B and C arrays laid out for the §4.2
+// walk-through. C holds localLen words covering indexes
+// [firstLocal, firstLocal+localLen-1].
+func scatterSPU(t *testing.T, a []float32, b []float32, firstLocal, localLen int64) *SPU {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatal("bad fixture")
+	}
+	s := NewSPU(64, 4096)
+	n := int64(len(a))
+	aBase, bBase, cBase := int64(0), n, 2*n
+	copy(s.Mem[aBase:], a)
+	copy(s.Mem[bBase:], b)
+	s.Walkers[0].Bind(aBase, aBase+n, 64)
+	s.Walkers[1].Bind(bBase, bBase+n, 64)
+	s.Walkers[2].Bind(cBase, cBase+localLen, 64)
+	s.FirstLocal, s.LastLocal = firstLocal, firstLocal+localLen-1
+	s.LastLong = -1
+	s.Start3Word = cBase
+	s.LoopCounter = n
+	return s
+}
+
+func TestScatterAccumulateAllLocal(t *testing.T) {
+	// C[A[i]] += B[i] with indexes 10..13 local.
+	a := []float32{10, 12, 10, 13}
+	b := []float32{1, 2, 3, 4}
+	s := scatterSPU(t, a, b, 10, 4)
+	if err := s.Load(ScatterAccumulate(PlusTimesOps, ScatterOptions{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Mem[8 : 8+4] // cBase = 2*4 = 8
+	want := []float32{4, 0, 2, 4}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("C[%d] = %v, want %v (C=%v)", i, c[i], want[i], c)
+		}
+	}
+	if len(s.DownPort) != 0 {
+		t.Fatalf("all-local run dispatched %d pairs", len(s.DownPort))
+	}
+	// 3 instructions per local element + 1 entry (i0).
+	if want := int64(3*4 + 1); s.Counters.Instructions != want {
+		t.Fatalf("instructions = %d, want %d", s.Counters.Instructions, want)
+	}
+}
+
+func TestScatterAccumulateDispatchesRemotes(t *testing.T) {
+	// Indexes 10,11 local; 50, 99 remote.
+	a := []float32{10, 50, 11, 99}
+	b := []float32{1, 2, 3, 4}
+	s := scatterSPU(t, a, b, 10, 2)
+	if err := s.Load(ScatterAccumulate(PlusTimesOps, ScatterOptions{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.DownPort) != 2 {
+		t.Fatalf("dispatched %d pairs, want 2", len(s.DownPort))
+	}
+	if p := s.DownPort[0]; p.Index != 50 || p.Value != 2 || p.Clean {
+		t.Fatalf("pair 0 = %+v", p)
+	}
+	if p := s.DownPort[1]; p.Index != 99 || p.Value != 4 {
+		t.Fatalf("pair 1 = %+v", p)
+	}
+	c := s.Mem[8:10]
+	if c[0] != 1 || c[1] != 3 {
+		t.Fatalf("C = %v", c)
+	}
+	// 3 per local + 2 per remote + 1 entry... the final remote path re-enters
+	// i0 once more, already counted in the remote cost.
+	if want := int64(3*2 + 2*2 + 1); s.Counters.Instructions != want {
+		t.Fatalf("instructions = %d, want %d", s.Counters.Instructions, want)
+	}
+}
+
+func TestScatterAccumulateMinPlus(t *testing.T) {
+	inf := float32(math.Inf(1))
+	a := []float32{10, 10, 11}
+	b := []float32{5, 3, 7}
+	s := scatterSPU(t, a, b, 10, 2)
+	s.Mem[6], s.Mem[7] = inf, inf // C initialized to the min-plus clean value
+	s.CleanValue = inf
+	if err := s.Load(ScatterAccumulate(MinPlusOps, ScatterOptions{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Mem[6:8]
+	if c[0] != 3 || c[1] != 7 {
+		t.Fatalf("C = %v, want [3 7]", c)
+	}
+}
+
+func TestScatterAccumulateCleanTracking(t *testing.T) {
+	a := []float32{10, 10, 11}
+	b := []float32{5, 3, 7}
+	s := scatterSPU(t, a, b, 10, 2)
+	if err := s.Load(ScatterAccumulate(PlusTimesOps, ScatterOptions{
+		CheckClean: true, CleanDst: CleanToDispatcher,
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	// Index 10 turns non-clean once (second accumulate hits 5, not clean);
+	// index 11 turns non-clean once.
+	var clean []Pair
+	for _, p := range s.DownPort {
+		if p.Clean {
+			clean = append(clean, p)
+		}
+	}
+	if len(clean) != 2 {
+		t.Fatalf("clean pairs = %+v, want 2", clean)
+	}
+	if clean[0].Index != 10 || clean[1].Index != 11 {
+		t.Fatalf("clean indexes = %d,%d", clean[0].Index, clean[1].Index)
+	}
+	if s.Counters.CleanHits != 2 {
+		t.Fatalf("clean hits = %d", s.Counters.CleanHits)
+	}
+}
+
+func TestScatterAccumulateLongRegion(t *testing.T) {
+	// Long region covers indexes 0..3, replicated at LongStartWord.
+	a := []float32{2, 10, 2}
+	b := []float32{4, 5, 6}
+	s := scatterSPU(t, a, b, 10, 2)
+	s.LastLong = 3
+	s.LongStartWord = 100
+
+	t.Run("V3 reduces locally", func(t *testing.T) {
+		if err := s.Load(ScatterAccumulate(PlusTimesOps, ScatterOptions{LongTreat: LongLocalReduce})); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(1000); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Mem[102]; got != 10 {
+			t.Fatalf("replicated long slot = %v, want 10", got)
+		}
+		if len(s.DownPort) != 0 {
+			t.Fatalf("V3 dispatched %d pairs", len(s.DownPort))
+		}
+	})
+
+	t.Run("V2 sends down", func(t *testing.T) {
+		s2 := scatterSPU(t, a, b, 10, 2)
+		s2.LastLong = 3
+		s2.LongStartWord = 100
+		if err := s2.Load(ScatterAccumulate(PlusTimesOps, ScatterOptions{LongTreat: LongSendDown})); err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.Run(1000); err != nil {
+			t.Fatal(err)
+		}
+		if len(s2.DownPort) != 2 {
+			t.Fatalf("V2 dispatched %d pairs, want 2", len(s2.DownPort))
+		}
+		for _, p := range s2.DownPort {
+			if p.Index != 2 {
+				t.Fatalf("long pair index = %d, want 2", p.Index)
+			}
+		}
+	})
+}
+
+func TestScatterAccumulateEmptyInput(t *testing.T) {
+	s := scatterSPU(t, nil, nil, 10, 2)
+	if err := s.Load(ScatterAccumulate(PlusTimesOps, ScatterOptions{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters.Instructions != 1 {
+		t.Fatalf("instructions = %d, want 1 (i0 halts)", s.Counters.Instructions)
+	}
+}
+
+func TestRunStepBudget(t *testing.T) {
+	// An infinite loop must hit the budget, not hang.
+	s := NewSPU(64, 128)
+	prog := []Instruction{{NextPC1: 0}}
+	if err := s.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(100); err == nil {
+		t.Fatal("runaway program did not error")
+	}
+}
+
+func TestLoadRejectsInvalidPrograms(t *testing.T) {
+	s := NewSPU(64, 128)
+	if err := s.Load(nil); err == nil {
+		t.Fatal("empty program accepted")
+	}
+	tooLong := make([]Instruction, 9)
+	if err := s.Load(tooLong); err == nil {
+		t.Fatal("9-instruction program accepted (buffer holds 8)")
+	}
+	bad := []Instruction{{NextPC1: 9}}
+	if err := s.Load(bad); err == nil {
+		t.Fatal("out-of-range NextPC accepted")
+	}
+}
+
+func TestColumnMAC(t *testing.T) {
+	// One activated column with entries (row,val): (10,2),(50,3),(11,4);
+	// frontier value f=5. Local rows 10..11.
+	s := NewSPU(64, 4096)
+	col := []float32{10, 2, 50, 3, 11, 4}
+	copy(s.Mem, col)
+	s.Walkers[0].Bind(0, int64(len(col)), 64)
+	cBase := int64(512)
+	s.Walkers[2].Bind(cBase, cBase+2, 64)
+	s.FirstLocal, s.LastLocal, s.LastLong = 10, 11, -1
+	s.Start3Word = cBase
+	s.Regs[Reg2] = 5 // f value
+	s.LoopCounter = 3
+	if err := s.Load(ColumnMAC(PlusTimesOps, ScatterOptions{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if s.Mem[cBase] != 10 || s.Mem[cBase+1] != 20 {
+		t.Fatalf("C = %v, want [10 20]", s.Mem[cBase:cBase+2])
+	}
+	if len(s.DownPort) != 1 {
+		t.Fatalf("dispatched %d, want 1", len(s.DownPort))
+	}
+	// The dispatched value must be the multiplied contribution 3*5.
+	if p := s.DownPort[0]; p.Index != 50 || p.Value != 15 {
+		t.Fatalf("pair = %+v, want (50,15)", p)
+	}
+	// 6 per local, 4 per remote; final remote may add one i0 re-entry.
+	got := s.Counters.Instructions
+	if got < 6*2+4*1 || got > 6*2+4*1+1 {
+		t.Fatalf("instructions = %d, want ~%d", got, 6*2+4*1)
+	}
+}
+
+func TestStreamApply(t *testing.T) {
+	s := NewSPU(64, 1024)
+	y := []float32{1, 2, 3, 4}
+	out := []float32{10, 20, 30, 40}
+	copy(s.Mem[0:], y)
+	copy(s.Mem[100:], out)
+	s.Walkers[0].Bind(0, 4, 64)
+	s.Walkers[1].Bind(100, 104, 64)
+	s.Regs[Reg2] = 2 // alpha
+	s.LoopCounter = 4
+	if err := s.Load(StreamApply(PlusTimesOps)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{12, 24, 36, 48}
+	for i := range want {
+		if s.Mem[100+i] != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, s.Mem[100+i], want[i])
+		}
+	}
+	if want := int64(3 * 4); s.Counters.Instructions != want {
+		t.Fatalf("instructions = %d, want %d", s.Counters.Instructions, want)
+	}
+}
+
+// TestKernelCostsMatchInterpreter pins the exported per-element cost
+// constants to interpreter behaviour across random mixes of local and remote
+// elements; the gearbox machine's fast path depends on these.
+func TestKernelCostsMatchInterpreter(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		a := make([]float32, n)
+		b := make([]float32, n)
+		locals, remotes := 0, 0
+		for i := range a {
+			if rng.Intn(2) == 0 {
+				a[i] = float32(10 + rng.Intn(4)) // local (shard covers 10..13)
+				locals++
+			} else {
+				a[i] = float32(100 + rng.Intn(50)) // remote
+				remotes++
+			}
+			b[i] = float32(rng.Intn(5))
+		}
+		s := NewSPU(64, 8192)
+		copy(s.Mem[0:], a)
+		copy(s.Mem[int64(n):], b)
+		s.Walkers[0].Bind(0, int64(n), 64)
+		s.Walkers[1].Bind(int64(n), 2*int64(n), 64)
+		s.Walkers[2].Bind(4096, 4100, 64)
+		s.FirstLocal, s.LastLocal, s.LastLong = 10, 13, -1
+		s.Start3Word = 4096
+		s.LoopCounter = int64(n)
+		if err := s.Load(ScatterAccumulate(PlusTimesOps, ScatterOptions{})); err != nil {
+			return false
+		}
+		if err := s.Run(100000); err != nil {
+			return false
+		}
+		got := s.Counters.Instructions
+		want := int64(ScatterLocalInstrs*locals + ScatterRemoteInstrs*remotes + 1)
+		if got != want {
+			t.Logf("seed %d: got %d instructions, want %d (L=%d R=%d)", seed, got, want, locals, remotes)
+			return false
+		}
+		return s.Counters.Dispatched == int64(remotes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScatterMatchesReference is the functional cross-validation: the
+// interpreter must agree with a plain Go scatter-accumulate.
+func TestQuickScatterMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40)
+		localLen := int64(1 + rng.Intn(8))
+		first := int64(10)
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := range a {
+			a[i] = float32(rng.Intn(30)) // mix of local, remote and (disabled) long
+			b[i] = float32(rng.Intn(7))
+		}
+		s := NewSPU(64, 8192)
+		copy(s.Mem[0:], a)
+		copy(s.Mem[int64(n):], b)
+		s.Walkers[0].Bind(0, int64(n), 64)
+		s.Walkers[1].Bind(int64(n), 2*int64(n), 64)
+		cBase := int64(4096)
+		s.Walkers[2].Bind(cBase, cBase+localLen, 64)
+		s.FirstLocal, s.LastLocal, s.LastLong = first, first+localLen-1, -1
+		s.Start3Word = cBase
+		s.LoopCounter = int64(n)
+		if err := s.Load(ScatterAccumulate(PlusTimesOps, ScatterOptions{})); err != nil {
+			return false
+		}
+		if err := s.Run(100000); err != nil {
+			return false
+		}
+		// Reference.
+		ref := make([]float32, localLen)
+		var refRemote []Pair
+		for i := range a {
+			idx := int64(a[i])
+			if idx >= first && idx <= first+localLen-1 {
+				ref[idx-first] += b[i]
+			} else {
+				refRemote = append(refRemote, Pair{Index: int32(idx), Value: b[i]})
+			}
+		}
+		for i := range ref {
+			if s.Mem[cBase+int64(i)] != ref[i] {
+				return false
+			}
+		}
+		if len(refRemote) != len(s.DownPort) {
+			return false
+		}
+		for i := range refRemote {
+			if refRemote[i] != s.DownPort[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamReduce(t *testing.T) {
+	s := NewSPU(64, 1024)
+	x := []float32{3, 1, 4, 1, 5, 9, 2, 6}
+	copy(s.Mem, x)
+	s.Walkers[0].Bind(0, int64(len(x)), 64)
+	s.Regs[Reg3] = 0 // plus identity
+	s.LoopCounter = int64(len(x))
+	if err := s.Load(StreamReduce(OpAdd)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Regs[Reg3]; got != 31 {
+		t.Fatalf("sum = %v, want 31", got)
+	}
+	if want := int64(StreamReduceInstrs * len(x)); s.Counters.Instructions != want {
+		t.Fatalf("instructions = %d, want %d", s.Counters.Instructions, want)
+	}
+}
+
+func TestStreamReduceMin(t *testing.T) {
+	s := NewSPU(64, 1024)
+	x := []float32{7, 3, 9, 5}
+	copy(s.Mem, x)
+	s.Walkers[0].Bind(0, int64(len(x)), 64)
+	s.Regs[Reg3] = float32(math.Inf(1))
+	s.LoopCounter = int64(len(x))
+	if err := s.Load(StreamReduce(OpMin)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Regs[Reg3]; got != 3 {
+		t.Fatalf("min = %v, want 3", got)
+	}
+}
+
+func TestCleanAppendOverflowSurfacesStall(t *testing.T) {
+	// The §6 corner case: appending clean indexes past the reserved space
+	// must surface as an error (the signal the logic layer uses to drain).
+	a := []float32{10, 11}
+	b := []float32{1, 2}
+	s := scatterSPU(t, a, b, 10, 2)
+	s.Walker3AppendCap = s.Walkers[2].EndWord // no headroom at all
+	if err := s.Load(ScatterAccumulate(PlusTimesOps, ScatterOptions{
+		CheckClean: true, CleanDst: CleanToWalker3Append,
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(1000); err == nil {
+		t.Fatal("overflowing clean append did not error")
+	}
+}
+
+func TestOffsetPackingMatchesFig10(t *testing.T) {
+	// CSC_offsets of the Fig. 4 matrix and a two-entry frontier
+	// {(1,v=9),(3,v=7)}; Fig. 10 packs (offset, length, value) triples.
+	s := NewSPU(64, 4096)
+	offsets := []float32{0, 2, 4, 4, 7, 8, 10}
+	offBase := int64(256)
+	copy(s.Mem[offBase:], offsets)
+	frontier := []float32{1, 9, 3, 7}
+	copy(s.Mem[0:], frontier)
+	packBase := int64(512)
+
+	s.Walkers[0].Bind(0, int64(len(frontier)), 64)
+	s.Walkers[1].Bind(packBase, packBase, 64) // empty: grows by writes+shift
+	// Bind pack span: writes use the one-hot position, so give it room.
+	s.Walkers[1].Bind(packBase, packBase+6, 64)
+	s.FirstLocal, s.LastLocal, s.LastLong = 0, int64(len(offsets))-1, -1
+	s.Start3Word = offBase
+	s.Regs[Reg2] = 1
+	s.LoopCounter = 2
+	if err := s.Load(OffsetPacking()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{2, 2, 9, 4, 3, 7} // (off=2,len=2,v=9), (off=4,len=3,v=7)
+	for i, w := range want {
+		if got := s.Mem[packBase+int64(i)]; got != w {
+			t.Fatalf("pack[%d] = %v, want %v (pack=%v)", i, got, w, s.Mem[packBase:packBase+6])
+		}
+	}
+	if wantN := int64(OffsetPackingInstrs * 2); s.Counters.Instructions != wantN {
+		t.Fatalf("instructions = %d, want %d", s.Counters.Instructions, wantN)
+	}
+}

@@ -1,0 +1,144 @@
+package fulcrum
+
+import "fmt"
+
+// Walker is one of the three row-wide buffers of an SPU (§4.1). It streams a
+// word-array stored in the subarray pair: Start/End latches bound the array
+// in row units, the one-hot position selects the current word, and Shift
+// advances it, loading the next row when the position wraps.
+//
+// The walker operates directly on the SPU's word memory (the row buffer
+// aliases the open row); row activations are counted, not copied.
+type Walker struct {
+	// StartWord/EndWord are absolute word addresses of the bound array
+	// (derived from the Start/End row latches of Fig. 8c).
+	StartWord, EndWord int64
+
+	wordsPerRow int
+	pos         int64 // absolute word index of the one-hot position
+	curRow      int64 // currently open row (-1: none)
+	abs         bool  // position set by an indirect jump, outside the bound stream
+
+	// Activations counts row loads; Sequential ones are overlap-hidden by
+	// the sub-clock (§4.1), Random ones (indirect jumps) stall the SPU.
+	SeqActivations    int64
+	RandomActivations int64
+	// FullSignal is raised when the position reaches the row just before
+	// End, the §6 buffer-almost-full handshake.
+	FullSignal bool
+}
+
+// Bind points the walker at a word array and opens its first row.
+func (w *Walker) Bind(startWord, endWord int64, wordsPerRow int) {
+	if startWord < 0 || endWord < startWord || wordsPerRow <= 0 {
+		panic(fmt.Sprintf("fulcrum: bad walker binding [%d,%d) x%d", startWord, endWord, wordsPerRow))
+	}
+	w.StartWord, w.EndWord = startWord, endWord
+	w.wordsPerRow = wordsPerRow
+	w.pos = startWord
+	w.curRow = -1
+	w.abs = false
+	w.SeqActivations, w.RandomActivations = 0, 0
+	w.FullSignal = false
+	if startWord < endWord {
+		w.openRow(startWord/int64(wordsPerRow), false)
+	}
+}
+
+// Pos reports the absolute word address of the one-hot position.
+func (w *Walker) Pos() int64 { return w.pos }
+
+// AtEnd reports whether the position has consumed the whole array.
+func (w *Walker) AtEnd() bool { return w.pos >= w.EndWord }
+
+// Read returns the word at the one-hot position. When streaming, reads past
+// End are clamped to 0 so end-of-loop garbage is inert (see the kernels in
+// kernels.go); after an indirect jump the position is absolute and always
+// valid.
+func (w *Walker) Read(mem []float32) float32 {
+	if !w.abs && w.AtEnd() {
+		return 0
+	}
+	return mem[w.pos]
+}
+
+// Write stores the word at the one-hot position; streaming writes past End
+// are dropped.
+func (w *Walker) Write(mem []float32, v float32) {
+	if !w.abs && w.AtEnd() {
+		return
+	}
+	mem[w.pos] = v
+}
+
+// Shift advances the one-hot position one word, opening the next row when it
+// crosses a row boundary. Shifting past End clamps. Shifting leaves absolute
+// mode and resumes streaming.
+func (w *Walker) Shift() {
+	w.abs = false
+	if w.AtEnd() {
+		return
+	}
+	w.pos++
+	if w.AtEnd() {
+		return
+	}
+	if w.pos%int64(w.wordsPerRow) == 0 {
+		w.openRow(w.pos/int64(w.wordsPerRow), false)
+	}
+}
+
+// JumpTo performs the indirect repositioning of §4.1: the controller derives
+// the row and column from an element index and loads that row. The target may
+// lie outside the walker's bound stream (the local output shard and the
+// replicated long region are separate arrays), so bounds are checked against
+// the whole subarray space. Random jumps charge a non-hidden row activation
+// when they change rows.
+func (w *Walker) JumpTo(word, memWords int64, wordsPerRow int) error {
+	if word < 0 || word >= memWords {
+		return fmt.Errorf("fulcrum: indirect jump to %d outside subarray of %d words", word, memWords)
+	}
+	if w.wordsPerRow == 0 {
+		w.wordsPerRow = wordsPerRow
+	}
+	w.pos = word
+	w.abs = true
+	w.openRow(word/int64(w.wordsPerRow), true)
+	return nil
+}
+
+// Append writes v at End and extends the array by one word, the mechanism
+// behind CleanToWalker3Append and the Dispatcher's receive buffer. The caller
+// guarantees capacity; overflow is the §6 stall condition, reported by err.
+func (w *Walker) Append(mem []float32, v float32, capWord int64) error {
+	if w.EndWord >= capWord {
+		return fmt.Errorf("fulcrum: append beyond reserved space at word %d", w.EndWord)
+	}
+	mem[w.EndWord] = v
+	if row := w.EndWord / int64(w.wordsPerRow); row != w.curRow {
+		w.openRow(row, false)
+	}
+	w.EndWord++
+	// §6: raise the almost-full signal when the append position reaches the
+	// row one before the reservation's End latch, so the logic layer can
+	// stall the senders and drain the buffer.
+	if !w.FullSignal && capWord-w.EndWord <= int64(w.wordsPerRow) {
+		w.FullSignal = true
+	}
+	return nil
+}
+
+func (w *Walker) openRow(row int64, random bool) {
+	if row == w.curRow {
+		return
+	}
+	w.curRow = row
+	if random {
+		w.RandomActivations++
+	} else {
+		w.SeqActivations++
+	}
+}
+
+// Activations reports total row loads.
+func (w *Walker) Activations() int64 { return w.SeqActivations + w.RandomActivations }

@@ -1,0 +1,163 @@
+package fulcrum
+
+import "testing"
+
+func TestWalkerStreamsAndCountsActivations(t *testing.T) {
+	mem := make([]float32, 256)
+	for i := range mem {
+		mem[i] = float32(i)
+	}
+	var w Walker
+	w.Bind(0, 130, 64)
+	if w.SeqActivations != 1 {
+		t.Fatalf("bind activations = %d, want 1", w.SeqActivations)
+	}
+	for i := 0; i < 130; i++ {
+		if got := w.Read(mem); got != float32(i) {
+			t.Fatalf("read %d = %v", i, got)
+		}
+		w.Shift()
+	}
+	// Rows 0,1,2 opened: 3 sequential activations, 0 random.
+	if w.SeqActivations != 3 || w.RandomActivations != 0 {
+		t.Fatalf("activations = %d/%d, want 3/0", w.SeqActivations, w.RandomActivations)
+	}
+	if !w.AtEnd() {
+		t.Fatal("walker not at end after consuming the array")
+	}
+}
+
+func TestWalkerClampsPastEnd(t *testing.T) {
+	mem := []float32{7, 8, 9, 10}
+	var w Walker
+	w.Bind(0, 2, 4)
+	w.Shift()
+	w.Shift() // now past end
+	if got := w.Read(mem); got != 0 {
+		t.Fatalf("past-end read = %v, want 0", got)
+	}
+	w.Write(mem, 99)
+	if mem[2] != 9 {
+		t.Fatal("past-end write landed")
+	}
+	w.Shift() // must not advance further
+	if w.Pos() != 2 {
+		t.Fatalf("pos = %d, want clamp at 2", w.Pos())
+	}
+}
+
+func TestWalkerJumpToCountsRandomActivations(t *testing.T) {
+	mem := make([]float32, 1024)
+	var w Walker
+	w.Bind(0, 64, 64)
+	if err := w.JumpTo(512, int64(len(mem)), 64); err != nil { // row 8
+		t.Fatal(err)
+	}
+	if w.RandomActivations != 1 {
+		t.Fatalf("random activations = %d, want 1", w.RandomActivations)
+	}
+	// Jump within the same row: no new activation.
+	if err := w.JumpTo(513, int64(len(mem)), 64); err != nil {
+		t.Fatal(err)
+	}
+	if w.RandomActivations != 1 {
+		t.Fatalf("same-row jump charged an activation: %d", w.RandomActivations)
+	}
+	mem[513] = 42
+	if got := w.Read(mem); got != 42 {
+		t.Fatalf("read after jump = %v, want 42 (absolute mode must bypass End clamp)", got)
+	}
+	w.Write(mem, 43)
+	if mem[513] != 43 {
+		t.Fatal("absolute-mode write dropped")
+	}
+}
+
+func TestWalkerJumpToRejectsOutOfMemory(t *testing.T) {
+	var w Walker
+	w.Bind(0, 4, 64)
+	if err := w.JumpTo(4096, 1024, 64); err == nil {
+		t.Fatal("out-of-memory jump accepted")
+	}
+	if err := w.JumpTo(-1, 1024, 64); err == nil {
+		t.Fatal("negative jump accepted")
+	}
+}
+
+func TestWalkerAppendExtendsArray(t *testing.T) {
+	mem := make([]float32, 256)
+	var w Walker
+	w.Bind(0, 0, 64)
+	for i := 0; i < 70; i++ {
+		if err := w.Append(mem, float32(i), 128); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.EndWord != 70 {
+		t.Fatalf("EndWord = %d, want 70", w.EndWord)
+	}
+	if mem[69] != 69 {
+		t.Fatalf("appended value = %v", mem[69])
+	}
+	// Appending filled rows 0 and 1 beyond the initial bind.
+	if w.Activations() < 2 {
+		t.Fatalf("activations = %d, want >= 2", w.Activations())
+	}
+}
+
+func TestWalkerAppendOverflow(t *testing.T) {
+	mem := make([]float32, 256)
+	var w Walker
+	w.Bind(0, 0, 64)
+	if err := w.Append(mem, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(mem, 2, 1); err == nil {
+		t.Fatal("overflowing append accepted (the §6 stall condition must surface)")
+	}
+}
+
+func TestWalkerFullSignal(t *testing.T) {
+	mem := make([]float32, 256)
+	var w Walker
+	w.Bind(0, 0, 64)
+	// The reserved space is 128 words; the signal fires when the append
+	// position comes within one row (64 words) of the reservation end.
+	for i := 0; i < 64; i++ {
+		if err := w.Append(mem, 1, 128); err != nil {
+			t.Fatal(err)
+		}
+		if i < 63 && w.FullSignal {
+			t.Fatalf("full signal raised too early at append %d", i)
+		}
+	}
+	if !w.FullSignal {
+		t.Fatal("full signal not raised within one row of the reservation end")
+	}
+}
+
+func TestWalkerBindPanicsOnBadSpan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad bind did not panic")
+		}
+	}()
+	var w Walker
+	w.Bind(10, 5, 64)
+}
+
+func TestWalkerShiftLeavesAbsoluteMode(t *testing.T) {
+	mem := make([]float32, 256)
+	mem[1] = 11
+	var w Walker
+	w.Bind(0, 2, 64)
+	if err := w.JumpTo(200, 256, 64); err != nil {
+		t.Fatal(err)
+	}
+	w.Shift()
+	// Back to streaming: position was 200, shifted to 201, but stream span
+	// [0,2) means AtEnd clamps reads to 0.
+	if got := w.Read(mem); got != 0 {
+		t.Fatalf("read after leaving abs mode = %v, want clamped 0", got)
+	}
+}

@@ -1,0 +1,403 @@
+// Package gearbox is the core of the reproduction: the event-accurate
+// simulator of the Gearbox accelerator. A Machine takes a partition.Plan, a
+// semiring, and the Table 2 geometry/timing, then executes generalized
+// SpMSpV iterations through the six steps of §5 — FrontierDistribution,
+// OffsetPacking, LocalAccumulations, Dispatching, RemoteAccumulations,
+// Applying — functionally computing the result while charging every
+// micro-event (SPU instruction slots, row activations, interconnect hops,
+// TSV crossings, logic-layer operations) at the costs pinned to the
+// fulcrum-package interpreter.
+package gearbox
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gearbox/internal/fulcrum"
+	"gearbox/internal/interconnect"
+	"gearbox/internal/mem"
+	"gearbox/internal/partition"
+	"gearbox/internal/semiring"
+	"gearbox/internal/sim"
+)
+
+// FrontierEntry is one non-zero of the sparse input vector, in the plan's
+// relabeled index space.
+type FrontierEntry struct {
+	Index int32
+	Value float32
+}
+
+// Frontier is the sparse input vector partitioned by residence: Local[k]
+// holds the entries whose columns SPU k owns; Long holds entries that
+// activate long columns and live in the logic layer (§3.2).
+type Frontier struct {
+	Local [][]FrontierEntry
+	Long  []FrontierEntry
+}
+
+// NNZ reports the frontier's total entry count.
+func (f *Frontier) NNZ() int {
+	n := len(f.Long)
+	for _, l := range f.Local {
+		n += len(l)
+	}
+	return n
+}
+
+// Entries flattens the frontier into a sorted entry list (for tests and for
+// handing results back to applications).
+func (f *Frontier) Entries() []FrontierEntry {
+	out := append([]FrontierEntry(nil), f.Long...)
+	for _, l := range f.Local {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Config carries machine-level knobs beyond geometry and timing.
+type Config struct {
+	Geo mem.Geometry
+	Tim mem.Timing
+	// DispatchBufferPairs is the per-bank Dispatcher receive reservation in
+	// (index,value) pairs; overflowing it triggers the §6 stall protocol.
+	DispatchBufferPairs int
+	// DisableOverlap turns off the §4.1 row-activation/processing overlap
+	// (ablation: every random activation stalls the full row cycle).
+	DisableOverlap bool
+	// ModelRefresh charges the DRAM refresh tax: subarrays are unavailable
+	// for TRFC out of every TREFI, stretching SPU busy time.
+	ModelRefresh bool
+	TREFINs      float64 // refresh interval; default 3900 ns (fine-grained)
+	TRFCNs       float64 // refresh latency; default 350 ns
+	// BitErrorRate injects deterministic single-bit mantissa flips into
+	// accumulated contributions at the given per-accumulation probability
+	// (§9: graph processing tolerates DRAM-class error rates). Zero
+	// disables injection.
+	BitErrorRate float64
+	ErrorSeed    uint64
+}
+
+// DefaultConfig returns the Table 2 machine: default geometry/timing and a
+// dispatcher buffer of one subarray row-pair region (1024 pairs).
+func DefaultConfig() Config {
+	return Config{
+		Geo: mem.DefaultGeometry(), Tim: mem.DefaultTiming(),
+		DispatchBufferPairs: 1024,
+		TREFINs:             3900, TRFCNs: 350,
+	}
+}
+
+// Machine simulates one Gearbox stack running one partitioned matrix.
+type Machine struct {
+	plan *partition.Plan
+	sem  semiring.Semiring
+	cfg  Config
+	net  *interconnect.Network
+	eng  *sim.Engine
+
+	clean  float32
+	output []float32 // dense output vector, relabeled index space
+
+	// Per-SPU replicated long-output regions (GearboxV3, Fig. 7b).
+	replicas [][]float32
+	// Logic-layer accumulator for long outputs (V2 sends, V3 reduction) and
+	// the list of slots that turned non-clean this iteration.
+	logicAcc   []float32
+	logicDirty []int32
+
+	// Error-injection stream state (splitmix64) and count.
+	errState uint64
+	errCount uint64
+
+	// Scratch reused across iterations.
+	busy      []float64
+	lastRow   []int64
+	dirty     [][]int32 // newly non-clean short indexes per SPU
+	dirtyLong [][]int32 // newly non-clean replica slots per SPU (V3)
+	recvPairs [][]routedPair
+
+	instrCosts costs
+}
+
+type routedPair struct {
+	srcSPU int32
+	idx    int32
+	val    float32
+	clean  bool
+}
+
+// costs bundles the per-entry instruction counts pinned to the fulcrum
+// interpreter kernels.
+type costs struct {
+	packInstrs       int64 // Step 2, per frontier entry (Fig. 10)
+	macLocal         int64 // Step 3, local accumulation (ColumnMAC)
+	macRemote        int64 // Step 3, dispatched contribution
+	dispatchPerRow   int64 // Steps 3-4, dispatcher SPU work per buffered row of pairs
+	scatterLocal     int64 // Step 5, per received pair (ScatterAccumulate)
+	cleanAppend      int64 // Step 5, appending a clean index
+	frontierEmit     int64 // Step 6, per dirty slot (read+emit+reset)
+	applyPerWord     int64 // Step 6, streaming apply (StreamApply)
+	logicOpNsPerPair float64
+}
+
+func defaultCosts(t mem.Timing) costs {
+	return costs{
+		packInstrs: fulcrum.OffsetPackingInstrs,
+		macLocal:   fulcrum.ColumnMACLocalInstrs,
+		macRemote:  fulcrum.ColumnMACRemoteInstrs,
+		// The Dispatcher's switch routes packets at the interconnect clock
+		// (charged by the network model); the Dispatcher SPU only loads and
+		// drains its Walker buffer one row (WordsPerRow/2 pairs) at a time.
+		dispatchPerRow: 2,
+		scatterLocal:   fulcrum.ScatterLocalInstrs,
+		cleanAppend:    2,
+		frontierEmit:   4,
+		applyPerWord:   fulcrum.StreamApplyInstrs,
+		// One logic-layer accumulation is a read-modify-write by the
+		// vault's in-order core against its 32 KB scratchpad: two SRAM
+		// accesses plus a few core cycles.
+		logicOpNsPerPair: 6 * t.LogicSRAMNs,
+	}
+}
+
+// New builds a machine for a plan. The semiring's Zero is the clean value.
+func New(plan *partition.Plan, sem semiring.Semiring, cfg Config) (*Machine, error) {
+	if err := cfg.Geo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Tim.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DispatchBufferPairs < 1 {
+		return nil, fmt.Errorf("gearbox: dispatch buffer must hold at least one pair")
+	}
+	if plan.Geo != cfg.Geo {
+		return nil, fmt.Errorf("gearbox: plan was built for a different geometry")
+	}
+	net, err := interconnect.New(cfg.Geo, cfg.Tim)
+	if err != nil {
+		return nil, err
+	}
+	n := int(plan.Matrix.NumRows)
+	m := &Machine{
+		plan:       plan,
+		sem:        sem,
+		cfg:        cfg,
+		net:        net,
+		eng:        sim.New(),
+		clean:      sem.Zero(),
+		output:     make([]float32, n),
+		busy:       make([]float64, plan.NumSPUs),
+		lastRow:    make([]int64, plan.NumSPUs),
+		dirty:      make([][]int32, plan.NumSPUs),
+		dirtyLong:  make([][]int32, plan.NumSPUs),
+		recvPairs:  make([][]routedPair, plan.NumSPUs),
+		instrCosts: defaultCosts(cfg.Tim),
+	}
+	for i := range m.output {
+		m.output[i] = m.clean
+	}
+	m.errState = cfg.ErrorSeed
+	if plan.LastLong >= 0 {
+		m.logicAcc = make([]float32, plan.LastLong+1)
+		for i := range m.logicAcc {
+			m.logicAcc[i] = m.clean
+		}
+		if plan.Cfg.Replicate {
+			m.replicas = make([][]float32, plan.NumSPUs)
+		}
+	}
+	return m, nil
+}
+
+// Plan exposes the partition plan (read-only by convention).
+func (m *Machine) Plan() *partition.Plan { return m.plan }
+
+// Semiring exposes the machine's algebra.
+func (m *Machine) Semiring() semiring.Semiring { return m.sem }
+
+// DistributeFrontier splits entries (relabeled indexes) by residence. It is
+// the software side of Step 1: long-column activators go to the logic layer,
+// everything else to the SPU owning the column.
+func (m *Machine) DistributeFrontier(entries []FrontierEntry) (*Frontier, error) {
+	f := &Frontier{Local: make([][]FrontierEntry, m.plan.NumSPUs)}
+	n := m.plan.Matrix.NumRows
+	for _, e := range entries {
+		switch {
+		case e.Index < 0 || e.Index >= n:
+			return nil, fmt.Errorf("gearbox: frontier index %d out of range", e.Index)
+		case e.Index <= m.plan.LastLong:
+			f.Long = append(f.Long, e)
+		default:
+			k := m.plan.OwnerOf[e.Index]
+			f.Local[k] = append(f.Local[k], e)
+		}
+	}
+	return f, nil
+}
+
+// IterateOptions controls one SpMSpV iteration.
+type IterateOptions struct {
+	// Apply, when non-nil, runs the §2.2 Applying op over the whole output
+	// vector in Step 6: output[i] = output[i] ⊕ (Alpha ⊗ Y[i]). Y uses the
+	// relabeled index space; it makes the output dense, so the returned
+	// frontier enumerates every vertex.
+	Apply *ApplySpec
+}
+
+// ApplySpec is the Applying step's parameters.
+type ApplySpec struct {
+	Alpha float32
+	Y     []float32
+}
+
+// Iterate runs one generalized SpMSpV iteration: Output = Matrix ⊗ frontier
+// over the machine's semiring, returning the next frontier (the sparse form
+// of the output vector) and the iteration's statistics. The output vector is
+// reset to clean afterwards, as Step 6 prescribes.
+func (m *Machine) Iterate(f *Frontier, opts IterateOptions) (*Frontier, IterStats, error) {
+	if len(f.Local) != m.plan.NumSPUs {
+		return nil, IterStats{}, fmt.Errorf("gearbox: frontier built for %d SPUs, machine has %d", len(f.Local), m.plan.NumSPUs)
+	}
+	if opts.Apply != nil && int32(len(opts.Apply.Y)) != m.plan.Matrix.NumRows {
+		return nil, IterStats{}, fmt.Errorf("gearbox: apply vector length %d, want %d", len(opts.Apply.Y), m.plan.Matrix.NumRows)
+	}
+	var st IterStats
+	var next *Frontier
+
+	// The six §5 steps run as a chain of events on the engine: each step's
+	// completion schedules the next at its computed duration, so the clock
+	// advances through the iteration and trace subscribers see the phase
+	// timeline.
+	steps := []struct {
+		name string
+		run  func()
+	}{
+		{"step1-frontier-distribution", func() { m.step1FrontierDistribution(f, &st) }},
+		{"step2-offset-packing", func() { m.step2OffsetPacking(f, &st) }},
+		{"step3-local-accumulations", func() { m.step3LocalAccumulations(f, &st) }},
+		{"step4-dispatching", func() { m.step4Dispatching(&st) }},
+		{"step5-remote-accumulations", func() { m.step5RemoteAccumulations(&st) }},
+		{"step6-applying", func() { next = m.step6Applying(opts, &st) }},
+	}
+	var schedule func(i int)
+	schedule = func(i int) {
+		if i == len(steps) {
+			return
+		}
+		steps[i].run()
+		m.eng.After(st.Steps[i].TimeNs, steps[i].name, func(*sim.Engine) { schedule(i + 1) })
+	}
+	schedule(0)
+	m.eng.Run()
+
+	return next, st, nil
+}
+
+// SetTrace subscribes to the engine's phase timeline: fn receives each step
+// name and its completion time on the simulated clock.
+func (m *Machine) SetTrace(fn func(name string, atNs float64)) { m.eng.Trace = fn }
+
+// NowNs reports the machine's simulated clock (sum of all step times run so
+// far).
+func (m *Machine) NowNs() float64 { return m.eng.Now() }
+
+// Output returns a copy of the current dense output vector. Only meaningful
+// between step 5 and the reset in step 6, so primarily for tests; apps use
+// the returned frontier.
+func (m *Machine) Output() []float32 { return append([]float32(nil), m.output...) }
+
+// resetScratch prepares per-iteration buffers.
+func (m *Machine) resetScratch() {
+	for k := range m.busy {
+		m.busy[k] = 0
+		m.lastRow[k] = -1
+		m.dirty[k] = m.dirty[k][:0]
+		m.dirtyLong[k] = m.dirtyLong[k][:0]
+		m.recvPairs[k] = m.recvPairs[k][:0]
+	}
+}
+
+// stallNs is the unhidden part of a random row activation when the SPU has
+// instrPerEntry instruction slots of independent work to overlap it with:
+// the Walkers double-buffer row loads behind the 1.2 GHz sub-clock (§4.1,
+// "we overlap loading a new row into the Walker and shifting"), so only the
+// remainder of the 50 ns row cycle stalls the pipeline.
+func (m *Machine) stallNs(instrPerEntry int64) float64 {
+	if m.cfg.DisableOverlap {
+		return m.cfg.Tim.RowCycleNs
+	}
+	s := m.cfg.Tim.RowCycleNs - float64(instrPerEntry)*m.cfg.Tim.SPUCycleNs()
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// refreshFactor stretches busy time for the DRAM refresh tax.
+func (m *Machine) refreshFactor() float64 {
+	if !m.cfg.ModelRefresh || m.cfg.TREFINs <= m.cfg.TRFCNs || m.cfg.TREFINs <= 0 {
+		return 1
+	}
+	return 1 / (1 - m.cfg.TRFCNs/m.cfg.TREFINs)
+}
+
+// corrupt injects a deterministic single-bit mantissa flip with probability
+// BitErrorRate, using a splitmix64 stream keyed by ErrorSeed.
+func (m *Machine) corrupt(v float32) float32 {
+	if m.cfg.BitErrorRate <= 0 {
+		return v
+	}
+	m.errState += 0x9E3779B97F4A7C15
+	z := m.errState
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if float64(z>>11)/float64(1<<53) >= m.cfg.BitErrorRate {
+		return v
+	}
+	m.errCount++
+	bit := uint32(1) << (z % 20) // low mantissa bits
+	return math.Float32frombits(math.Float32bits(v) ^ bit)
+}
+
+// ErrorsInjected reports how many bit flips corrupt has applied.
+func (m *Machine) ErrorsInjected() int64 { return int64(m.errCount) }
+
+// replica lazily allocates SPU k's copy of the long output region, filled
+// with the clean value.
+func (m *Machine) replica(k int) []float32 {
+	if m.replicas[k] == nil {
+		rep := make([]float32, m.plan.LastLong+1)
+		for i := range rep {
+			rep[i] = m.clean
+		}
+		m.replicas[k] = rep
+	}
+	return m.replicas[k]
+}
+
+func (m *Machine) logicDirtyAdd(r int32) { m.logicDirty = append(m.logicDirty, r) }
+
+func maxOf(xs []float64) float64 {
+	mx := 0.0
+	for _, x := range xs {
+		if x > mx {
+			mx = x
+		}
+	}
+	return mx
+}
+
+// busyStats fills a step's per-SPU busy distribution from m.busy.
+func (m *Machine) busyStats(s *StepStats) {
+	sum := 0.0
+	for _, b := range m.busy {
+		sum += b
+	}
+	s.BusyMaxNs = maxOf(m.busy)
+	s.BusyMeanNs = sum / float64(len(m.busy))
+}

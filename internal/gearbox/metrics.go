@@ -1,0 +1,135 @@
+package gearbox
+
+import "fmt"
+
+// Events counts the micro-events a run produces; the energy model weighs
+// them into the Fig. 14b breakdown categories.
+type Events struct {
+	SPUInstrs      int64 // control: instruction slots retired by compute SPUs
+	ALUOps         int64 // computation
+	SeqRowActs     int64 // row activations hidden behind streaming
+	RandRowActs    int64 // row activations on the critical path (indirect)
+	DispatchInstrs int64 // dispatcher SPU instruction slots
+	NetHopWords    int64 // packet x (line+ring) segment traversals
+	TSVWords       int64 // packet x layer crossings
+	LogicOps       int64 // logic-layer SRAM accesses / core operations
+	BroadcastWords int64 // words broadcast from the logic layer
+}
+
+// Add accumulates other into e.
+func (e *Events) Add(other Events) {
+	e.SPUInstrs += other.SPUInstrs
+	e.ALUOps += other.ALUOps
+	e.SeqRowActs += other.SeqRowActs
+	e.RandRowActs += other.RandRowActs
+	e.DispatchInstrs += other.DispatchInstrs
+	e.NetHopWords += other.NetHopWords
+	e.TSVWords += other.TSVWords
+	e.LogicOps += other.LogicOps
+	e.BroadcastWords += other.BroadcastWords
+}
+
+// RowActs reports total row activations.
+func (e Events) RowActs() int64 { return e.SeqRowActs + e.RandRowActs }
+
+// StepStats records one of the six §5 steps of one iteration.
+type StepStats struct {
+	TimeNs float64
+	Events Events
+	// StallRounds counts §6 buffer-overflow drain rounds (1 = no stall).
+	StallRounds int
+	// BusyMaxNs and BusyMeanNs describe the per-SPU busy-time distribution
+	// of the step's compute phase; their ratio is the load imbalance that
+	// EXPERIMENTS.md discusses (zero for steps without a per-SPU phase).
+	BusyMaxNs  float64
+	BusyMeanNs float64
+}
+
+// Imbalance reports max/mean per-SPU busy time (1 = perfectly balanced;
+// 0 when the step had no compute phase).
+func (s StepStats) Imbalance() float64 {
+	if s.BusyMeanNs <= 0 {
+		return 0
+	}
+	return s.BusyMaxNs / s.BusyMeanNs
+}
+
+// IterStats aggregates one SpMSpV iteration.
+type IterStats struct {
+	Steps [6]StepStats
+	// Work recorded for analysis and tests.
+	ActivatedColumns int64
+	ProcessedNNZ     int64
+	LocalAccums      int64
+	RemoteAccums     int64
+	LongAccums       int64
+	CleanHits        int64
+	FrontierOut      int64
+}
+
+// TimeNs reports the iteration's total simulated time.
+func (s IterStats) TimeNs() float64 {
+	t := 0.0
+	for _, st := range s.Steps {
+		t += st.TimeNs
+	}
+	return t
+}
+
+// EventsTotal sums events across steps.
+func (s IterStats) EventsTotal() Events {
+	var e Events
+	for _, st := range s.Steps {
+		e.Add(st.Events)
+	}
+	return e
+}
+
+// RunStats aggregates a whole multi-iteration run.
+type RunStats struct {
+	Iterations []IterStats
+}
+
+// TimeNs reports total simulated time.
+func (r RunStats) TimeNs() float64 {
+	t := 0.0
+	for _, it := range r.Iterations {
+		t += it.TimeNs()
+	}
+	return t
+}
+
+// StepTimeNs reports the total time spent in step (1-6) across iterations,
+// the Fig. 14a breakdown.
+func (r RunStats) StepTimeNs(step int) float64 {
+	if step < 1 || step > 6 {
+		panic(fmt.Sprintf("gearbox: step %d out of range 1-6", step))
+	}
+	t := 0.0
+	for _, it := range r.Iterations {
+		t += it.Steps[step-1].TimeNs
+	}
+	return t
+}
+
+// EventsTotal sums events across the run.
+func (r RunStats) EventsTotal() Events {
+	var e Events
+	for _, it := range r.Iterations {
+		e.Add(it.EventsTotal())
+	}
+	return e
+}
+
+// MaxStallRounds reports the worst §6 overflow round count seen.
+func (r RunStats) MaxStallRounds() int {
+	max := 1
+	for _, it := range r.Iterations {
+		for _, st := range it.Steps {
+			if st.StallRounds > max {
+				max = st.StallRounds
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,503 @@
+package gearbox
+
+import (
+	"sort"
+
+	"gearbox/internal/mem"
+	"gearbox/internal/partition"
+)
+
+// Step implementations. Each step functionally executes its share of the
+// algorithm and fills st.Steps[i] with time and events. Times follow the
+// DESIGN.md model: per-SPU busy time (instruction slots at the SPU clock plus
+// unhidden row activations), network drain for the traffic the step routes,
+// logic-layer core time where the step touches the logic layer, and a launch
+// overhead per step broadcast (§4: "launch a kernel ... by broadcasting at
+// most 8 instructions").
+
+// step1FrontierDistribution broadcasts the long-activating frontier entries
+// from the logic layer to all subarrays (§5 Step 1) and, for HypoGearboxV2,
+// the whole input vector.
+func (m *Machine) step1FrontierDistribution(f *Frontier, st *IterStats) {
+	m.resetScratch()
+	m.net.Reset()
+
+	words := int64(2 * len(f.Long))
+	if m.plan.Cfg.Scheme == partition.HypoLogicLayer {
+		words = int64(2 * f.NNZ())
+	}
+	m.net.BroadcastFromLogic(words)
+
+	s := &st.Steps[0]
+	s.StallRounds = 1
+	s.TimeNs = m.cfg.Tim.LaunchNs + m.net.DrainNs() + float64(words)*m.cfg.Tim.LogicSRAMNs
+	s.Events.BroadcastWords = words
+	s.Events.LogicOps = words
+	s.Events.NetHopWords = m.net.HopWords()
+	s.Events.TSVWords = m.net.TSVWords()
+}
+
+// step2OffsetPacking packs (column offset, length, frontier value) triples
+// per frontier entry (Fig. 10).
+func (m *Machine) step2OffsetPacking(f *Frontier, st *IterStats) {
+	cyc := m.cfg.Tim.SPUCycleNs()
+	long := int64(len(f.Long))
+	s := &st.Steps[1]
+	s.StallRounds = 1
+	var instrs, acts int64
+	for k := range m.busy {
+		e := int64(len(f.Local[k]))
+		// Owned-column offset lookups walk the shard's offsets array in
+		// sorted order, so activations are bounded by the rows the offsets
+		// span; long entries index the fragment table individually.
+		span := int64(m.plan.Ranges[k].Len())/int64(m.cfg.Geo.WordsPerRow()) + 1
+		a := e
+		if span < a {
+			a = span
+		}
+		a += long
+		i := (e + long) * m.instrCosts.packInstrs
+		m.busy[k] = float64(i)*cyc + float64(a)*m.stallNs(m.instrCosts.packInstrs)
+		instrs += i
+		acts += a
+	}
+	m.busyStats(s)
+	s.TimeNs = m.cfg.Tim.LaunchNs + maxOf(m.busy)*m.refreshFactor()
+	s.Events.SPUInstrs = instrs
+	s.Events.RandRowActs = acts
+}
+
+// step3LocalAccumulations is the heart of the algorithm (Fig. 11): every SPU
+// streams its activated columns and long-column fragments, multiplies, and
+// either accumulates locally, reduces into its replica of the long region,
+// sends the contribution toward the logic layer, or dispatches it as a
+// remote accumulation.
+func (m *Machine) step3LocalAccumulations(f *Frontier, st *IterStats) {
+	cyc := m.cfg.Tim.SPUCycleNs()
+	hypo := m.plan.Cfg.Scheme == partition.HypoLogicLayer
+	replicate := m.plan.Cfg.Replicate && m.plan.LastLong >= 0 && !hypo
+	m.net.Reset()
+
+	s := &st.Steps[2]
+	s.StallRounds = 1
+
+	logicPerVault := make([]float64, m.cfg.Geo.Vaults)
+	recvPerBank := make([]int64, m.cfg.Geo.Layers*m.cfg.Geo.BanksPerLayer)
+	var ev Events
+
+	for k := 0; k < m.plan.NumSPUs; k++ {
+		var instr, aluOps, randActs, seqActs, sentPairs, logicPairs int64
+		lastRow := int64(-1)
+		lastRepRow := int64(-1)
+		srcID := m.plan.SPUIDOf(k)
+		vault := m.cfg.Geo.VaultOf(srcID.Bank)
+
+		accumulate := func(r int32, contribution float32) {
+			contribution = m.corrupt(contribution)
+			aluOps += 2 // ⊗ then ⊕
+			owner := m.plan.OwnerOf[r]
+			switch {
+			case hypo:
+				// Everything accumulates in the logic layer's SRAM.
+				instr += m.instrCosts.macRemote
+				logicPairs++
+				logicPerVault[vault] += m.instrCosts.logicOpNsPerPair
+				if owner >= 0 {
+					old := m.output[r]
+					if m.sem.IsZero(old) {
+						m.dirty[owner] = append(m.dirty[owner], r)
+						st.CleanHits++
+					}
+					m.output[r] = m.sem.Add(old, contribution)
+				} else {
+					old := m.logicAcc[r]
+					if m.sem.IsZero(old) {
+						m.logicDirtyAdd(r)
+						st.CleanHits++
+					}
+					m.logicAcc[r] = m.sem.Add(old, contribution)
+				}
+				st.LocalAccums++
+			case owner == int32(k):
+				instr += m.instrCosts.macLocal
+				old := m.output[r]
+				if m.sem.IsZero(old) {
+					// Fig. 11: the clean indicator pair takes the dispatcher
+					// round trip inside the bank.
+					m.recvPairs[k] = append(m.recvPairs[k], routedPair{srcSPU: int32(k), idx: r, clean: true})
+					sentPairs++
+					recvPerBank[bankFlat(m.cfg.Geo, srcID)]++
+					st.CleanHits++
+				}
+				m.output[r] = m.sem.Add(old, contribution)
+				st.LocalAccums++
+				if row := int64(r) >> 6; row != lastRow {
+					randActs++
+					lastRow = row
+				}
+			case r <= m.plan.LastLong:
+				st.LongAccums++
+				if replicate {
+					rep := m.replica(k)
+					instr += m.instrCosts.macLocal
+					old := rep[r]
+					if m.sem.IsZero(old) {
+						m.dirtyLong[k] = append(m.dirtyLong[k], r)
+					}
+					rep[r] = m.sem.Add(old, contribution)
+					if row := int64(r) >> 6; row != lastRepRow {
+						randActs++
+						lastRepRow = row
+					}
+				} else {
+					// V2: send the contribution down to the logic layer.
+					instr += m.instrCosts.macRemote
+					logicPairs++
+					logicPerVault[vault] += m.instrCosts.logicOpNsPerPair
+					old := m.logicAcc[r]
+					if m.sem.IsZero(old) {
+						m.logicDirtyAdd(r)
+					}
+					m.logicAcc[r] = m.sem.Add(old, contribution)
+				}
+			default:
+				// Remote accumulation: dispatch toward the owner's bank.
+				instr += m.instrCosts.macRemote
+				m.recvPairs[owner] = append(m.recvPairs[owner], routedPair{srcSPU: int32(k), idx: r, val: contribution})
+				sentPairs++
+				recvPerBank[bankFlat(m.cfg.Geo, m.plan.SPUIDOf(int(owner)))]++
+				st.RemoteAccums++
+			}
+		}
+
+		for _, e := range f.Local[k] {
+			rows, vals := m.plan.Matrix.Col(e.Index)
+			st.ActivatedColumns++
+			st.ProcessedNNZ += int64(len(rows))
+			for i, r := range rows {
+				accumulate(r, m.sem.Mul(vals[i], e.Value))
+			}
+			seqActs += int64(2*len(rows))/int64(m.cfg.Geo.WordsPerRow()) + 1
+		}
+		for _, e := range f.Long {
+			frag := m.plan.LongFrags[k][e.Index]
+			spill := m.plan.LongRowSpill[k][e.Index]
+			st.ProcessedNNZ += int64(len(frag) + len(spill))
+			for _, fe := range frag {
+				accumulate(fe.Row, m.sem.Mul(fe.Val, e.Value))
+			}
+			for _, fe := range spill {
+				accumulate(fe.Row, m.sem.Mul(fe.Val, e.Value))
+			}
+			if n := len(frag) + len(spill); n > 0 {
+				seqActs += int64(2*n)/int64(m.cfg.Geo.WordsPerRow()) + 1
+			}
+		}
+
+		m.busy[k] = float64(instr)*cyc + float64(randActs)*m.stallNs(m.instrCosts.macLocal)
+		ev.SPUInstrs += instr
+		ev.ALUOps += aluOps
+		ev.RandRowActs += randActs
+		ev.SeqRowActs += seqActs
+		if sentPairs > 0 {
+			m.net.SendSPUToSPU(srcID, m.plan.DispatcherOf(k), sentPairs)
+		}
+		if logicPairs > 0 {
+			m.net.SendToLogic(srcID, logicPairs)
+			ev.LogicOps += 2 * logicPairs
+		}
+	}
+	// Counted while routing: each long activation processed one fragment set.
+	st.ActivatedColumns += int64(len(f.Long))
+
+	// Receiving dispatchers buffer pairs concurrently with compute, one
+	// Walker row (WordsPerRow/2 pairs) at a time.
+	pairsPerRow := int64(m.cfg.Geo.WordsPerRow() / 2)
+	dispBusy := 0.0
+	var dispInstrs int64
+	for _, n := range recvPerBank {
+		rows := (n + pairsPerRow - 1) / pairsPerRow
+		dispInstrs += rows * m.instrCosts.dispatchPerRow
+		if b := float64(rows*m.instrCosts.dispatchPerRow)*cyc + float64(rows)*m.cfg.Tim.RowCycleNs; b > dispBusy {
+			dispBusy = b
+		}
+		ev.SeqRowActs += rows
+	}
+	ev.DispatchInstrs += dispInstrs
+
+	m.busyStats(s)
+	logicBusy := maxOf(logicPerVault)
+	busy := maxOf(m.busy)
+	t := busy
+	if dispBusy > t {
+		t = dispBusy
+	}
+	if logicBusy > t {
+		t = logicBusy
+	}
+	if d := m.net.DrainNs(); d > t {
+		t = d
+	}
+	ev.NetHopWords += m.net.HopWords()
+	ev.TSVWords += m.net.TSVWords()
+
+	s.TimeNs = m.cfg.Tim.LaunchNs + t*m.refreshFactor()
+	s.Events = ev
+}
+
+// step4Dispatching forwards the buffered pairs from each bank's Dispatcher
+// to the destination Compute SPUs over the line interconnect (§5 Step 4),
+// honouring the §6 buffer-overflow stall protocol.
+func (m *Machine) step4Dispatching(st *IterStats) {
+	cyc := m.cfg.Tim.SPUCycleNs()
+	m.net.Reset()
+	s := &st.Steps[3]
+	s.StallRounds = 1
+
+	bankPairs := make([]int64, m.cfg.Geo.Layers*m.cfg.Geo.BanksPerLayer)
+	var ev Events
+	for k := 0; k < m.plan.NumSPUs; k++ {
+		n := int64(len(m.recvPairs[k]))
+		if n == 0 {
+			continue
+		}
+		id := m.plan.SPUIDOf(k)
+		bankPairs[bankFlat(m.cfg.Geo, id)] += n
+		m.net.SendSPUToSPU(m.plan.DispatcherOf(k), id, n)
+	}
+	pairsPerRow := int64(m.cfg.Geo.WordsPerRow() / 2)
+	dispBusy := 0.0
+	rounds := 1
+	for _, n := range bankPairs {
+		rows := (n + pairsPerRow - 1) / pairsPerRow
+		ev.DispatchInstrs += rows * m.instrCosts.dispatchPerRow
+		ev.SeqRowActs += rows
+		if b := float64(rows*m.instrCosts.dispatchPerRow)*cyc + float64(rows)*m.cfg.Tim.RowCycleNs; b > dispBusy {
+			dispBusy = b
+		}
+		if r := int((n + int64(m.cfg.DispatchBufferPairs) - 1) / int64(m.cfg.DispatchBufferPairs)); r > rounds {
+			rounds = r
+		}
+	}
+	ev.NetHopWords += m.net.HopWords()
+	ev.TSVWords += m.net.TSVWords()
+
+	t := dispBusy
+	if d := m.net.DrainNs(); d > t {
+		t = d
+	}
+	s.StallRounds = rounds
+	s.TimeNs = m.cfg.Tim.LaunchNs + t*m.refreshFactor() + float64(rounds-1)*2*m.cfg.Tim.LaunchNs
+	s.Events = ev
+}
+
+// step5RemoteAccumulations has every Compute SPU fold the received pairs
+// into its output shard with the ScatterAccumulate kernel, appending
+// clean-indicator indexes to the frontier list (§5 Step 5).
+func (m *Machine) step5RemoteAccumulations(st *IterStats) {
+	cyc := m.cfg.Tim.SPUCycleNs()
+	s := &st.Steps[4]
+	s.StallRounds = 1
+	var ev Events
+	for k := 0; k < m.plan.NumSPUs; k++ {
+		pairs := m.recvPairs[k]
+		if len(pairs) == 0 {
+			m.busy[k] = 0
+			continue
+		}
+		var instr, randActs int64
+		lastRow := int64(-1)
+		for _, p := range pairs {
+			if p.clean {
+				m.dirty[k] = append(m.dirty[k], p.idx)
+				instr += m.instrCosts.cleanAppend
+				continue
+			}
+			instr += m.instrCosts.scatterLocal
+			ev.ALUOps++
+			old := m.output[p.idx]
+			if m.sem.IsZero(old) {
+				m.dirty[k] = append(m.dirty[k], p.idx)
+				instr += m.instrCosts.cleanAppend
+				st.CleanHits++
+			}
+			m.output[p.idx] = m.sem.Add(old, p.val)
+			if row := int64(p.idx) >> 6; row != lastRow {
+				randActs++
+				lastRow = row
+			}
+		}
+		m.busy[k] = float64(instr)*cyc + float64(randActs)*m.stallNs(m.instrCosts.scatterLocal+m.instrCosts.cleanAppend)
+		ev.SPUInstrs += instr
+		ev.RandRowActs += randActs
+		ev.SeqRowActs += int64(2*len(pairs))/int64(m.cfg.Geo.WordsPerRow()) + 1
+	}
+	m.busyStats(s)
+	s.TimeNs = m.cfg.Tim.LaunchNs + maxOf(m.busy)*m.refreshFactor()
+	s.Events = ev
+}
+
+// step6Applying performs the optional Applying op, reduces the replicated
+// long regions in the logic layer (V3), emits the next frontier from the
+// newly non-clean slots, and resets the output vector to clean indicators
+// (§5 Step 6).
+func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
+	cyc := m.cfg.Tim.SPUCycleNs()
+	m.net.Reset()
+	s := &st.Steps[5]
+	s.StallRounds = 1
+	var ev Events
+	logicPerVault := make([]float64, m.cfg.Geo.Vaults)
+
+	// V3: reduce per-SPU replicas into the logic layer (Fig. 7b). The
+	// reduction is hierarchical: each SPU sends its dirty replica slots to
+	// the bank's Dispatcher over the line interconnect, the Dispatcher
+	// combines same-slot partials, and only the bank-level partials cross
+	// the TSVs — without this the replicated scheme would push
+	// SPUs x slots pairs at the logic layer and lose its advantage.
+	if m.plan.Cfg.Replicate && m.plan.LastLong >= 0 {
+		pairsPerRow := int64(m.cfg.Geo.WordsPerRow() / 2)
+		banks := m.cfg.Geo.Layers * m.cfg.Geo.BanksPerLayer
+		bankSlots := make(map[int]map[int32]bool, banks)
+		for k := 0; k < m.plan.NumSPUs; k++ {
+			dl := m.dirtyLong[k]
+			if len(dl) == 0 {
+				continue
+			}
+			rep := m.replicas[k]
+			id := m.plan.SPUIDOf(k)
+			bf := bankFlat(m.cfg.Geo, id)
+			slots := bankSlots[bf]
+			if slots == nil {
+				slots = map[int32]bool{}
+				bankSlots[bf] = slots
+			}
+			for _, r := range dl {
+				old := m.logicAcc[r]
+				if m.sem.IsZero(old) {
+					m.logicDirtyAdd(r)
+				}
+				m.logicAcc[r] = m.sem.Add(old, rep[r])
+				rep[r] = m.clean
+				slots[r] = true
+			}
+			n := int64(len(dl))
+			// Line traffic SPU -> Dispatcher.
+			m.net.SendSPUToSPU(id, m.plan.DispatcherOf(k), n)
+			ev.SPUInstrs += n * 2 // read replica slot + send
+		}
+		for bf, slots := range bankSlots {
+			id := mem.SPUID{Layer: bf / m.cfg.Geo.BanksPerLayer, Bank: bf % m.cfg.Geo.BanksPerLayer, SPU: m.cfg.Geo.SPUsPerBank() - 1}
+			n := int64(len(slots))
+			m.net.SendToLogic(id, n)
+			rows := (n + pairsPerRow - 1) / pairsPerRow
+			ev.DispatchInstrs += rows * m.instrCosts.dispatchPerRow
+			logicPerVault[m.cfg.Geo.VaultOf(id.Bank)] += float64(n) * m.instrCosts.logicOpNsPerPair
+			ev.LogicOps += 2 * n
+		}
+	}
+
+	// Optional Applying op over the whole vector.
+	if opts.Apply != nil {
+		alpha, y := opts.Apply.Alpha, opts.Apply.Y
+		for k := 0; k < m.plan.NumSPUs; k++ {
+			r := m.plan.Ranges[k]
+			if r.Len() == 0 {
+				m.busy[k] = 0
+				continue
+			}
+			// After a dense apply every slot may be non-clean; rebuild the
+			// dirty list by scanning (the scan rides the same stream).
+			m.dirty[k] = m.dirty[k][:0]
+			for v := r.First; v <= r.Last; v++ {
+				m.output[v] = m.sem.Add(m.output[v], m.sem.Mul(alpha, y[v]))
+				if !m.sem.IsZero(m.output[v]) {
+					m.dirty[k] = append(m.dirty[k], v)
+				}
+			}
+			words := int64(r.Len())
+			m.busy[k] = float64(words*m.instrCosts.applyPerWord) * cyc
+			ev.SPUInstrs += words * m.instrCosts.applyPerWord
+			ev.ALUOps += 2 * words
+			ev.SeqRowActs += 2*words/int64(m.cfg.Geo.WordsPerRow()) + 1
+		}
+		for r := int32(0); r <= m.plan.LastLong; r++ {
+			m.logicAcc[r] = m.sem.Add(m.logicAcc[r], m.sem.Mul(alpha, y[r]))
+			if !m.sem.IsZero(m.logicAcc[r]) {
+				m.logicDirtyAdd(r)
+			}
+			ev.LogicOps += 2
+		}
+	} else {
+		for k := range m.busy {
+			m.busy[k] = 0
+		}
+	}
+
+	// Emit the next frontier and reset output slots to clean.
+	next := &Frontier{Local: make([][]FrontierEntry, m.plan.NumSPUs)}
+	for k := 0; k < m.plan.NumSPUs; k++ {
+		dl := m.dirty[k]
+		if len(dl) == 0 {
+			continue
+		}
+		sort.Slice(dl, func(i, j int) bool { return dl[i] < dl[j] })
+		lastRow, randActs := int64(-1), int64(0)
+		entries := make([]FrontierEntry, 0, len(dl))
+		for i, idx := range dl {
+			if i > 0 && dl[i-1] == idx {
+				continue // clean-pair + apply rebuild may duplicate
+			}
+			v := m.output[idx]
+			if m.sem.IsZero(v) {
+				continue // accumulated back to the clean value
+			}
+			entries = append(entries, FrontierEntry{Index: idx, Value: v})
+			m.output[idx] = m.clean
+			if row := int64(idx) >> 6; row != lastRow {
+				randActs++
+				lastRow = row
+			}
+		}
+		next.Local[k] = entries
+		n := int64(len(entries))
+		m.busy[k] += float64(n*m.instrCosts.frontierEmit)*cyc + float64(randActs)*m.stallNs(m.instrCosts.frontierEmit)
+		ev.SPUInstrs += n * m.instrCosts.frontierEmit
+		ev.RandRowActs += randActs
+		st.FrontierOut += n
+	}
+	// Long outputs become next-iteration logic-layer frontier entries.
+	if len(m.logicDirty) > 0 {
+		sort.Slice(m.logicDirty, func(i, j int) bool { return m.logicDirty[i] < m.logicDirty[j] })
+		for i, r := range m.logicDirty {
+			if i > 0 && m.logicDirty[i-1] == r {
+				continue
+			}
+			v := m.logicAcc[r]
+			if m.sem.IsZero(v) {
+				continue
+			}
+			next.Long = append(next.Long, FrontierEntry{Index: r, Value: v})
+			m.logicAcc[r] = m.clean
+			ev.LogicOps += 2
+		}
+		st.FrontierOut += int64(len(next.Long))
+		m.logicDirty = m.logicDirty[:0]
+	}
+
+	t := maxOf(m.busy)
+	if lb := maxOf(logicPerVault); lb > t {
+		t = lb
+	}
+	if d := m.net.DrainNs(); d > t {
+		t = d
+	}
+	ev.NetHopWords += m.net.HopWords()
+	ev.TSVWords += m.net.TSVWords()
+	s.TimeNs = m.cfg.Tim.LaunchNs + t*m.refreshFactor()
+	s.Events = ev
+	return next
+}
+
+// bankFlat flattens a bank coordinate for per-bank accounting arrays.
+func bankFlat(g mem.Geometry, id mem.SPUID) int { return id.Layer*g.BanksPerLayer + id.Bank }

@@ -1,0 +1,224 @@
+package gen
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"gearbox/internal/sparse"
+)
+
+func TestRMATValidateRejectsBadConfigs(t *testing.T) {
+	bad := []RMATConfig{
+		{Scale: 0, EdgeFactor: 8, A: 0.5, B: 0.2, C: 0.2},
+		{Scale: 31, EdgeFactor: 8, A: 0.5, B: 0.2, C: 0.2},
+		{Scale: 10, EdgeFactor: 0, A: 0.5, B: 0.2, C: 0.2},
+		{Scale: 10, EdgeFactor: 8, A: 0.6, B: 0.3, C: 0.3}, // D < 0
+		{Scale: 10, EdgeFactor: 8, A: -0.1, B: 0.3, C: 0.3},
+	}
+	for i, cfg := range bad {
+		if _, err := RMAT(cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	cfg := RMATConfig{Scale: 8, EdgeFactor: 8, A: 0.57, B: 0.19, C: 0.19, Noise: 0.1, Seed: 7}
+	a, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != b.NNZ() {
+		t.Fatalf("same seed produced %d vs %d nnz", a.NNZ(), b.NNZ())
+	}
+	for i := range a.Indexes {
+		if a.Indexes[i] != b.Indexes[i] || a.Values[i] != b.Values[i] {
+			t.Fatal("same seed produced different matrices")
+		}
+	}
+}
+
+func TestRMATIsHeavyTailed(t *testing.T) {
+	m, err := RMAT(RMATConfig{Scale: 12, EdgeFactor: 16, A: 0.57, B: 0.19, C: 0.19, Noise: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sparse.ComputeStats(m)
+	if s.MaxColLen < 20*int(s.AvgColLen) {
+		t.Fatalf("max column %d vs avg %.1f: not heavy-tailed", s.MaxColLen, s.AvgColLen)
+	}
+}
+
+func TestGridDegreesBounded(t *testing.T) {
+	m, err := Grid(GridConfig{Width: 64, Height: 64, DropFrac: 0.05, ShortcutFrac: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := sparse.ComputeStats(m)
+	// Lattice + a few shortcuts: maximum degree stays small, like road_usa.
+	if s.MaxColLen > 16 {
+		t.Fatalf("max column length %d, want road-like <= 16", s.MaxColLen)
+	}
+	if s.NNZ == 0 {
+		t.Fatal("empty grid")
+	}
+}
+
+func TestGridIsSymmetric(t *testing.T) {
+	m, err := Grid(GridConfig{Width: 16, Height: 16, DropFrac: 0.1, ShortcutFrac: 0.1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coo := m.ToCOO()
+	set := map[[2]int32]float32{}
+	for _, e := range coo.Entries {
+		set[[2]int32{e.Row, e.Col}] = e.Val
+	}
+	for _, e := range coo.Entries {
+		if set[[2]int32{e.Col, e.Row}] != e.Val {
+			t.Fatalf("edge (%d,%d) has no symmetric twin", e.Row, e.Col)
+		}
+	}
+}
+
+func TestGridValidateRejectsBadConfigs(t *testing.T) {
+	bad := []GridConfig{
+		{Width: 1, Height: 8},
+		{Width: 8, Height: 8, DropFrac: 1.0},
+		{Width: 8, Height: 8, ShortcutFrac: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Grid(cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestLoadAllPresetsTiny(t *testing.T) {
+	ds, err := LoadAll(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 5 {
+		t.Fatalf("loaded %d datasets, want 5", len(ds))
+	}
+	for _, d := range ds {
+		if err := d.Matrix.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if d.Matrix.NNZ() == 0 {
+			t.Fatalf("%s is empty", d.Name)
+		}
+		if d.Matrix.NumRows != d.Matrix.NumCols {
+			t.Fatalf("%s is not square", d.Name)
+		}
+	}
+}
+
+func TestLoadUnknownDataset(t *testing.T) {
+	if _, err := Load("nope", Tiny); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestLoadCachesByNameAndSize(t *testing.T) {
+	a, err := Load("road", Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load("road", Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same name+size not cached")
+	}
+}
+
+func TestSkewOrderingAcrossPresets(t *testing.T) {
+	// Twitter's stand-in must be more skewed than Patent's, and Road must be
+	// the flattest — this is what drives the cross-dataset behaviour in the
+	// paper's figures.
+	skew := func(name string) float64 {
+		d, err := Load(name, Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sparse.ComputeStats(d.Matrix)
+		return float64(s.MaxColLen) / s.AvgColLen
+	}
+	tw, pa, rd := skew("twitter"), skew("patent"), skew("road")
+	if !(tw > pa && pa > rd) {
+		t.Fatalf("skew ordering twitter=%.1f patent=%.1f road=%.1f, want twitter > patent > road", tw, pa, rd)
+	}
+}
+
+func TestSparseVector(t *testing.T) {
+	idx, vals := SparseVector(1000, 50, 4)
+	if len(idx) != 50 || len(vals) != 50 {
+		t.Fatalf("lengths %d/%d, want 50/50", len(idx), len(vals))
+	}
+	for i := 1; i < len(idx); i++ {
+		if idx[i] <= idx[i-1] {
+			t.Fatalf("indexes not strictly increasing at %d: %d then %d", i, idx[i-1], idx[i])
+		}
+	}
+	for _, v := range vals {
+		if v == 0 {
+			t.Fatal("zero value in sparse vector")
+		}
+	}
+}
+
+func TestSparseVectorClampsNNZ(t *testing.T) {
+	idx, _ := SparseVector(10, 100, 1)
+	if len(idx) != 10 {
+		t.Fatalf("got %d entries, want clamp to 10", len(idx))
+	}
+}
+
+func TestQuickSparseVectorInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int32(1 + seed%500)
+		if n < 1 {
+			n = -n + 1
+		}
+		idx, _ := SparseVector(n, int(n/2)+1, seed)
+		for _, v := range idx {
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadConcurrentSafe(t *testing.T) {
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := Load("patent", Tiny); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"gearbox/internal/sparse"
+)
+
+// Dataset is a named matrix together with the Table-3 statistics of the
+// full-scale original it stands in for.
+type Dataset struct {
+	Name     string
+	FullName string
+	Matrix   *sparse.CSC
+	// Paper-reported full-scale figures (Table 3), kept for the Table 3
+	// runner so it can print paper-vs-stand-in side by side.
+	PaperRows    int64
+	PaperNNZ     int64
+	PaperDensity float64
+}
+
+// Size tiers for the presets. Benchmarks default to Small so the whole suite
+// runs in seconds; Medium matches the DESIGN.md ~100x-down sizing.
+type Size int
+
+const (
+	// Tiny is for unit tests: a few thousand non-zeros.
+	Tiny Size = iota
+	// Small keeps each dataset in the hundred-thousand-nnz range.
+	Small
+	// Medium is the DESIGN.md default, ~0.5-2M nnz per dataset.
+	Medium
+)
+
+func (s Size) String() string {
+	switch s {
+	case Tiny:
+		return "tiny"
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	}
+	return fmt.Sprintf("Size(%d)", int(s))
+}
+
+// DatasetNames lists the five evaluated datasets in paper order.
+var DatasetNames = []string{"holly", "orkut", "patent", "road", "twitter"}
+
+// preset describes how to build one stand-in at a given size.
+type preset struct {
+	fullName            string
+	paperRows, paperNNZ int64
+	paperDensity        float64
+	build               func(s Size) (*sparse.CSC, error)
+}
+
+func rmatScaled(scale int, ef, a, b, c, noise float64, seed int64) func(Size) (*sparse.CSC, error) {
+	return func(s Size) (*sparse.CSC, error) {
+		sc, f := scale, ef
+		switch s {
+		case Tiny:
+			sc, f = scale-5, ef/2
+		case Small:
+			sc, f = scale-2, ef
+		}
+		if sc < 4 {
+			sc = 4
+		}
+		return RMAT(RMATConfig{Scale: sc, EdgeFactor: f, A: a, B: b, C: c, Noise: noise, Seed: seed})
+	}
+}
+
+var presets = map[string]preset{
+	// hollywood-2009: dense-ish co-starring network, avg degree ~99,
+	// strong power law. Stand-in keeps a high edge factor and heavy skew.
+	"holly": {
+		fullName: "hollywood_2009", paperRows: 1139905, paperNNZ: 112751422, paperDensity: 0.0086e-2,
+		build: rmatScaled(14, 48, 0.57, 0.19, 0.19, 0.10, 1001),
+	},
+	// soc-orkut: social network, avg degree ~71.
+	"orkut": {
+		fullName: "soc_orkut", paperRows: 2997166, paperNNZ: 212698418, paperDensity: 0.0023e-2,
+		build: rmatScaled(15, 40, 0.57, 0.19, 0.19, 0.10, 2002),
+	},
+	// cit-Patents: citation graph, avg degree ~9, moderate skew (Fig. 5c
+	// tops out near 1024).
+	"patent": {
+		fullName: "cit_Patents", paperRows: 3774768, paperNNZ: 33037896, paperDensity: 0.00023e-2,
+		build: rmatScaled(16, 9, 0.45, 0.22, 0.22, 0.15, 3003),
+	},
+	// road_usa: planar road network, max degree <= 16 (Fig. 5d).
+	"road": {
+		fullName: "road_usa", paperRows: 23947347, paperNNZ: 57708624, paperDensity: 0.00001e-2,
+		build: func(s Size) (*sparse.CSC, error) {
+			w, h := 512, 512
+			switch s {
+			case Tiny:
+				w, h = 48, 48
+			case Small:
+				w, h = 256, 256
+			}
+			return Grid(GridConfig{Width: w, Height: h, DropFrac: 0.08, ShortcutFrac: 0.05, Seed: 4004})
+		},
+	},
+	// soc-twitter-2010: follower graph with the most extreme skew (Fig. 5e
+	// reaches column length ~1M).
+	"twitter": {
+		fullName: "soc_twitter-2010", paperRows: 21297772, paperNNZ: 530051618, paperDensity: 0.0001e-2,
+		build: rmatScaled(15, 56, 0.65, 0.15, 0.15, 0.10, 5005),
+	},
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*Dataset{}
+)
+
+// Load builds (or returns a cached copy of) one of the five named datasets
+// at the requested size. The returned matrix is shared: callers must not
+// mutate it.
+func Load(name string, size Size) (*Dataset, error) {
+	p, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("gen: unknown dataset %q (want one of %v)", name, DatasetNames)
+	}
+	key := fmt.Sprintf("%s/%s", name, size)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if d, ok := cache[key]; ok {
+		return d, nil
+	}
+	m, err := p.build(size)
+	if err != nil {
+		return nil, fmt.Errorf("gen: building %s: %w", name, err)
+	}
+	d := &Dataset{
+		Name: name, FullName: p.fullName, Matrix: m,
+		PaperRows: p.paperRows, PaperNNZ: p.paperNNZ, PaperDensity: p.paperDensity,
+	}
+	cache[key] = d
+	return d, nil
+}
+
+// LoadAll returns all five datasets in paper order.
+func LoadAll(size Size) ([]*Dataset, error) {
+	out := make([]*Dataset, 0, len(DatasetNames))
+	for _, n := range DatasetNames {
+		d, err := Load(n, size)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// SparseVector generates a random sparse vector with nnz non-zero entries
+// over [0,n), as (index,value) pairs with strictly increasing indexes. Used
+// for frontiers and SpKNN/SVM query vectors.
+func SparseVector(n int32, nnz int, seed int64) ([]int32, []float32) {
+	if nnz > int(n) {
+		nnz = int(n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	chosen := make(map[int32]bool, nnz)
+	idx := make([]int32, 0, nnz)
+	for len(idx) < nnz {
+		v := rng.Int31n(n)
+		if !chosen[v] {
+			chosen[v] = true
+			idx = append(idx, v)
+		}
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	vals := make([]float32, nnz)
+	for i := range vals {
+		vals[i] = 1 + float32(rng.Intn(9))
+	}
+	return idx, vals
+}

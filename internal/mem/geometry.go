@@ -1,0 +1,133 @@
+// Package mem models the 3D-stacked memory organization of Table 2: vaults,
+// layers, banks, subarrays, and 256-byte rows of 4-byte words, plus the
+// timing constants every simulated event is charged against.
+package mem
+
+import "fmt"
+
+// Geometry describes one memory stack. The zero value is not usable; start
+// from DefaultGeometry.
+type Geometry struct {
+	Vaults           int // vertical groups of banks joined by TSVs
+	Layers           int // memory layers (the logic layer is separate)
+	BanksPerLayer    int
+	SubarraysPerBank int
+	RowBytes         int // bits per row buffer / Walker
+	WordBytes        int
+	SubarrayRows     int // storage rows per subarray
+}
+
+// DefaultGeometry reproduces the Table 2 configuration: 32 vaults, 8 memory
+// layers, 64 banks per layer, 32 subarrays per bank, 256-byte rows.
+// SubarrayRows is sized so the stack holds 8 GB like an HMC cube.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Vaults:           32,
+		Layers:           8,
+		BanksPerLayer:    64,
+		SubarraysPerBank: 32,
+		RowBytes:         256,
+		WordBytes:        4,
+		SubarrayRows:     2048,
+	}
+}
+
+// Validate checks the structural constraints the simulator relies on.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Vaults < 1 || g.Layers < 1 || g.BanksPerLayer < 1:
+		return fmt.Errorf("mem: vaults/layers/banks must be >= 1: %+v", g)
+	case g.SubarraysPerBank < 4 || g.SubarraysPerBank%2 != 0:
+		return fmt.Errorf("mem: subarrays per bank %d must be even and >= 4 (one pair is the dispatcher)", g.SubarraysPerBank)
+	case g.RowBytes <= 0 || g.WordBytes <= 0 || g.RowBytes%g.WordBytes != 0:
+		return fmt.Errorf("mem: row bytes %d must be a positive multiple of word bytes %d", g.RowBytes, g.WordBytes)
+	case g.BanksPerLayer%g.Vaults != 0:
+		return fmt.Errorf("mem: banks per layer %d must be divisible by vaults %d", g.BanksPerLayer, g.Vaults)
+	case g.SubarrayRows < 1:
+		return fmt.Errorf("mem: subarray rows %d must be >= 1", g.SubarrayRows)
+	}
+	return nil
+}
+
+// WordsPerRow reports how many words one Walker holds (64 in Table 2, which
+// is why the walk-through example masks with 63 and shifts by 6).
+func (g Geometry) WordsPerRow() int { return g.RowBytes / g.WordBytes }
+
+// SPUsPerBank reports processing units per bank: one per subarray pair
+// (Fulcrum's design), including the dispatcher pair.
+func (g Geometry) SPUsPerBank() int { return g.SubarraysPerBank / 2 }
+
+// ComputeSPUsPerBank excludes the dispatcher pair: the subarray pair closest
+// to the ring interconnect holds the Dispatcher SPU (§4.3), sacrificing
+// 2/SubarraysPerBank of capacity (~6% at 32 subarrays).
+func (g Geometry) ComputeSPUsPerBank() int { return g.SPUsPerBank() - 1 }
+
+// TotalComputeSPUs counts compute SPUs across the stack.
+func (g Geometry) TotalComputeSPUs() int {
+	return g.Layers * g.BanksPerLayer * g.ComputeSPUsPerBank()
+}
+
+// BanksPerVaultPerLayer reports how many banks of one layer belong to one
+// vault (Table 2: 64 banks / 32 vaults = 2).
+func (g Geometry) BanksPerVaultPerLayer() int { return g.BanksPerLayer / g.Vaults }
+
+// DispatcherCapacityLoss is the fraction of DRAM capacity given up to the
+// dispatcher subarray pair per bank (§1 reports ~6%).
+func (g Geometry) DispatcherCapacityLoss() float64 {
+	return 2.0 / float64(g.SubarraysPerBank)
+}
+
+// SubarrayWords reports the word capacity of one subarray.
+func (g Geometry) SubarrayWords() int64 {
+	return int64(g.SubarrayRows) * int64(g.WordsPerRow())
+}
+
+// RowOf maps a word index within an SPU-local array to its row address
+// (index >> 6 with 64-word rows, as in Fig. 9's walk-through).
+func (g Geometry) RowOf(index int64) int64 { return index / int64(g.WordsPerRow()) }
+
+// ColOf maps a word index to its column within the row (index & 63).
+func (g Geometry) ColOf(index int64) int { return int(index % int64(g.WordsPerRow())) }
+
+// SPUID identifies one subarray-level processing unit in the stack.
+// Dispatchers use SPU == SPUsPerBank()-1 by convention.
+type SPUID struct {
+	Layer, Bank, SPU int
+}
+
+// VaultOf reports which vault a bank belongs to. Banks are assigned to
+// vaults in contiguous runs (banks 0..k-1 are vault 0, etc.).
+func (g Geometry) VaultOf(bank int) int { return bank / g.BanksPerVaultPerLayer() }
+
+// RingDistance reports the hop count between two banks on the per-layer
+// ring interconnect (Fig. 8a): the shorter way around.
+func (g Geometry) RingDistance(bankA, bankB int) int {
+	d := bankA - bankB
+	if d < 0 {
+		d = -d
+	}
+	if alt := g.BanksPerLayer - d; alt < d {
+		return alt
+	}
+	return d
+}
+
+// TSVDistance reports the number of layer crossings between two layers.
+func (g Geometry) TSVDistance(layerA, layerB int) int {
+	d := layerA - layerB
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// LineDistance reports hops along the intra-bank line interconnect between
+// the dispatcher (position SPUsPerBank-1, closest to the ring) and a compute
+// SPU position.
+func (g Geometry) LineDistance(spuA, spuB int) int {
+	d := spuA - spuB
+	if d < 0 {
+		return -d
+	}
+	return d
+}

@@ -1,0 +1,158 @@
+package mem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultGeometryMatchesTable2(t *testing.T) {
+	g := DefaultGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Vaults != 32 || g.Layers != 8 || g.BanksPerLayer != 64 || g.SubarraysPerBank != 32 {
+		t.Fatalf("geometry %+v does not match Table 2", g)
+	}
+	if g.WordsPerRow() != 64 {
+		t.Fatalf("words per row = %d, want 64 (256B rows of 4B words)", g.WordsPerRow())
+	}
+	if g.SPUsPerBank() != 16 || g.ComputeSPUsPerBank() != 15 {
+		t.Fatalf("SPUs per bank = %d/%d, want 16 total / 15 compute", g.SPUsPerBank(), g.ComputeSPUsPerBank())
+	}
+	if g.TotalComputeSPUs() != 8*64*15 {
+		t.Fatalf("total compute SPUs = %d", g.TotalComputeSPUs())
+	}
+	if g.BanksPerVaultPerLayer() != 2 {
+		t.Fatalf("banks per vault per layer = %d, want 2", g.BanksPerVaultPerLayer())
+	}
+	// §1: the dispatcher solution "sacrifices only 6% of capacity".
+	if loss := g.DispatcherCapacityLoss(); math.Abs(loss-0.0625) > 1e-9 {
+		t.Fatalf("capacity loss = %v, want 6.25%%", loss)
+	}
+}
+
+func TestGeometryValidateRejectsBadShapes(t *testing.T) {
+	cases := []func(*Geometry){
+		func(g *Geometry) { g.Vaults = 0 },
+		func(g *Geometry) { g.SubarraysPerBank = 3 },
+		func(g *Geometry) { g.SubarraysPerBank = 2 },
+		func(g *Geometry) { g.RowBytes = 255 }, // not a multiple of 4
+		func(g *Geometry) { g.BanksPerLayer = 63 },
+		func(g *Geometry) { g.SubarrayRows = 0 },
+	}
+	for i, mutate := range cases {
+		g := DefaultGeometry()
+		mutate(&g)
+		if g.Validate() == nil {
+			t.Fatalf("case %d accepted: %+v", i, g)
+		}
+	}
+}
+
+func TestRowColOfMatchWalkthrough(t *testing.T) {
+	// Fig. 9: ColumnAddress = index & 63, RowAddress = index >> 6.
+	g := DefaultGeometry()
+	for _, idx := range []int64{0, 1, 63, 64, 100, 4095, 4096} {
+		if g.RowOf(idx) != idx>>6 {
+			t.Fatalf("RowOf(%d) = %d, want %d", idx, g.RowOf(idx), idx>>6)
+		}
+		if g.ColOf(idx) != int(idx&63) {
+			t.Fatalf("ColOf(%d) = %d, want %d", idx, g.ColOf(idx), idx&63)
+		}
+	}
+}
+
+func TestRingDistance(t *testing.T) {
+	g := DefaultGeometry() // 64 banks on the ring
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 32, 32}, {0, 63, 1}, {5, 60, 9}, {10, 20, 10},
+	}
+	for _, c := range cases {
+		if got := g.RingDistance(c.a, c.b); got != c.want {
+			t.Fatalf("RingDistance(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := g.RingDistance(c.b, c.a); got != c.want {
+			t.Fatalf("RingDistance not symmetric at (%d,%d)", c.a, c.b)
+		}
+	}
+}
+
+func TestVaultOf(t *testing.T) {
+	g := DefaultGeometry()
+	if g.VaultOf(0) != 0 || g.VaultOf(1) != 0 || g.VaultOf(2) != 1 || g.VaultOf(63) != 31 {
+		t.Fatal("vault assignment wrong")
+	}
+}
+
+func TestTSVAndLineDistances(t *testing.T) {
+	g := DefaultGeometry()
+	if g.TSVDistance(0, 7) != 7 || g.TSVDistance(7, 0) != 7 || g.TSVDistance(3, 3) != 0 {
+		t.Fatal("TSV distance wrong")
+	}
+	if g.LineDistance(15, 0) != 15 || g.LineDistance(0, 15) != 15 {
+		t.Fatal("line distance wrong")
+	}
+}
+
+func TestQuickRingDistanceBounds(t *testing.T) {
+	g := DefaultGeometry()
+	f := func(a, b uint8) bool {
+		x, y := int(a)%g.BanksPerLayer, int(b)%g.BanksPerLayer
+		d := g.RingDistance(x, y)
+		return d >= 0 && d <= g.BanksPerLayer/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultTimingMatchesTable2(t *testing.T) {
+	tm := DefaultTiming()
+	if err := tm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Lanes: Table 2's "64 lane" read as a 64-byte flit path (see the field
+	// comment).
+	if tm.SPUFreqHz != 164e6 || tm.NetFreqHz != 1.2e9 || tm.RowCycleNs != 50 || tm.SegmentNs != 0.8 || tm.Lanes != 512 {
+		t.Fatalf("timing %+v does not match Table 2", tm)
+	}
+	if math.Abs(tm.SPUCycleNs()-6.0975) > 0.01 {
+		t.Fatalf("SPU cycle = %v ns, want ~6.1", tm.SPUCycleNs())
+	}
+}
+
+func TestPacketSerialization(t *testing.T) {
+	tm := DefaultTiming()
+	// A 64-bit (index,value) pair fits one flit cycle.
+	if got, want := tm.PacketSerializationNs(64), tm.NetCycleNs(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("64-bit packet = %v ns, want %v", got, want)
+	}
+	if got, want := tm.PacketSerializationNs(tm.Lanes+1), 2*tm.NetCycleNs(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("oversized packet = %v ns, want %v", got, want)
+	}
+}
+
+func TestTimingScale(t *testing.T) {
+	tm := DefaultTiming().Scale(0.5)
+	if tm.SPUFreqHz != 82e6 {
+		t.Fatalf("scaled freq = %v", tm.SPUFreqHz)
+	}
+	if DefaultTiming().SPUFreqHz != 164e6 {
+		t.Fatal("Scale mutated the receiver")
+	}
+}
+
+func TestTimingValidateRejectsBadValues(t *testing.T) {
+	bad := []Timing{
+		{},
+		func() Timing { t := DefaultTiming(); t.RowCycleNs = 0; return t }(),
+		func() Timing { t := DefaultTiming(); t.Lanes = 0; return t }(),
+		func() Timing { t := DefaultTiming(); t.NetFreqHz = -1; return t }(),
+	}
+	for i, tm := range bad {
+		if tm.Validate() == nil {
+			t.Fatalf("case %d accepted: %+v", i, tm)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package mem
+
+import "fmt"
+
+// Timing carries the clock-level constants of Table 2. All simulator times
+// are float64 nanoseconds; rates are derived from the frequencies here.
+type Timing struct {
+	SPUFreqHz  float64 // simplified sequential SPU, 164 MHz after the 3.08x DRAM-process penalty
+	NetFreqHz  float64 // interconnection and one-hot shifter, 1.2 GHz
+	RowCycleNs float64 // DRAM row cycle (activate+restore), 50 ns
+	SegmentNs  float64 // latency of one interconnection segment, 0.8 ns
+	// Lanes is the link width in bits. Table 2 says "64 lane" at 1.2 GHz;
+	// we read each lane as one byte-wide wire pair (a 64-byte flit path),
+	// consistent with the paper's claim that in-memory-layer bandwidth is
+	// ~29x the 512 GB/s logic layer: narrower links would cap the fabric
+	// below the logic layer and invert Fig. 15.
+	Lanes       int
+	LogicSRAMNs float64 // logic-layer SRAM access latency
+	BroadcastNs float64 // per-word broadcast cost from logic layer to all banks
+	LaunchNs    float64 // broadcasting <=8 instructions + latch loads to start a step (§4)
+	GPUKernelNs float64 // GPU per-kernel launch overhead used by the baseline model
+}
+
+// DefaultTiming returns the Table 2 values.
+func DefaultTiming() Timing {
+	return Timing{
+		SPUFreqHz:   164e6,
+		NetFreqHz:   1.2e9,
+		RowCycleNs:  50,
+		SegmentNs:   0.8,
+		Lanes:       512,
+		LogicSRAMNs: 1.0,
+		BroadcastNs: 4.0,
+		LaunchNs:    500,
+		GPUKernelNs: 5000,
+	}
+}
+
+// Validate rejects non-physical configurations.
+func (t Timing) Validate() error {
+	if t.SPUFreqHz <= 0 || t.NetFreqHz <= 0 {
+		return fmt.Errorf("mem: frequencies must be positive: %+v", t)
+	}
+	if t.RowCycleNs <= 0 || t.SegmentNs < 0 || t.Lanes <= 0 {
+		return fmt.Errorf("mem: row cycle/segment/lanes invalid: %+v", t)
+	}
+	return nil
+}
+
+// SPUCycleNs is the duration of one SPU instruction slot.
+func (t Timing) SPUCycleNs() float64 { return 1e9 / t.SPUFreqHz }
+
+// NetCycleNs is the duration of one interconnect cycle.
+func (t Timing) NetCycleNs() float64 { return 1e9 / t.NetFreqHz }
+
+// PacketSerializationNs is the time to push one packet of packetBits through
+// a link of Lanes bits at the network frequency.
+func (t Timing) PacketSerializationNs(packetBits int) float64 {
+	cycles := (packetBits + t.Lanes - 1) / t.Lanes
+	return float64(cycles) * t.NetCycleNs()
+}
+
+// Scale returns a copy with the SPU frequency multiplied by f. The power-
+// budget experiment (Fig. 17b) lowers frequency to fit a budget.
+func (t Timing) Scale(f float64) Timing {
+	t.SPUFreqHz *= f
+	return t
+}

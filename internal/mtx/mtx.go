@@ -1,0 +1,170 @@
+// Package mtx reads and writes Matrix Market coordinate files, the format
+// the SuiteSparse collection distributes (§7.1's datasets). The reproduction
+// ships synthetic stand-ins, but users with the original .mtx files can load
+// them directly:
+//
+//	f, _ := os.Open("hollywood-2009.mtx")
+//	m, _ := mtx.Read(f)
+//	sys, _ := gearbox.NewSystem(sparse.CSCFromCOO(m), ...)
+//
+// Supported: "matrix coordinate" with real/integer/pattern fields and
+// general/symmetric/skew-symmetric symmetry. Complex matrices and dense
+// ("array") layouts are rejected.
+package mtx
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gearbox/internal/sparse"
+)
+
+// header captures the banner line.
+type header struct {
+	object, format, field, symmetry string
+}
+
+// Read parses a Matrix Market coordinate stream into a COO matrix.
+// Symmetric and skew-symmetric inputs are expanded to both triangles.
+func Read(r io.Reader) (*sparse.COO, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	h, err := readHeader(sc)
+	if err != nil {
+		return nil, err
+	}
+
+	rows, cols, nnz, err := readSizeLine(sc)
+	if err != nil {
+		return nil, err
+	}
+
+	m := sparse.NewCOO(int32(rows), int32(cols))
+	m.Entries = make([]sparse.Entry, 0, nnz)
+	seen := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		i, j, v, err := parseEntry(fields, h.field)
+		if err != nil {
+			return nil, fmt.Errorf("mtx: entry %d: %w", seen+1, err)
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("mtx: entry %d: index (%d,%d) outside %dx%d", seen+1, i, j, rows, cols)
+		}
+		m.Entries = append(m.Entries, sparse.Entry{Row: int32(i - 1), Col: int32(j - 1), Val: v})
+		if i != j {
+			switch h.symmetry {
+			case "symmetric":
+				m.Entries = append(m.Entries, sparse.Entry{Row: int32(j - 1), Col: int32(i - 1), Val: v})
+			case "skew-symmetric":
+				m.Entries = append(m.Entries, sparse.Entry{Row: int32(j - 1), Col: int32(i - 1), Val: -v})
+			}
+		}
+		seen++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mtx: %w", err)
+	}
+	if seen != nnz {
+		return nil, fmt.Errorf("mtx: read %d entries, header declared %d", seen, nnz)
+	}
+	return m, nil
+}
+
+func readHeader(sc *bufio.Scanner) (header, error) {
+	if !sc.Scan() {
+		return header{}, fmt.Errorf("mtx: empty input")
+	}
+	banner := strings.Fields(strings.ToLower(sc.Text()))
+	if len(banner) < 5 || banner[0] != "%%matrixmarket" {
+		return header{}, fmt.Errorf("mtx: missing %%%%MatrixMarket banner")
+	}
+	h := header{object: banner[1], format: banner[2], field: banner[3], symmetry: banner[4]}
+	if h.object != "matrix" {
+		return h, fmt.Errorf("mtx: unsupported object %q", h.object)
+	}
+	if h.format != "coordinate" {
+		return h, fmt.Errorf("mtx: unsupported format %q (only coordinate)", h.format)
+	}
+	switch h.field {
+	case "real", "integer", "pattern":
+	default:
+		return h, fmt.Errorf("mtx: unsupported field %q", h.field)
+	}
+	switch h.symmetry {
+	case "general", "symmetric", "skew-symmetric":
+	default:
+		return h, fmt.Errorf("mtx: unsupported symmetry %q", h.symmetry)
+	}
+	return h, nil
+}
+
+func readSizeLine(sc *bufio.Scanner) (rows, cols, nnz int, err error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return 0, 0, 0, fmt.Errorf("mtx: malformed size line %q", line)
+		}
+		r, err1 := strconv.Atoi(f[0])
+		c, err2 := strconv.Atoi(f[1])
+		n, err3 := strconv.Atoi(f[2])
+		if err1 != nil || err2 != nil || err3 != nil || r < 0 || c < 0 || n < 0 {
+			return 0, 0, 0, fmt.Errorf("mtx: malformed size line %q", line)
+		}
+		return r, c, n, nil
+	}
+	return 0, 0, 0, fmt.Errorf("mtx: missing size line")
+}
+
+func parseEntry(fields []string, kind string) (i, j int, v float32, err error) {
+	want := 3
+	if kind == "pattern" {
+		want = 2
+	}
+	if len(fields) < want {
+		return 0, 0, 0, fmt.Errorf("want %d fields, got %d", want, len(fields))
+	}
+	if i, err = strconv.Atoi(fields[0]); err != nil {
+		return 0, 0, 0, fmt.Errorf("row: %w", err)
+	}
+	if j, err = strconv.Atoi(fields[1]); err != nil {
+		return 0, 0, 0, fmt.Errorf("col: %w", err)
+	}
+	if kind == "pattern" {
+		return i, j, 1, nil
+	}
+	f, err := strconv.ParseFloat(fields[2], 32)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("value: %w", err)
+	}
+	return i, j, float32(f), nil
+}
+
+// Write emits a COO matrix as "matrix coordinate real general".
+func Write(w io.Writer, m *sparse.COO) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.NumRows, m.NumCols, len(m.Entries)); err != nil {
+		return err
+	}
+	for _, e := range m.Entries {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.Row+1, e.Col+1, e.Val); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

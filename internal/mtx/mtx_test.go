@@ -1,0 +1,158 @@
+package mtx
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gearbox/internal/sparse"
+)
+
+func TestReadGeneralReal(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 3
+1 1 2.5
+3 2 -1
+2 4 7
+`
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows != 3 || m.NumCols != 4 || m.NNZ() != 3 {
+		t.Fatalf("shape %dx%d nnz %d", m.NumRows, m.NumCols, m.NNZ())
+	}
+	if e := m.Entries[0]; e.Row != 0 || e.Col != 0 || e.Val != 2.5 {
+		t.Fatalf("entry 0 = %+v", e)
+	}
+	if e := m.Entries[1]; e.Row != 2 || e.Col != 1 || e.Val != -1 {
+		t.Fatalf("entry 1 = %+v", e)
+	}
+}
+
+func TestReadPattern(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n"
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range m.Entries {
+		if e.Val != 1 {
+			t.Fatalf("pattern value = %v, want 1", e.Val)
+		}
+	}
+}
+
+func TestReadSymmetricExpands(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5\n3 3 9\n"
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Off-diagonal entry mirrors; diagonal does not.
+	if m.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3", m.NNZ())
+	}
+	c := sparse.CSCFromCOO(m)
+	rows, vals := c.Col(1)
+	if len(rows) != 1 || rows[0] != 0 || vals[0] != 5 {
+		t.Fatalf("mirrored entry missing: %v %v", rows, vals)
+	}
+}
+
+func TestReadSkewSymmetricNegates(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real skew-symmetric\n3 3 1\n2 1 5\n"
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2", m.NNZ())
+	}
+	if m.Entries[1].Val != -5 {
+		t.Fatalf("mirror = %+v, want -5", m.Entries[1])
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no banner":        "3 3 1\n1 1 1\n",
+		"dense format":     "%%MatrixMarket matrix array real general\n3 3\n1\n",
+		"complex field":    "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"bad symmetry":     "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+		"missing size":     "%%MatrixMarket matrix coordinate real general\n",
+		"bad size":         "%%MatrixMarket matrix coordinate real general\nx y z\n",
+		"count mismatch":   "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n",
+		"index out of rng": "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+		"short entry":      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"bad value":        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zz\n",
+		"empty":            "",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := sparse.NewCOO(20, 30)
+	for i := 0; i < 100; i++ {
+		m.Add(rng.Int31n(20), rng.Int31n(30), float32(rng.Intn(17))-8)
+	}
+	m.Coalesce()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := sparse.CSCFromCOO(m), sparse.CSCFromCOO(back)
+	if a.NNZ() != b.NNZ() {
+		t.Fatalf("nnz %d vs %d", a.NNZ(), b.NNZ())
+	}
+	for i := range a.Values {
+		if a.Indexes[i] != b.Indexes[i] || a.Values[i] != b.Values[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := sparse.NewCOO(1+rng.Int31n(16), 1+rng.Int31n(16))
+		for i := 0; i < rng.Intn(40); i++ {
+			m.Add(rng.Int31n(m.NumRows), rng.Int31n(m.NumCols), float32(rng.Intn(9))+1)
+		}
+		m.Coalesce()
+		var buf bytes.Buffer
+		if Write(&buf, m) != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		a, b := sparse.CSCFromCOO(m), sparse.CSCFromCOO(back)
+		if a.NNZ() != b.NNZ() {
+			return false
+		}
+		for i := range a.Values {
+			if a.Indexes[i] != b.Indexes[i] || a.Values[i] != b.Values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

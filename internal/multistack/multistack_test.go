@@ -1,0 +1,249 @@
+package multistack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gearbox/internal/gearbox"
+	"gearbox/internal/gen"
+	"gearbox/internal/mem"
+	"gearbox/internal/semiring"
+	"gearbox/internal/sparse"
+)
+
+func smallGeo() mem.Geometry {
+	return mem.Geometry{
+		Vaults: 2, Layers: 1, BanksPerLayer: 4, SubarraysPerBank: 8,
+		RowBytes: 256, WordBytes: 4, SubarrayRows: 512,
+	}
+}
+
+func smallConfig(stacks int) Config {
+	cfg := DefaultConfig()
+	cfg.Stacks = stacks
+	cfg.Machine = gearbox.Config{Geo: smallGeo(), Tim: mem.DefaultTiming(), DispatchBufferPairs: 1024}
+	cfg.Partition.LongFrac = 0.01
+	return cfg
+}
+
+func testMatrix(t *testing.T, seed int64) *sparse.CSC {
+	t.Helper()
+	m, err := gen.RMAT(gen.RMATConfig{Scale: 9, EdgeFactor: 8, A: 0.6, B: 0.17, C: 0.17, Noise: 0.1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func refSpMSpV(m *sparse.CSC, sem semiring.Semiring, entries []gearbox.FrontierEntry) map[int32]float32 {
+	out := map[int32]float32{}
+	for _, e := range entries {
+		rows, vals := m.Col(e.Index)
+		for i, r := range rows {
+			old, ok := out[r]
+			if !ok {
+				old = sem.Zero()
+			}
+			out[r] = sem.Add(old, sem.Mul(vals[i], e.Value))
+		}
+	}
+	for r, v := range out {
+		if sem.IsZero(v) {
+			delete(out, r)
+		}
+	}
+	return out
+}
+
+func frontier(n int32, nnz int, seed int64) []gearbox.FrontierEntry {
+	idx, vals := gen.SparseVector(n, nnz, seed)
+	out := make([]gearbox.FrontierEntry, len(idx))
+	for i := range idx {
+		out[i] = gearbox.FrontierEntry{Index: idx[i], Value: vals[i]}
+	}
+	return out
+}
+
+func TestDeviceMatchesReference(t *testing.T) {
+	m := testMatrix(t, 1)
+	for _, stacks := range []int{1, 2, 4} {
+		dev, err := New(m, semiring.PlusTimes{}, smallConfig(stacks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries := frontier(m.NumRows, 40, 7)
+		out, st, err := dev.Iterate(entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refSpMSpV(m, semiring.PlusTimes{}, entries)
+		if len(out) != len(want) {
+			t.Fatalf("stacks=%d: output size %d, want %d", stacks, len(out), len(want))
+		}
+		for _, e := range out {
+			if want[e.Index] != e.Value {
+				t.Fatalf("stacks=%d: out[%d] = %v, want %v", stacks, e.Index, e.Value, want[e.Index])
+			}
+		}
+		if st.TimeNs() <= 0 {
+			t.Fatalf("stacks=%d: no time", stacks)
+		}
+		if stacks == 1 && st.ReduceTimeNs != 0 {
+			t.Fatal("single stack charged a reduce")
+		}
+		if stacks > 1 && st.ReduceTimeNs <= 0 {
+			t.Fatal("multi stack charged no reduce")
+		}
+	}
+}
+
+func TestMoreStacksShortenParallelPhase(t *testing.T) {
+	// §6: blocks split the work; the per-stack phase must shrink with
+	// stack count on a dense activation.
+	m := testMatrix(t, 2)
+	entries := make([]gearbox.FrontierEntry, m.NumRows)
+	for i := range entries {
+		entries[i] = gearbox.FrontierEntry{Index: int32(i), Value: 1}
+	}
+	phase := map[int]float64{}
+	for _, stacks := range []int{1, 4} {
+		dev, err := New(m, semiring.PlusTimes{}, smallConfig(stacks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := dev.Iterate(entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phase[stacks] = st.StackTimeNs
+	}
+	if phase[4] >= phase[1] {
+		t.Fatalf("4-stack parallel phase %.0fns not below 1-stack %.0fns", phase[4], phase[1])
+	}
+}
+
+func TestDeviceMinPlusBFSStyle(t *testing.T) {
+	// Chained min-plus iterations across stacks must converge to the same
+	// distances as the single-matrix reference.
+	m := testMatrix(t, 3)
+	dev, err := New(m, semiring.MinPlus{}, smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.NumRows
+	inf := float32(math.Inf(1))
+	dist := make([]float32, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[0] = 0
+	entries := []gearbox.FrontierEntry{{Index: 0, Value: 0}}
+	for len(entries) > 0 {
+		out, _, err := dev.Iterate(entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = entries[:0]
+		for _, e := range out {
+			if e.Value < dist[e.Index] {
+				dist[e.Index] = e.Value
+				entries = append(entries, e)
+			}
+		}
+	}
+	want := refSSSP(m, 0)
+	for v := range want {
+		if dist[v] != want[v] {
+			t.Fatalf("dist[%d] = %v, want %v", v, dist[v], want[v])
+		}
+	}
+}
+
+func refSSSP(m *sparse.CSC, src int32) []float32 {
+	n := m.NumRows
+	inf := float32(math.Inf(1))
+	dist := make([]float32, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	for changed := true; changed; {
+		changed = false
+		for c := int32(0); c < n; c++ {
+			if dist[c] == inf {
+				continue
+			}
+			rows, vals := m.Col(c)
+			for i, r := range rows {
+				if d := dist[c] + vals[i]; d < dist[r] {
+					dist[r] = d
+					changed = true
+				}
+			}
+		}
+	}
+	return dist
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	m := testMatrix(t, 4)
+	if _, err := New(m, semiring.PlusTimes{}, smallConfig(0)); err == nil {
+		t.Fatal("0 stacks accepted")
+	}
+	rect := sparse.CSCFromCOO(sparse.NewCOO(4, 6))
+	if _, err := New(rect, semiring.PlusTimes{}, smallConfig(2)); err == nil {
+		t.Fatal("rectangular matrix accepted")
+	}
+	dev, err := New(m, semiring.PlusTimes{}, smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dev.Iterate([]gearbox.FrontierEntry{{Index: m.NumRows, Value: 1}}); err == nil {
+		t.Fatal("out-of-range frontier accepted")
+	}
+}
+
+func TestAllReduceCost(t *testing.T) {
+	ic := DefaultInterconnect()
+	if ic.AllReduceNs(1e6, 1) != 0 {
+		t.Fatal("single stack all-reduce must be free")
+	}
+	two := ic.AllReduceNs(1e6, 2)
+	four := ic.AllReduceNs(1e6, 4)
+	if !(four > two && two > 0) {
+		t.Fatalf("ring all-reduce cost not growing: %v, %v", two, four)
+	}
+}
+
+func TestQuickDeviceMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		m, err := gen.RMAT(gen.RMATConfig{Scale: 8, EdgeFactor: 6, A: 0.55, B: 0.2, C: 0.2, Noise: 0.1, Seed: seed})
+		if err != nil {
+			return false
+		}
+		stacks := 1 + int(seed&3)
+		dev, err := New(m, semiring.PlusTimes{}, smallConfig(stacks))
+		if err != nil {
+			return false
+		}
+		entries := frontier(m.NumRows, 20, seed)
+		out, _, err := dev.Iterate(entries)
+		if err != nil {
+			return false
+		}
+		want := refSpMSpV(m, semiring.PlusTimes{}, entries)
+		if len(out) != len(want) {
+			return false
+		}
+		for _, e := range out {
+			if want[e.Index] != e.Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,533 @@
+// Package partition implements the data-placement schemes of the paper:
+// naive column-oriented partitioning (GearboxV1), Hybrid partitioning with
+// and without long-entry replication (GearboxV2/V3, §3.2), the impractical
+// all-in-logic-layer variant (HypoGearboxV2, Table 4), and the
+// consecutive-column placement policies of Fig. 16b.
+//
+// A Plan relabels the matrix so every compute SPU owns one *contiguous*
+// range of vertex indexes — that is what makes the FirstLocal/LastLocal
+// comparator latches of §4 sufficient to classify accumulations — while the
+// placement policy controls which SPU consecutive original columns land on.
+package partition
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gearbox/internal/mem"
+	"gearbox/internal/sparse"
+)
+
+// Scheme selects the partitioning strategy (Table 4).
+type Scheme int
+
+const (
+	// ColumnOriented assigns whole columns to SPUs with no long region
+	// (GearboxV1).
+	ColumnOriented Scheme = iota
+	// Hybrid stripes long columns across all SPUs and keeps short columns
+	// whole (GearboxV2 with Replicate=false, GearboxV3 with Replicate=true).
+	Hybrid
+	// HypoLogicLayer keeps the matrix partitioned like Hybrid but places the
+	// entire input and output vectors in the logic layer (HypoGearboxV2,
+	// impractical: evaluated for Fig. 13 only).
+	HypoLogicLayer
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case ColumnOriented:
+		return "column-oriented"
+	case Hybrid:
+		return "hybrid"
+	case HypoLogicLayer:
+		return "hypo-logic-layer"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Placement controls where consecutive original columns land (Fig. 16b).
+type Placement int
+
+const (
+	// Shuffled is the paper's default pre-processing: randomize the column
+	// order (§6). Statistically equivalent to Distributed plus load noise.
+	Shuffled Placement = iota
+	// SameSubarray stores consecutive columns in one subarray pair.
+	SameSubarray
+	// SameBank spreads consecutive columns across the SPUs of one bank.
+	SameBank
+	// SameVault spreads consecutive columns across the SPUs of one vault.
+	SameVault
+	// Distributed round-robins consecutive columns across every SPU.
+	Distributed
+)
+
+func (p Placement) String() string {
+	switch p {
+	case Shuffled:
+		return "shuffled"
+	case SameSubarray:
+		return "same-subarray"
+	case SameBank:
+		return "same-bank"
+	case SameVault:
+		return "same-vault"
+	case Distributed:
+		return "distributed"
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// Balance selects how short columns spread across SPUs.
+type Balance int
+
+const (
+	// VertexBalanced gives every SPU the same number of columns (the
+	// paper's randomize-and-split pre-processing, §6).
+	VertexBalanced Balance = iota
+	// NNZBalanced packs columns onto SPUs by longest-processing-time-first
+	// so per-SPU non-zero counts equalize — a reproduction-added refinement
+	// that counters the hot-short-column imbalance EXPERIMENTS.md measures
+	// on scaled datasets. Applies to the Shuffled and Distributed
+	// placements; structured placements keep their layout.
+	NNZBalanced
+)
+
+func (b Balance) String() string {
+	switch b {
+	case VertexBalanced:
+		return "vertex-balanced"
+	case NNZBalanced:
+		return "nnz-balanced"
+	}
+	return fmt.Sprintf("Balance(%d)", int(b))
+}
+
+// Config parameterizes a partitioning run.
+type Config struct {
+	Scheme    Scheme
+	Placement Placement
+	// LongFrac is the fraction of columns/rows labeled long (paper default
+	// 0.01% = 0.0001). Ignored by ColumnOriented.
+	LongFrac float64
+	// Replicate enables the V3 optimization: long outputs replicated per
+	// SPU, reduced in the logic layer (Fig. 7b).
+	Replicate bool
+	// Balance selects vertex-count or non-zero-count balancing.
+	Balance Balance
+	Seed    int64
+}
+
+// PaperLongFrac is the paper's default long threshold: the top 0.01% of
+// columns/rows (§3.2), appropriate at the paper's 1M-24M-vertex scale.
+const PaperLongFrac = 0.0001
+
+// ScaledLongFrac is the equivalent threshold for this repo's ~100x-smaller
+// synthetic stand-ins: it captures a comparable share of non-zeros in the
+// long region (DESIGN.md §2 records the scaling).
+const ScaledLongFrac = 0.005
+
+// DefaultConfig is the GearboxV3 configuration at the scaled threshold.
+func DefaultConfig() Config {
+	return Config{Scheme: Hybrid, Placement: Shuffled, LongFrac: ScaledLongFrac, Replicate: true, Seed: 1}
+}
+
+// Range is one SPU's contiguous owned vertex span [First, Last], inclusive.
+// Empty ranges have Last < First.
+type Range struct{ First, Last int32 }
+
+// Len reports the number of owned vertices.
+func (r Range) Len() int32 {
+	if r.Last < r.First {
+		return 0
+	}
+	return r.Last - r.First + 1
+}
+
+// Contains reports whether v falls in the range.
+func (r Range) Contains(v int32) bool { return v >= r.First && v <= r.Last }
+
+// Plan is the result of partitioning: the relabeled matrix, the permutation
+// that produced it, per-SPU ownership ranges, and the long-column fragments.
+type Plan struct {
+	Cfg Config
+	Geo mem.Geometry
+
+	Matrix *sparse.CSC // relabeled
+	Perm   *sparse.Permutation
+	// LastLong bounds the long region in the new labels (-1: none).
+	LastLong int32
+	NumSPUs  int
+	// Ranges[k] is compute SPU k's owned span over short vertices.
+	Ranges []Range
+	// OwnerOf[v] is the flat compute-SPU index owning new label v, or -1
+	// for long-region labels (owned by the logic layer).
+	OwnerOf []int32
+	// LongFrags[k] holds the (row,value) fragments of long columns whose
+	// rows SPU k owns, grouped by column; LongRowSpill[k] holds long-column
+	// entries whose rows are themselves long (round-robined for balance).
+	LongFrags    []map[int32][]sparse.Entry
+	LongRowSpill []map[int32][]sparse.Entry
+}
+
+// SPUIDOf maps a flat compute-SPU index to its stack coordinates. Flat
+// indexes enumerate layer-major, then bank, then SPU position; position
+// skips the dispatcher slot (the last pair, §4.3).
+func (p *Plan) SPUIDOf(flat int) mem.SPUID {
+	per := p.Geo.ComputeSPUsPerBank()
+	bankFlat := flat / per
+	return mem.SPUID{
+		Layer: bankFlat / p.Geo.BanksPerLayer,
+		Bank:  bankFlat % p.Geo.BanksPerLayer,
+		SPU:   flat % per,
+	}
+}
+
+// DispatcherOf returns the Dispatcher SPU of the bank hosting flat SPU k.
+func (p *Plan) DispatcherOf(flat int) mem.SPUID {
+	id := p.SPUIDOf(flat)
+	id.SPU = p.Geo.SPUsPerBank() - 1
+	return id
+}
+
+// Build partitions the matrix for the given geometry.
+func Build(m *sparse.CSC, geo mem.Geometry, cfg Config) (*Plan, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if m.NumRows != m.NumCols {
+		return nil, fmt.Errorf("partition: requires a square matrix, got %dx%d", m.NumRows, m.NumCols)
+	}
+	if cfg.LongFrac < 0 || cfg.LongFrac > 1 {
+		return nil, fmt.Errorf("partition: long fraction %v out of [0,1]", cfg.LongFrac)
+	}
+	longFrac := cfg.LongFrac
+	if cfg.Scheme == ColumnOriented {
+		longFrac = 0
+	}
+
+	numSPUs := geo.TotalComputeSPUs()
+	n := m.NumRows
+
+	perm, lastLong, counts, err := buildPermutation(m, geo, cfg, longFrac)
+	if err != nil {
+		return nil, err
+	}
+	relabeled := sparse.ApplyPermutation(m, perm)
+
+	p := &Plan{
+		Cfg:      cfg,
+		Geo:      geo,
+		Matrix:   relabeled,
+		Perm:     perm,
+		LastLong: lastLong,
+		NumSPUs:  numSPUs,
+		Ranges:   make([]Range, numSPUs),
+		OwnerOf:  make([]int32, n),
+	}
+
+	// Contiguous short ranges: SPU k's range size is exactly the number of
+	// columns the placement assigned to it (equal counts for
+	// VertexBalanced, length-weighted counts for NNZBalanced).
+	next := int64(lastLong + 1)
+	for k := 0; k < numSPUs; k++ {
+		size := int64(counts[k])
+		p.Ranges[k] = Range{First: int32(next), Last: int32(next + size - 1)}
+		next += size
+	}
+	for v := int32(0); v <= lastLong; v++ {
+		p.OwnerOf[v] = -1
+	}
+	for k, r := range p.Ranges {
+		for v := r.First; v <= r.Last; v++ {
+			p.OwnerOf[v] = int32(k)
+		}
+	}
+
+	p.buildLongFragments()
+	return p, nil
+}
+
+// buildPermutation produces the vertex relabeling: long vertices first, then
+// short vertices ordered so each SPU's contiguous new-label range receives
+// the original columns its placement policy prescribes. The returned counts
+// are the per-SPU assignment sizes the ranges must match.
+func buildPermutation(m *sparse.CSC, geo mem.Geometry, cfg Config, longFrac float64) (*sparse.Permutation, int32, []int, error) {
+	n := m.NumRows
+	colLens := sparse.ColumnLengths(m)
+	rowLens := sparse.RowLengths(m)
+	isLong := make([]bool, n)
+	for _, v := range sparse.TopFraction(colLens, longFrac) {
+		isLong[v] = true
+	}
+	for _, v := range sparse.TopFraction(rowLens, longFrac) {
+		isLong[v] = true
+	}
+
+	var longSet, shortSet []int32
+	for v := int32(0); v < n; v++ {
+		if isLong[v] {
+			longSet = append(longSet, v)
+		} else {
+			shortSet = append(shortSet, v)
+		}
+	}
+
+	numSPUs := geo.TotalComputeSPUs()
+	perSPU := make([][]int32, numSPUs)
+	nnzBalance := cfg.Balance == NNZBalanced &&
+		(cfg.Placement == Shuffled || cfg.Placement == Distributed)
+	switch {
+	case nnzBalance:
+		// A vertex loads its SPU on both sides: column length drives Step 3
+		// (outgoing accumulations) and row length drives Step 5 (incoming
+		// remote pairs land at the row's owner). Balance their sum.
+		weights := make([]int, n)
+		for v := range weights {
+			weights[v] = colLens[v] + rowLens[v] + 1 // +1 keeps Step 2/6 per-vertex work counted
+		}
+		perSPU = packByLength(shortSet, weights, numSPUs)
+	case cfg.Placement == Shuffled:
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		shuffled := append([]int32(nil), shortSet...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		for i, v := range shuffled {
+			perSPU[i%numSPUs] = append(perSPU[i%numSPUs], v)
+		}
+	default:
+		for i, v := range shortSet {
+			k := spuForColumn(i, len(shortSet), geo, cfg)
+			perSPU[k] = append(perSPU[k], v)
+		}
+	}
+
+	if !nnzBalance {
+		// Vertex balancing: per-SPU assignment sizes must match the even
+		// split (base or base+1 per SPU); move overflow to underfull SPUs.
+		rebalance(perSPU, len(shortSet))
+	}
+
+	perm := &sparse.Permutation{New: make([]int32, n), Old: make([]int32, n)}
+	counts := make([]int, numSPUs)
+	next := int32(0)
+	for _, v := range longSet {
+		perm.New[v], perm.Old[next] = next, v
+		next++
+	}
+	for k := 0; k < numSPUs; k++ {
+		counts[k] = len(perSPU[k])
+		for _, v := range perSPU[k] {
+			perm.New[v], perm.Old[next] = next, v
+			next++
+		}
+	}
+	if err := perm.Validate(); err != nil {
+		return nil, 0, nil, fmt.Errorf("partition: %w", err)
+	}
+	return perm, int32(len(longSet)) - 1, counts, nil
+}
+
+// packByLength assigns columns to SPUs longest-first onto the least-loaded
+// SPU (LPT list scheduling), equalizing per-SPU non-zero totals.
+func packByLength(shortSet []int32, colLens []int, numSPUs int) [][]int32 {
+	order := append([]int32(nil), shortSet...)
+	sort.Slice(order, func(i, j int) bool {
+		li, lj := colLens[order[i]], colLens[order[j]]
+		if li != lj {
+			return li > lj
+		}
+		return order[i] < order[j]
+	})
+	// A heap keyed by (load, count) keeps assignment O(n log S).
+	h := make(slotHeap, numSPUs)
+	for k := 0; k < numSPUs; k++ {
+		h[k] = &slot{spu: k}
+	}
+	heap.Init(&h)
+	perSPU := make([][]int32, numSPUs)
+	for _, v := range order {
+		s := h[0]
+		perSPU[s.spu] = append(perSPU[s.spu], v)
+		s.load += int64(colLens[v])
+		s.count++
+		heap.Fix(&h, 0)
+	}
+	return perSPU
+}
+
+// slot and slotHeap implement the LPT least-loaded queue.
+type slot struct {
+	load  int64
+	count int
+	spu   int
+}
+
+type slotHeap []*slot
+
+func (h slotHeap) Len() int { return len(h) }
+func (h slotHeap) Less(i, j int) bool {
+	if h[i].load != h[j].load {
+		return h[i].load < h[j].load
+	}
+	if h[i].count != h[j].count {
+		return h[i].count < h[j].count
+	}
+	return h[i].spu < h[j].spu
+}
+func (h slotHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *slotHeap) Push(x any)     { *h = append(*h, x.(*slot)) }
+func (h *slotHeap) Pop() (out any) { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
+
+// spuForColumn maps the i-th short column (in original order) to a compute
+// SPU per the placement policy.
+func spuForColumn(i, total int, geo mem.Geometry, cfg Config) int {
+	numSPUs := geo.TotalComputeSPUs()
+	per := geo.ComputeSPUsPerBank()
+	switch cfg.Placement {
+	case SameSubarray:
+		// Consecutive block of columns per SPU.
+		chunk := (total + numSPUs - 1) / numSPUs
+		return min(i/chunk, numSPUs-1)
+	case SameBank:
+		// Consecutive blocks per bank; round-robin among the bank's SPUs.
+		banks := numSPUs / per
+		chunk := (total + banks - 1) / banks
+		bank := min(i/chunk, banks-1)
+		return bank*per + (i%chunk)%per
+	case SameVault:
+		// Consecutive blocks per vault; round-robin among the vault's SPUs
+		// (all layers, the banks the vault owns).
+		spusPerVault := numSPUs / geo.Vaults
+		chunk := (total + geo.Vaults - 1) / geo.Vaults
+		vault := min(i/chunk, geo.Vaults-1)
+		return vault*spusPerVault + (i%chunk)%spusPerVault
+	default: // Distributed (and Shuffled handled by caller)
+		return i % numSPUs
+	}
+}
+
+// rebalance evens out per-SPU assignment counts to match the contiguous
+// range split (base or base+1 per SPU) while preserving placement intent as
+// much as possible: overflowing SPUs push their tail columns to underfull
+// ones.
+func rebalance(perSPU [][]int32, total int) {
+	numSPUs := len(perSPU)
+	base := total / numSPUs
+	extra := total % numSPUs
+	want := func(k int) int {
+		if k < extra {
+			return base + 1
+		}
+		return base
+	}
+	var pool []int32
+	for k := range perSPU {
+		if w := want(k); len(perSPU[k]) > w {
+			pool = append(pool, perSPU[k][w:]...)
+			perSPU[k] = perSPU[k][:w]
+		}
+	}
+	for k := range perSPU {
+		if w := want(k); len(perSPU[k]) < w {
+			take := w - len(perSPU[k])
+			perSPU[k] = append(perSPU[k], pool[:take]...)
+			pool = pool[take:]
+		}
+	}
+}
+
+// buildLongFragments distributes each long column's entries: entries whose
+// row is short go to the row's owner (so the accumulation is local, Fig. 2b);
+// entries whose row is itself long are round-robined across SPUs and handled
+// by the LongEntryTreat path.
+func (p *Plan) buildLongFragments() {
+	p.LongFrags = make([]map[int32][]sparse.Entry, p.NumSPUs)
+	p.LongRowSpill = make([]map[int32][]sparse.Entry, p.NumSPUs)
+	for k := range p.LongFrags {
+		p.LongFrags[k] = map[int32][]sparse.Entry{}
+		p.LongRowSpill[k] = map[int32][]sparse.Entry{}
+	}
+	rr := 0
+	for c := int32(0); c <= p.LastLong; c++ {
+		rows, vals := p.Matrix.Col(c)
+		for i, r := range rows {
+			e := sparse.Entry{Row: r, Col: c, Val: vals[i]}
+			if owner := p.OwnerOf[r]; owner >= 0 {
+				p.LongFrags[owner][c] = append(p.LongFrags[owner][c], e)
+			} else {
+				k := rr % p.NumSPUs
+				rr++
+				p.LongRowSpill[k][c] = append(p.LongRowSpill[k][c], e)
+			}
+		}
+	}
+}
+
+// Validate checks the structural invariants the machine relies on; property
+// tests call it after every build.
+func (p *Plan) Validate() error {
+	n := p.Matrix.NumRows
+	if int32(len(p.OwnerOf)) != n {
+		return fmt.Errorf("partition: OwnerOf length %d, want %d", len(p.OwnerOf), n)
+	}
+	// Ranges tile [LastLong+1, n) exactly.
+	next := p.LastLong + 1
+	for k, r := range p.Ranges {
+		if r.Len() == 0 {
+			continue
+		}
+		if r.First != next {
+			return fmt.Errorf("partition: SPU %d range starts at %d, want %d", k, r.First, next)
+		}
+		next = r.Last + 1
+	}
+	if next != n {
+		return fmt.Errorf("partition: ranges end at %d, want %d", next, n)
+	}
+	for v := int32(0); v < n; v++ {
+		owner := p.OwnerOf[v]
+		if v <= p.LastLong {
+			if owner != -1 {
+				return fmt.Errorf("partition: long label %d has owner %d", v, owner)
+			}
+			continue
+		}
+		if owner < 0 || int(owner) >= p.NumSPUs || !p.Ranges[owner].Contains(v) {
+			return fmt.Errorf("partition: label %d owner %d inconsistent with ranges", v, owner)
+		}
+	}
+	// Every long-column entry appears in exactly one fragment list.
+	var fragCount int64
+	for k := 0; k < p.NumSPUs; k++ {
+		for c, es := range p.LongFrags[k] {
+			if c > p.LastLong {
+				return fmt.Errorf("partition: fragment for non-long column %d", c)
+			}
+			for _, e := range es {
+				if p.OwnerOf[e.Row] != int32(k) {
+					return fmt.Errorf("partition: SPU %d holds fragment row %d owned by %d", k, e.Row, p.OwnerOf[e.Row])
+				}
+			}
+			fragCount += int64(len(es))
+		}
+		for _, es := range p.LongRowSpill[k] {
+			for _, e := range es {
+				if p.OwnerOf[e.Row] != -1 {
+					return fmt.Errorf("partition: spill entry row %d is not long", e.Row)
+				}
+			}
+			fragCount += int64(len(es))
+		}
+	}
+	var wantFrag int64
+	for c := int32(0); c <= p.LastLong; c++ {
+		wantFrag += int64(p.Matrix.ColLen(c))
+	}
+	if fragCount != wantFrag {
+		return fmt.Errorf("partition: fragments hold %d entries, long columns hold %d", fragCount, wantFrag)
+	}
+	return nil
+}

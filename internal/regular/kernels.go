@@ -1,0 +1,389 @@
+// Package regular reproduces the §7.9 regular-kernel evaluation (Fig. 18):
+// the InSituBench suite priced on Gearbox/Fulcrum, a bank-level SIMD PIM, a
+// row-wide bitwise SIMD PIM (DRISA-like), the GPU, and an ideal
+// internal-bandwidth model.
+//
+// Each kernel is implemented functionally over synthetic data with an
+// instrumented op counter; the architecture models price the counted ops.
+// That keeps the per-kernel op mixes honest (tests check outputs) while the
+// Fig. 18 comparison stays analytic, like the paper's.
+package regular
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Ops counts the micro-operations one kernel run performs.
+type Ops struct {
+	Reads     int64 // sequential word reads
+	Writes    int64 // sequential word writes
+	ALU       int64 // arithmetic/logic operations
+	Random    int64 // random (indirect) word accesses
+	Branches  int64 // data-dependent branches taken
+	Dependent int64 // operations serialized by a loop-carried dependency
+	FloatOps  int64 // subset of ALU that needs a float datapath
+}
+
+// Add accumulates.
+func (o *Ops) Add(other Ops) {
+	o.Reads += other.Reads
+	o.Writes += other.Writes
+	o.ALU += other.ALU
+	o.Random += other.Random
+	o.Branches += other.Branches
+	o.Dependent += other.Dependent
+	o.FloatOps += other.FloatOps
+}
+
+// Kernel is one InSituBench entry.
+type Kernel struct {
+	Name string
+	// Run executes the kernel over n elements, counting ops, and returns a
+	// checksum tests pin down.
+	Run func(n int, seed int64) (Ops, float64)
+}
+
+// Kernels lists the Fig. 18 suite in x-axis order.
+func Kernels() []Kernel {
+	return []Kernel{
+		{Name: "AXPY", Run: runAXPY},
+		{Name: "Bitmap", Run: runBitmap},
+		{Name: "FilterByKey", Run: runFilterByKey},
+		{Name: "FilterByPred", Run: runFilterByPred},
+		{Name: "GEMM", Run: runGEMM},
+		{Name: "GEMV", Run: runGEMV},
+		{Name: "KNN", Run: runKNN},
+		{Name: "LSTM", Run: runLSTM},
+		{Name: "Reduction", Run: runReduction},
+		{Name: "HD_SPMM", Run: runHDSPMM},
+		{Name: "HD_SPMV", Run: runHDSPMV},
+		{Name: "Scale", Run: runScale},
+		{Name: "Scan", Run: runScan},
+		{Name: "Sort", Run: runSort},
+		{Name: "Xor", Run: runXor},
+	}
+}
+
+func data(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = float32(rng.Intn(100))
+	}
+	return x
+}
+
+func runAXPY(n int, seed int64) (Ops, float64) {
+	x, y := data(n, seed), data(n, seed+1)
+	var o Ops
+	for i := range x {
+		y[i] += 2 * x[i]
+		o.Reads += 2
+		o.Writes++
+		o.ALU += 2
+		o.FloatOps += 2
+	}
+	return o, checksum(y)
+}
+
+func runScale(n int, seed int64) (Ops, float64) {
+	x := data(n, seed)
+	var o Ops
+	for i := range x {
+		x[i] *= 3
+		o.Reads++
+		o.Writes++
+		o.ALU++
+		o.FloatOps++
+	}
+	return o, checksum(x)
+}
+
+func runXor(n int, seed int64) (Ops, float64) {
+	x, y := data(n, seed), data(n, seed+1)
+	out := make([]float32, n)
+	var o Ops
+	for i := range x {
+		out[i] = float32(uint32(x[i]) ^ uint32(y[i]))
+		o.Reads += 2
+		o.Writes++
+		o.ALU++
+	}
+	return o, checksum(out)
+}
+
+func runBitmap(n int, seed int64) (Ops, float64) {
+	x := data(n, seed)
+	bits := make([]uint32, (n+31)/32)
+	var o Ops
+	for i := range x {
+		o.Reads++
+		o.ALU++
+		if x[i] > 50 {
+			bits[i/32] |= 1 << (i % 32)
+			o.Random++ // read-modify-write of a bitmap word
+			o.Branches++
+		}
+	}
+	s := 0.0
+	for _, b := range bits {
+		s += float64(b)
+	}
+	return o, s
+}
+
+func runFilterByKey(n int, seed int64) (Ops, float64) {
+	keys, vals := data(n, seed), data(n, seed+1)
+	var out []float32
+	var o Ops
+	for i := range keys {
+		o.Reads += 2
+		o.ALU++
+		if keys[i] == 42 {
+			out = append(out, vals[i])
+			o.Writes++
+			o.Branches++
+		}
+	}
+	return o, checksum(out)
+}
+
+func runFilterByPred(n int, seed int64) (Ops, float64) {
+	vals := data(n, seed)
+	var out []float32
+	var o Ops
+	for i := range vals {
+		o.Reads++
+		o.ALU += 2 // two-sided predicate
+		if vals[i] > 20 && vals[i] < 60 {
+			out = append(out, vals[i])
+			o.Writes++
+			o.Branches++
+		}
+	}
+	return o, checksum(out)
+}
+
+// gemmDim picks a square tile size with about n total output elements.
+func gemmDim(n int) int {
+	d := 2
+	for d*d < n {
+		d++
+	}
+	return d
+}
+
+func runGEMM(n int, seed int64) (Ops, float64) {
+	d := gemmDim(n / 8) // keep d^3 work comparable to the other kernels
+	a, b := data(d*d, seed), data(d*d, seed+1)
+	c := make([]float32, d*d)
+	var o Ops
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			var acc float32
+			for k := 0; k < d; k++ {
+				acc += a[i*d+k] * b[k*d+j]
+			}
+			c[i*d+j] = acc
+			o.Reads += 2 * int64(d)
+			o.Writes++
+			o.ALU += 2 * int64(d)
+			o.FloatOps += 2 * int64(d)
+		}
+	}
+	return o, checksum(c)
+}
+
+func runGEMV(n int, seed int64) (Ops, float64) {
+	d := gemmDim(n)
+	a, x := data(d*d, seed), data(d, seed+1)
+	y := make([]float32, d)
+	var o Ops
+	for i := 0; i < d; i++ {
+		var acc float32
+		for j := 0; j < d; j++ {
+			acc += a[i*d+j] * x[j]
+		}
+		y[i] = acc
+		o.Reads += 2 * int64(d)
+		o.Writes++
+		o.ALU += 2 * int64(d)
+		o.FloatOps += 2 * int64(d)
+	}
+	return o, checksum(y)
+}
+
+func runKNN(n int, seed int64) (Ops, float64) {
+	const dims = 16
+	points := data(n/dims*dims, seed)
+	q := data(dims, seed+1)
+	var o Ops
+	best := float32(1e30)
+	for p := 0; p+dims <= len(points); p += dims {
+		var dist float32
+		for j := 0; j < dims; j++ {
+			d := points[p+j] - q[j]
+			dist += d * d
+		}
+		o.Reads += dims
+		o.ALU += 3 * dims
+		o.FloatOps += 3 * dims
+		o.ALU++
+		o.Dependent++ // running-min carries a dependency
+		o.Branches++
+		if dist < best {
+			best = dist
+		}
+	}
+	return o, float64(best)
+}
+
+func runLSTM(n int, seed int64) (Ops, float64) {
+	// One LSTM cell step over hidden size h: 4 gate matvecs + elementwise.
+	h := gemmDim(n / 4)
+	w := data(4*h*h, seed)
+	x := data(h, seed+1)
+	state := make([]float32, h)
+	var o Ops
+	for g := 0; g < 4; g++ {
+		for i := 0; i < h; i++ {
+			var acc float32
+			for j := 0; j < h; j++ {
+				acc += w[(g*h+i)*h+j] * x[j]
+			}
+			// Cheap rational squash stands in for sigmoid/tanh.
+			sq := acc / (1 + abs32(acc))
+			state[i] += sq
+			o.Reads += 2 * int64(h)
+			o.Writes++
+			o.ALU += 2*int64(h) + 4
+			o.FloatOps += 2*int64(h) + 4
+			o.Dependent++ // gate chaining
+		}
+	}
+	return o, checksum(state)
+}
+
+func runReduction(n int, seed int64) (Ops, float64) {
+	x := data(n, seed)
+	var o Ops
+	var acc float32
+	for i := range x {
+		acc += x[i]
+		o.Reads++
+		o.ALU++
+		o.FloatOps++
+		o.Dependent++
+	}
+	return o, float64(acc)
+}
+
+func runScan(n int, seed int64) (Ops, float64) {
+	x := data(n, seed)
+	var o Ops
+	var acc float32
+	for i := range x {
+		acc += x[i]
+		x[i] = acc
+		o.Reads++
+		o.Writes++
+		o.ALU++
+		o.FloatOps++
+		o.Dependent++
+	}
+	return o, checksum(x)
+}
+
+func runSort(n int, seed int64) (Ops, float64) {
+	x := data(n, seed)
+	var o Ops
+	// Count the ops of a mergesort: n log n compares and moves, all branchy.
+	passes := 0
+	for w := 1; w < n; w *= 2 {
+		passes++
+	}
+	o.Reads = int64(n) * int64(passes)
+	o.Writes = int64(n) * int64(passes)
+	o.ALU = int64(n) * int64(passes)
+	o.Branches = int64(n) * int64(passes)
+	sort.Slice(x, func(i, j int) bool { return x[i] < x[j] })
+	return o, checksum(x)
+}
+
+// hdSparse builds a 20%-density matrix like the Fulcrum evaluation (§7.3:
+// "the density of the matrix evaluated in Fulcrum is 20%").
+func hdSparse(d int, seed int64) ([]int32, []float32, []int64) {
+	rng := rand.New(rand.NewSource(seed))
+	var idx []int32
+	var val []float32
+	off := make([]int64, d+1)
+	for r := 0; r < d; r++ {
+		for c := 0; c < d; c++ {
+			if rng.Float64() < 0.2 {
+				idx = append(idx, int32(c))
+				val = append(val, float32(rng.Intn(9)+1))
+			}
+		}
+		off[r+1] = int64(len(idx))
+	}
+	return idx, val, off
+}
+
+func runHDSPMV(n int, seed int64) (Ops, float64) {
+	d := gemmDim(n / 2)
+	idx, val, off := hdSparse(d, seed)
+	x := data(d, seed+1)
+	y := make([]float32, d)
+	var o Ops
+	for r := 0; r < d; r++ {
+		var acc float32
+		for i := off[r]; i < off[r+1]; i++ {
+			acc += val[i] * x[idx[i]]
+			o.Random++ // gather x[idx]
+		}
+		y[r] = acc
+		nnz := off[r+1] - off[r]
+		o.Reads += 2 * nnz
+		o.Writes++
+		o.ALU += 2 * nnz
+		o.FloatOps += 2 * nnz
+	}
+	return o, checksum(y)
+}
+
+func runHDSPMM(n int, seed int64) (Ops, float64) {
+	d := gemmDim(n / 8)
+	idx, val, off := hdSparse(d, seed)
+	b := data(d*4, seed+1) // 4 dense columns
+	c := make([]float32, d*4)
+	var o Ops
+	for r := 0; r < d; r++ {
+		for i := off[r]; i < off[r+1]; i++ {
+			for k := 0; k < 4; k++ {
+				c[r*4+k] += val[i] * b[int(idx[i])*4+k]
+			}
+			o.Random += 4
+			o.Reads += 2
+			o.ALU += 8
+			o.FloatOps += 8
+		}
+		o.Writes += 4
+	}
+	return o, checksum(c)
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func checksum(x []float32) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += float64(v)
+	}
+	return s
+}

@@ -1,0 +1,162 @@
+package regular
+
+import "gearbox/internal/mem"
+
+// Arch prices one kernel's op mix on one architecture, returning time in
+// nanoseconds. Throughput (Fig. 18's y-axis) is elements/time normalized to
+// the GPU per memory stack by the harness.
+type Arch interface {
+	Name() string
+	// TimeNs prices the ops; ok=false means the architecture cannot run
+	// the kernel at all (SIMDRAM-class machines lack float support, §7.9).
+	TimeNs(o Ops) (t float64, ok bool)
+}
+
+// Fulcrum is the Gearbox/Fulcrum pricing: one word per instruction slot per
+// SPU, perfect handling of dependencies and branches (each SPU runs its own
+// 8-entry program, §4), random accesses cost an unhidden row activation.
+type Fulcrum struct {
+	SPUs       int
+	CycleNs    float64
+	RowCycleNs float64
+}
+
+// NewFulcrum returns the Table 2 configuration.
+func NewFulcrum(g mem.Geometry, t mem.Timing) Fulcrum {
+	return Fulcrum{SPUs: g.TotalComputeSPUs(), CycleNs: t.SPUCycleNs(), RowCycleNs: t.RowCycleNs}
+}
+
+// Name implements Arch.
+func (f Fulcrum) Name() string { return "Gearbox" }
+
+// TimeNs implements Arch.
+func (f Fulcrum) TimeNs(o Ops) (float64, bool) {
+	slots := o.Reads + o.Writes + o.ALU
+	t := float64(slots)/float64(f.SPUs)*f.CycleNs + float64(o.Random)/float64(f.SPUs)*f.RowCycleNs
+	return t, true
+}
+
+// BankSIMD is a bank-level SIMD PIM (Newton / Samsung-PIM class) with the
+// same ALU count and frequency as Fulcrum (§7.9's controlled comparison),
+// organized as lock-step groups: branches execute both paths, loop-carried
+// dependencies serialize the lane group, and random accesses gather one
+// lane at a time ("ALUs remain idle until all the operands are collected").
+type BankSIMD struct {
+	ALUs       int
+	LaneWidth  int // lanes per lock-step group
+	CycleNs    float64
+	RowCycleNs float64
+}
+
+// NewBankSIMD matches Fulcrum's ALU budget with 16-wide bank groups.
+func NewBankSIMD(g mem.Geometry, t mem.Timing) BankSIMD {
+	return BankSIMD{ALUs: g.TotalComputeSPUs(), LaneWidth: 16, CycleNs: t.SPUCycleNs(), RowCycleNs: t.RowCycleNs}
+}
+
+// Name implements Arch.
+func (b BankSIMD) Name() string { return "Bank-level SIMD" }
+
+// TimeNs implements Arch.
+func (b BankSIMD) TimeNs(o Ops) (float64, bool) {
+	w := float64(b.LaneWidth)
+	slots := float64(o.Reads+o.Writes+o.ALU) +
+		float64(o.Branches)*1.0 + // divergent path re-executed
+		float64(o.Dependent)*(w-1) + // group serializes on the dependency
+		0 // random handled below
+	t := slots/float64(b.ALUs)*b.CycleNs +
+		float64(o.Random)*w/float64(b.ALUs)*b.RowCycleNs // serialized gathers stall the group
+	return t, true
+}
+
+// BitwiseSIMD is a row-wide bit-serial/bit-parallel PIM (DRISA class):
+// massive row-level parallelism but every 32-bit arithmetic op costs a
+// ladder of row activations, no float datapath, and random accesses are
+// pathological (a vertical layout touches 32 rows per word, §7.9).
+type BitwiseSIMD struct {
+	Banks       int
+	WordsPerRow int
+	RowCycleNs  float64
+	// ActsPerALUOp is the row-activation ladder per 32-bit integer op.
+	ActsPerALUOp float64
+	FloatCapable bool
+}
+
+// NewBitwiseSIMD returns the DRISA-class configuration on the Table 2 stack.
+func NewBitwiseSIMD(g mem.Geometry, t mem.Timing) BitwiseSIMD {
+	return BitwiseSIMD{
+		Banks:        g.BanksPerLayer * g.Layers,
+		WordsPerRow:  g.WordsPerRow(),
+		RowCycleNs:   t.RowCycleNs,
+		ActsPerALUOp: 160, // ~5 activations per bit for a 32-bit ripple add
+		FloatCapable: false,
+	}
+}
+
+// Name implements Arch.
+func (d BitwiseSIMD) Name() string { return "Row-wide bitwise SIMD" }
+
+// TimeNs implements Arch.
+func (d BitwiseSIMD) TimeNs(o Ops) (float64, bool) {
+	if o.FloatOps > 0 && !d.FloatCapable {
+		return 0, false
+	}
+	// A whole row of words computes per ladder; reads/writes ride the same
+	// activations.
+	wordsPerLadder := float64(d.WordsPerRow * d.Banks)
+	ladders := float64(o.ALU) / wordsPerLadder
+	t := ladders * d.ActsPerALUOp * d.RowCycleNs
+	// Random accesses: vertical layouts activate one row per bit.
+	t += float64(o.Random) * 32 * d.RowCycleNs / float64(d.Banks)
+	return t, true
+}
+
+// GPU prices the kernel on the P100: streaming bandwidth bound with a
+// compute roof.
+type GPU struct {
+	BWBytesPerNs float64
+	StreamEff    float64
+	RandomEff    float64
+	SectorBytes  float64
+	OpsPerNs     float64
+	Stacks       int
+}
+
+// NewGPU returns the three-stack P100. Regular kernels stream well, so the
+// efficiencies are higher than the sparse-app model's.
+func NewGPU() GPU {
+	return GPU{BWBytesPerNs: 549, StreamEff: 0.75, RandomEff: 0.06, SectorBytes: 32, OpsPerNs: 40, Stacks: 3}
+}
+
+// Name implements Arch.
+func (g GPU) Name() string { return "GPU" }
+
+// TimeNs implements Arch.
+func (g GPU) TimeNs(o Ops) (float64, bool) {
+	bytes := float64(o.Reads+o.Writes) * 4
+	mem := bytes/(g.BWBytesPerNs*g.StreamEff) + float64(o.Random)*g.SectorBytes/(g.BWBytesPerNs*g.RandomEff)
+	comp := float64(o.ALU) / g.OpsPerNs
+	if comp > mem {
+		return comp, true
+	}
+	return mem, true
+}
+
+// Ideal is the internal-bandwidth bound: every subarray pair streams rows at
+// the row-cycle rate, the absolute ceiling for any in-memory-layer design.
+type Ideal struct {
+	BytesPerNs float64
+}
+
+// NewIdeal derives the ceiling from the geometry.
+func NewIdeal(g mem.Geometry, t mem.Timing) Ideal {
+	pairs := float64(g.TotalComputeSPUs())
+	return Ideal{BytesPerNs: pairs * float64(g.RowBytes) / t.RowCycleNs}
+}
+
+// Name implements Arch.
+func (i Ideal) Name() string { return "Ideal model" }
+
+// TimeNs implements Arch.
+func (i Ideal) TimeNs(o Ops) (float64, bool) {
+	return float64(o.Reads+o.Writes+o.Random) * 4 / i.BytesPerNs, true
+}

@@ -1,0 +1,126 @@
+package regular
+
+import (
+	"math"
+	"testing"
+
+	"gearbox/internal/mem"
+)
+
+func TestKernelsRunAndCount(t *testing.T) {
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			ops, sum := k.Run(4096, 1)
+			if ops.Reads == 0 && ops.Random == 0 {
+				t.Fatalf("%s read nothing: %+v", k.Name, ops)
+			}
+			if ops.ALU == 0 {
+				t.Fatalf("%s computed nothing", k.Name)
+			}
+			// Determinism: same seed, same checksum and ops.
+			ops2, sum2 := k.Run(4096, 1)
+			if ops != ops2 || sum != sum2 {
+				t.Fatalf("%s not deterministic", k.Name)
+			}
+		})
+	}
+}
+
+func TestKernelListMatchesFig18(t *testing.T) {
+	want := []string{"AXPY", "Bitmap", "FilterByKey", "FilterByPred", "GEMM", "GEMV",
+		"KNN", "LSTM", "Reduction", "HD_SPMM", "HD_SPMV", "Scale", "Scan", "Sort", "Xor"}
+	ks := Kernels()
+	if len(ks) != len(want) {
+		t.Fatalf("kernel count = %d, want %d", len(ks), len(want))
+	}
+	for i, k := range ks {
+		if k.Name != want[i] {
+			t.Fatalf("kernel %d = %s, want %s", i, k.Name, want[i])
+		}
+	}
+}
+
+func archs() (Fulcrum, BankSIMD, BitwiseSIMD, GPU, Ideal) {
+	g, tm := mem.DefaultGeometry(), mem.DefaultTiming()
+	return NewFulcrum(g, tm), NewBankSIMD(g, tm), NewBitwiseSIMD(g, tm), NewGPU(), NewIdeal(g, tm)
+}
+
+func TestGearboxBeatsBankSIMDOnIrregular(t *testing.T) {
+	fu, bs, _, _, _ := archs()
+	// Scan (fully dependent) and HD_SPMV (random gathers): the §7.9 cases
+	// where per-SPU sequencing wins.
+	for _, name := range []string{"Scan", "HD_SPMV", "Sort"} {
+		ops := opsFor(t, name)
+		tf, _ := fu.TimeNs(ops)
+		tb, _ := bs.TimeNs(ops)
+		if tf >= tb {
+			t.Fatalf("%s: Fulcrum %v >= bank SIMD %v", name, tf, tb)
+		}
+	}
+}
+
+func TestBitwiseSIMDRefusesFloat(t *testing.T) {
+	_, _, dr, _, _ := archs()
+	if _, ok := dr.TimeNs(opsFor(t, "AXPY")); ok {
+		t.Fatal("bitwise SIMD accepted a float kernel (SIMDRAM cannot, §7.9)")
+	}
+	if _, ok := dr.TimeNs(opsFor(t, "Xor")); !ok {
+		t.Fatal("bitwise SIMD refused an integer kernel")
+	}
+}
+
+func TestBitwiseSIMDOrdersOfMagnitudeSlower(t *testing.T) {
+	fu, _, dr, _, _ := archs()
+	ops := opsFor(t, "Sort") // integer, arithmetic-heavy
+	tf, _ := fu.TimeNs(ops)
+	td, ok := dr.TimeNs(ops)
+	if !ok {
+		t.Fatal("Sort should be integer-capable")
+	}
+	if td < 50*tf {
+		t.Fatalf("DRISA-class %v not orders slower than Fulcrum %v", td, tf)
+	}
+}
+
+func TestIdealLowerBoundsFulcrum(t *testing.T) {
+	fu, _, _, _, id := archs()
+	for _, k := range Kernels() {
+		ops, _ := k.Run(1<<16, 2)
+		tf, _ := fu.TimeNs(ops)
+		ti, _ := id.TimeNs(ops)
+		if ti > tf {
+			t.Fatalf("%s: ideal %v above Fulcrum %v", k.Name, ti, tf)
+		}
+	}
+}
+
+func TestGearboxAverageAdvantageOverBankSIMD(t *testing.T) {
+	// §7.9: "Gearbox provides, on average, 4.4x higher throughput than the
+	// bank-level SIMD approach." Check the geomean lands in a sane band.
+	fu, bs, _, _, _ := archs()
+	prod, n := 1.0, 0
+	for _, k := range Kernels() {
+		ops, _ := k.Run(1<<16, 3)
+		tf, _ := fu.TimeNs(ops)
+		tb, _ := bs.TimeNs(ops)
+		prod *= tb / tf
+		n++
+	}
+	geo := math.Pow(prod, 1/float64(n))
+	if geo < 1.5 || geo > 12 {
+		t.Fatalf("geomean advantage over bank SIMD = %.2f, want ~4.4", geo)
+	}
+}
+
+func opsFor(t *testing.T, name string) Ops {
+	t.Helper()
+	for _, k := range Kernels() {
+		if k.Name == name {
+			ops, _ := k.Run(1<<16, 1)
+			return ops
+		}
+	}
+	t.Fatalf("no kernel %s", name)
+	return Ops{}
+}

@@ -1,0 +1,146 @@
+// Package semiring defines the generalized (⊕,⊗) algebras that SpMV and
+// SpMSpV run over in the paper (§2.2): "multiplications and accumulations can
+// be replaced by any other operation with similar properties". PageRank, SVM
+// and SpKNN use plus-times; SSSP uses min-plus; BFS uses a boolean/min-select
+// algebra. The Apply step (finalOutput = Output ⊕ α⊗y) is also defined here.
+package semiring
+
+import "math"
+
+// Semiring is a generalized multiply-accumulate algebra over float32 words.
+// Zero is the additive identity and doubles as the "clean value" the Gearbox
+// controller checks to maintain the sparse output format (§4.4): accumulating
+// into a slot that currently holds Zero() means the slot just became
+// non-clean and its index must be recorded in the next frontier.
+type Semiring interface {
+	// Name identifies the algebra in logs and metrics.
+	Name() string
+	// Mul is the ⊗ operation applied to (matrix value, input value).
+	Mul(a, v float32) float32
+	// Add is the ⊕ accumulation; it must be commutative and associative so
+	// remote accumulations can be dispatched in any order (§1).
+	Add(x, y float32) float32
+	// Zero is the ⊕-identity / clean value.
+	Zero() float32
+	// IsZero reports whether x is the clean value. Kept as a method because
+	// min-plus uses +Inf, whose comparison differs from ==0 for NaN safety.
+	IsZero(x float32) bool
+}
+
+// PlusTimes is ordinary arithmetic: ⊕ = +, ⊗ = ×, clean value 0.
+type PlusTimes struct{}
+
+// Name implements Semiring.
+func (PlusTimes) Name() string { return "plus-times" }
+
+// Mul implements Semiring.
+func (PlusTimes) Mul(a, v float32) float32 { return a * v }
+
+// Add implements Semiring.
+func (PlusTimes) Add(x, y float32) float32 { return x + y }
+
+// Zero implements Semiring.
+func (PlusTimes) Zero() float32 { return 0 }
+
+// IsZero implements Semiring.
+func (PlusTimes) IsZero(x float32) bool { return x == 0 }
+
+// MinPlus is the tropical algebra for shortest paths: ⊕ = min, ⊗ = +,
+// clean value +Inf.
+type MinPlus struct{}
+
+// Name implements Semiring.
+func (MinPlus) Name() string { return "min-plus" }
+
+// Mul implements Semiring.
+func (MinPlus) Mul(a, v float32) float32 { return a + v }
+
+// Add implements Semiring.
+func (MinPlus) Add(x, y float32) float32 {
+	if x < y {
+		return x
+	}
+	return y
+}
+
+// Zero implements Semiring.
+func (MinPlus) Zero() float32 { return float32(math.Inf(1)) }
+
+// IsZero implements Semiring.
+func (MinPlus) IsZero(x float32) bool { return math.IsInf(float64(x), 1) }
+
+// BoolOrAnd is the boolean algebra used by BFS frontier expansion: any
+// non-zero counts as true; ⊗ = AND (propagate reachability), ⊕ = OR.
+type BoolOrAnd struct{}
+
+// Name implements Semiring.
+func (BoolOrAnd) Name() string { return "bool-or-and" }
+
+// Mul implements Semiring.
+func (BoolOrAnd) Mul(a, v float32) float32 {
+	if a != 0 && v != 0 {
+		return 1
+	}
+	return 0
+}
+
+// Add implements Semiring.
+func (BoolOrAnd) Add(x, y float32) float32 {
+	if x != 0 || y != 0 {
+		return 1
+	}
+	return 0
+}
+
+// Zero implements Semiring.
+func (BoolOrAnd) Zero() float32 { return 0 }
+
+// IsZero implements Semiring.
+func (BoolOrAnd) IsZero(x float32) bool { return x == 0 }
+
+// MinFirst is the label-propagation algebra (connected components): ⊗
+// forwards the input-vector value unchanged (edge weights are irrelevant),
+// ⊕ keeps the minimum label, clean value +Inf.
+type MinFirst struct{}
+
+// Name implements Semiring.
+func (MinFirst) Name() string { return "min-first" }
+
+// Mul implements Semiring: the propagated label is the input value.
+func (MinFirst) Mul(a, v float32) float32 { return v }
+
+// Add implements Semiring.
+func (MinFirst) Add(x, y float32) float32 {
+	if x < y {
+		return x
+	}
+	return y
+}
+
+// Zero implements Semiring.
+func (MinFirst) Zero() float32 { return float32(math.Inf(1)) }
+
+// IsZero implements Semiring.
+func (MinFirst) IsZero(x float32) bool { return math.IsInf(float64(x), 1) }
+
+// Apply performs the element-wise post-step of §2.2,
+// finalOutput[i] = output[i] ⊕ alpha ⊗ y[i], in place on output.
+// y may be nil, in which case alpha⊗zero is still folded in only when the
+// algebra's Mul(alpha, zero) is non-clean (it never is for the shipped
+// algebras, so nil y means output is returned unchanged).
+func Apply(s Semiring, output []float32, alpha float32, y []float32) {
+	if y == nil {
+		return
+	}
+	for i := range output {
+		output[i] = s.Add(output[i], s.Mul(alpha, y[i]))
+	}
+}
+
+// Registry maps algebra names to instances, for CLI flag parsing.
+var Registry = map[string]Semiring{
+	PlusTimes{}.Name(): PlusTimes{},
+	MinPlus{}.Name():   MinPlus{},
+	BoolOrAnd{}.Name(): BoolOrAnd{},
+	MinFirst{}.Name():  MinFirst{},
+}

@@ -1,0 +1,144 @@
+package semiring
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func all() []Semiring {
+	return []Semiring{PlusTimes{}, MinPlus{}, BoolOrAnd{}, MinFirst{}}
+}
+
+// randVal draws values the algebra can sensibly consume.
+func randVal(s Semiring, rng *rand.Rand) float32 {
+	switch s.(type) {
+	case BoolOrAnd:
+		return float32(rng.Intn(2))
+	default:
+		return float32(rng.Intn(20)) - 5
+	}
+}
+
+func TestSemiringLaws(t *testing.T) {
+	for _, s := range all() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			for i := 0; i < 200; i++ {
+				x, y, z := randVal(s, rng), randVal(s, rng), randVal(s, rng)
+				if s.Add(x, y) != s.Add(y, x) {
+					t.Fatalf("Add not commutative on (%v,%v)", x, y)
+				}
+				if s.Add(s.Add(x, y), z) != s.Add(x, s.Add(y, z)) {
+					t.Fatalf("Add not associative on (%v,%v,%v)", x, y, z)
+				}
+				if s.Add(x, s.Zero()) != x {
+					t.Fatalf("Zero not identity for Add on %v", x)
+				}
+			}
+		})
+	}
+}
+
+func TestIsZeroMatchesZero(t *testing.T) {
+	for _, s := range all() {
+		if !s.IsZero(s.Zero()) {
+			t.Fatalf("%s: IsZero(Zero()) = false", s.Name())
+		}
+	}
+	if (PlusTimes{}).IsZero(1) || (MinPlus{}).IsZero(3) || (BoolOrAnd{}).IsZero(1) {
+		t.Fatal("IsZero true for non-clean values")
+	}
+}
+
+func TestMinPlusBehaviour(t *testing.T) {
+	s := MinPlus{}
+	if got := s.Mul(2, 3); got != 5 {
+		t.Fatalf("min-plus Mul(2,3) = %v, want 5", got)
+	}
+	if got := s.Add(7, 4); got != 4 {
+		t.Fatalf("min-plus Add(7,4) = %v, want 4", got)
+	}
+	inf := float32(math.Inf(1))
+	if got := s.Add(inf, 9); got != 9 {
+		t.Fatalf("min-plus Add(inf,9) = %v, want 9", got)
+	}
+}
+
+func TestBoolOrAndBehaviour(t *testing.T) {
+	s := BoolOrAnd{}
+	if s.Mul(1, 0) != 0 || s.Mul(3, 2) != 1 {
+		t.Fatal("bool Mul wrong")
+	}
+	if s.Add(0, 0) != 0 || s.Add(0, 5) != 1 {
+		t.Fatal("bool Add wrong")
+	}
+}
+
+func TestApplyPlusTimes(t *testing.T) {
+	out := []float32{1, 2, 3}
+	Apply(PlusTimes{}, out, 2, []float32{10, 20, 30})
+	want := []float32{21, 42, 63}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestApplyNilYIsNoOp(t *testing.T) {
+	out := []float32{1, 2}
+	Apply(MinPlus{}, out, 5, nil)
+	if out[0] != 1 || out[1] != 2 {
+		t.Fatal("nil y modified output")
+	}
+}
+
+func TestApplyMinPlusDoesRelaxation(t *testing.T) {
+	// finalOutput = min(output, alpha + y): used to fold the old distance
+	// vector into the new one in SSSP.
+	out := []float32{10, 3}
+	Apply(MinPlus{}, out, 0, []float32{7, 9})
+	if out[0] != 7 || out[1] != 3 {
+		t.Fatalf("relaxation gave %v", out)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	for _, s := range all() {
+		if Registry[s.Name()] == nil {
+			t.Fatalf("registry missing %s", s.Name())
+		}
+	}
+}
+
+func TestQuickDispatchOrderIrrelevant(t *testing.T) {
+	// The property accumulation dispatching relies on: folding a batch of
+	// values in any order yields the same result.
+	for _, s := range all() {
+		s := s
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			n := 1 + rng.Intn(12)
+			vals := make([]float32, n)
+			for i := range vals {
+				vals[i] = randVal(s, rng)
+			}
+			fwd := s.Zero()
+			for _, v := range vals {
+				fwd = s.Add(fwd, v)
+			}
+			perm := rng.Perm(n)
+			rev := s.Zero()
+			for _, i := range perm {
+				rev = s.Add(rev, vals[i])
+			}
+			return fwd == rev
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package sim is a minimal discrete-event simulation engine: a time-ordered
+// event queue with a monotonically advancing clock. The Gearbox machine and
+// the interconnect schedule completion events on it; the paper's "in-house
+// event-accurate simulator" plays the same role.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a callback scheduled to run at a point in simulated time
+// (nanoseconds).
+type Event struct {
+	At   float64
+	Name string // for traces and tests
+	Fn   func(e *Engine)
+
+	seq int // tie-break: FIFO among equal timestamps
+	idx int // heap bookkeeping
+}
+
+// Engine owns the clock and the pending-event queue.
+type Engine struct {
+	now     float64
+	queue   eventQueue
+	nextSeq int
+	// Trace, when non-nil, receives every executed event name and time.
+	Trace func(name string, at float64)
+	ran   int
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now reports the current simulated time in nanoseconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Ran reports how many events have executed, for tests and diagnostics.
+func (e *Engine) Ran() int { return e.ran }
+
+// At schedules fn to run at absolute time at. Scheduling in the past panics:
+// it would silently corrupt causality.
+func (e *Engine) At(at float64, name string, fn func(*Engine)) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, at, e.now))
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("sim: non-finite time %v for %q", at, name))
+	}
+	ev := &Event{At: at, Name: name, Fn: fn, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+}
+
+// After schedules fn to run delay nanoseconds from now.
+func (e *Engine) After(delay float64, name string, fn func(*Engine)) {
+	e.At(e.now+delay, name, fn)
+}
+
+// Run executes events in time order until the queue drains, returning the
+// final clock value.
+func (e *Engine) Run() float64 {
+	for e.queue.Len() > 0 {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil executes events with At <= deadline; later events stay queued.
+// The clock ends at min(deadline, last executed event time) if events remain,
+// or at the last executed event otherwise.
+func (e *Engine) RunUntil(deadline float64) float64 {
+	for e.queue.Len() > 0 && e.queue[0].At <= deadline {
+		e.step()
+	}
+	return e.now
+}
+
+// Pending reports how many events are queued.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.At
+	e.ran++
+	if e.Trace != nil {
+		e.Trace(ev.Name, ev.At)
+	}
+	ev.Fn(e)
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx, q[j].idx = i, j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New()
+	var order []string
+	e.At(30, "c", func(*Engine) { order = append(order, "c") })
+	e.At(10, "a", func(*Engine) { order = append(order, "a") })
+	e.At(20, "b", func(*Engine) { order = append(order, "b") })
+	if end := e.Run(); end != 30 {
+		t.Fatalf("final clock = %v, want 30", end)
+	}
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTiesRunFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, "tie", func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestEventsCanScheduleMoreEvents(t *testing.T) {
+	e := New()
+	hops := 0
+	var hop func(*Engine)
+	hop = func(en *Engine) {
+		hops++
+		if hops < 5 {
+			en.After(7, "hop", hop)
+		}
+	}
+	e.After(7, "hop", hop)
+	if end := e.Run(); end != 35 {
+		t.Fatalf("final clock = %v, want 35", end)
+	}
+	if hops != 5 {
+		t.Fatalf("hops = %d, want 5", hops)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(10, "x", func(en *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("past scheduling did not panic")
+			}
+		}()
+		en.At(5, "bad", func(*Engine) {})
+	})
+	e.Run()
+}
+
+func TestNonFiniteTimePanics(t *testing.T) {
+	e := New()
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("time %v accepted", bad)
+				}
+			}()
+			e.At(bad, "bad", func(*Engine) {})
+		}()
+	}
+}
+
+func TestRunUntilLeavesLaterEventsQueued(t *testing.T) {
+	e := New()
+	ran := 0
+	e.At(10, "early", func(*Engine) { ran++ })
+	e.At(100, "late", func(*Engine) { ran++ })
+	e.RunUntil(50)
+	if ran != 1 || e.Pending() != 1 {
+		t.Fatalf("ran=%d pending=%d, want 1/1", ran, e.Pending())
+	}
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("ran=%d after drain, want 2", ran)
+	}
+}
+
+func TestTraceSeesEveryEvent(t *testing.T) {
+	e := New()
+	var seen []string
+	e.Trace = func(name string, at float64) { seen = append(seen, name) }
+	e.At(1, "x", func(*Engine) {})
+	e.At(2, "y", func(*Engine) {})
+	e.Run()
+	if len(seen) != 2 || seen[0] != "x" || seen[1] != "y" {
+		t.Fatalf("trace = %v", seen)
+	}
+	if e.Ran() != 2 {
+		t.Fatalf("Ran() = %d", e.Ran())
+	}
+}
+
+func TestQuickRandomSchedulesExecuteSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		times := make([]float64, 1+rng.Intn(50))
+		for i := range times {
+			times[i] = float64(rng.Intn(1000))
+		}
+		var got []float64
+		for _, at := range times {
+			at := at
+			e.At(at, "ev", func(*Engine) { got = append(got, at) })
+		}
+		e.Run()
+		if len(got) != len(times) {
+			return false
+		}
+		return sort.Float64sAreSorted(got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

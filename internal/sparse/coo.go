@@ -1,0 +1,95 @@
+// Package sparse implements the sparse-matrix formats used throughout the
+// Gearbox reproduction: coordinate lists (COO), compressed sparse rows (CSR),
+// compressed sparse columns (CSC), and the paired CSC_Pair layout from Fig. 4
+// of the paper. It also provides the column/row statistics (Fig. 5) and the
+// long-column/long-row reordering that Hybrid partitioning relies on (§3.2).
+//
+// Values are float32 to match the 4-byte memory words of the simulated stack
+// (256-byte rows hold 64 words; row address = index>>6, column = index&63).
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one non-zero of a matrix in coordinate form.
+type Entry struct {
+	Row, Col int32
+	Val      float32
+}
+
+// COO is an unordered coordinate-list matrix. It is the interchange format
+// produced by the generators and consumed by the compressed builders.
+type COO struct {
+	NumRows, NumCols int32
+	Entries          []Entry
+}
+
+// NewCOO returns an empty COO matrix with the given dimensions.
+func NewCOO(rows, cols int32) *COO {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: negative dimensions %dx%d", rows, cols))
+	}
+	return &COO{NumRows: rows, NumCols: cols}
+}
+
+// Add appends a non-zero entry. Entries outside the matrix bounds panic:
+// the generators are the only writers and must stay in range.
+func (m *COO) Add(row, col int32, val float32) {
+	if row < 0 || row >= m.NumRows || col < 0 || col >= m.NumCols {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) out of bounds %dx%d", row, col, m.NumRows, m.NumCols))
+	}
+	m.Entries = append(m.Entries, Entry{Row: row, Col: col, Val: val})
+}
+
+// NNZ reports the number of stored entries, including any duplicates that
+// have not yet been coalesced.
+func (m *COO) NNZ() int { return len(m.Entries) }
+
+// Coalesce sorts entries in (col,row) order and merges duplicates by adding
+// their values, dropping exact zeros produced by cancellation. It returns the
+// receiver for chaining.
+func (m *COO) Coalesce() *COO {
+	sort.Slice(m.Entries, func(i, j int) bool {
+		a, b := m.Entries[i], m.Entries[j]
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Row < b.Row
+	})
+	out := m.Entries[:0]
+	for _, e := range m.Entries {
+		if n := len(out); n > 0 && out[n-1].Row == e.Row && out[n-1].Col == e.Col {
+			out[n-1].Val += e.Val
+			continue
+		}
+		out = append(out, e)
+	}
+	// Drop entries that cancelled to zero so NNZ matches the logical matrix.
+	kept := out[:0]
+	for _, e := range out {
+		if e.Val != 0 {
+			kept = append(kept, e)
+		}
+	}
+	m.Entries = kept
+	return m
+}
+
+// Transpose returns a new COO with rows and columns swapped.
+func (m *COO) Transpose() *COO {
+	t := NewCOO(m.NumCols, m.NumRows)
+	t.Entries = make([]Entry, len(m.Entries))
+	for i, e := range m.Entries {
+		t.Entries[i] = Entry{Row: e.Col, Col: e.Row, Val: e.Val}
+	}
+	return t
+}
+
+// Clone returns a deep copy.
+func (m *COO) Clone() *COO {
+	c := NewCOO(m.NumRows, m.NumCols)
+	c.Entries = append([]Entry(nil), m.Entries...)
+	return c
+}

@@ -1,0 +1,153 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCOOAddAndNNZ(t *testing.T) {
+	m := NewCOO(4, 5)
+	if m.NNZ() != 0 {
+		t.Fatalf("empty COO NNZ = %d, want 0", m.NNZ())
+	}
+	m.Add(0, 0, 1)
+	m.Add(3, 4, 2)
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", m.NNZ())
+	}
+}
+
+func TestCOOAddOutOfBoundsPanics(t *testing.T) {
+	cases := []struct {
+		name     string
+		row, col int32
+	}{
+		{"row negative", -1, 0},
+		{"row too large", 4, 0},
+		{"col negative", 0, -1},
+		{"col too large", 0, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Add(%d,%d) did not panic", tc.row, tc.col)
+				}
+			}()
+			NewCOO(4, 5).Add(tc.row, tc.col, 1)
+		})
+	}
+}
+
+func TestCOOCoalesceMergesDuplicates(t *testing.T) {
+	m := NewCOO(3, 3)
+	m.Add(1, 2, 1.5)
+	m.Add(1, 2, 2.5)
+	m.Add(0, 0, 3)
+	m.Coalesce()
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ after coalesce = %d, want 2", m.NNZ())
+	}
+	for _, e := range m.Entries {
+		if e.Row == 1 && e.Col == 2 && e.Val != 4 {
+			t.Fatalf("merged value = %v, want 4", e.Val)
+		}
+	}
+}
+
+func TestCOOCoalesceDropsCancelledZeros(t *testing.T) {
+	m := NewCOO(2, 2)
+	m.Add(0, 0, 1)
+	m.Add(0, 0, -1)
+	m.Add(1, 1, 5)
+	m.Coalesce()
+	if m.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1 (cancelled entry must be dropped)", m.NNZ())
+	}
+	if e := m.Entries[0]; e.Row != 1 || e.Col != 1 || e.Val != 5 {
+		t.Fatalf("surviving entry = %+v", e)
+	}
+}
+
+func TestCOOTransposeIsInvolution(t *testing.T) {
+	m := randomCOO(rand.New(rand.NewSource(1)), 20, 30, 100)
+	tt := m.Transpose().Transpose()
+	if tt.NumRows != m.NumRows || tt.NumCols != m.NumCols {
+		t.Fatalf("double transpose dims %dx%d, want %dx%d", tt.NumRows, tt.NumCols, m.NumRows, m.NumCols)
+	}
+	a := CSCFromCOO(m)
+	b := CSCFromCOO(tt)
+	if !cscEqual(a, b) {
+		t.Fatal("double transpose changed the matrix")
+	}
+}
+
+func TestCOOCloneIsDeep(t *testing.T) {
+	m := NewCOO(2, 2)
+	m.Add(0, 0, 1)
+	c := m.Clone()
+	c.Entries[0].Val = 99
+	if m.Entries[0].Val != 1 {
+		t.Fatal("clone aliases original storage")
+	}
+}
+
+// randomCOO builds a random matrix with up to nnz entries (duplicates allowed).
+func randomCOO(rng *rand.Rand, rows, cols int32, nnz int) *COO {
+	m := NewCOO(rows, cols)
+	for i := 0; i < nnz; i++ {
+		m.Add(rng.Int31n(rows), rng.Int31n(cols), float32(rng.Intn(9)+1))
+	}
+	return m
+}
+
+func cscEqual(a, b *CSC) bool {
+	if a.NumRows != b.NumRows || a.NumCols != b.NumCols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.Offsets {
+		if a.Offsets[i] != b.Offsets[i] {
+			return false
+		}
+	}
+	for i := range a.Indexes {
+		if a.Indexes[i] != b.Indexes[i] || a.Values[i] != b.Values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickCoalesceIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCOO(rng, 1+rng.Int31n(16), 1+rng.Int31n(16), rng.Intn(64))
+		m.Coalesce()
+		before := append([]Entry(nil), m.Entries...)
+		m.Coalesce()
+		if len(before) != len(m.Entries) {
+			return false
+		}
+		for i := range before {
+			if before[i] != m.Entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTransposePreservesNNZ(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCOO(rng, 1+rng.Int31n(16), 1+rng.Int31n(16), rng.Intn(64)).Coalesce()
+		return m.Transpose().NNZ() == m.NNZ()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package sparse
+
+import "fmt"
+
+// CSC is a compressed-sparse-columns matrix: Offsets[c]..Offsets[c+1] index
+// the row Indexes and Values of column c (Fig. 4 of the paper).
+type CSC struct {
+	NumRows, NumCols int32
+	Offsets          []int64   // len NumCols+1
+	Indexes          []int32   // row indices, len NNZ
+	Values           []float32 // len NNZ
+}
+
+// CSCFromCOO builds a CSC matrix. The input is coalesced first, so duplicate
+// coordinates are merged.
+func CSCFromCOO(m *COO) *CSC {
+	m = m.Clone().Coalesce() // coalesce sorts by (col,row), exactly CSC order
+	c := &CSC{
+		NumRows: m.NumRows,
+		NumCols: m.NumCols,
+		Offsets: make([]int64, m.NumCols+1),
+		Indexes: make([]int32, len(m.Entries)),
+		Values:  make([]float32, len(m.Entries)),
+	}
+	for i, e := range m.Entries {
+		c.Offsets[e.Col+1]++
+		c.Indexes[i] = e.Row
+		c.Values[i] = e.Val
+	}
+	for col := int32(0); col < m.NumCols; col++ {
+		c.Offsets[col+1] += c.Offsets[col]
+	}
+	return c
+}
+
+// NNZ reports the number of non-zeros.
+func (c *CSC) NNZ() int { return len(c.Values) }
+
+// ColLen reports the number of non-zeros in column col.
+func (c *CSC) ColLen(col int32) int { return int(c.Offsets[col+1] - c.Offsets[col]) }
+
+// Col returns the row indexes and values of column col as sub-slices that
+// alias the matrix storage.
+func (c *CSC) Col(col int32) ([]int32, []float32) {
+	lo, hi := c.Offsets[col], c.Offsets[col+1]
+	return c.Indexes[lo:hi], c.Values[lo:hi]
+}
+
+// ToCOO converts back to coordinate form.
+func (c *CSC) ToCOO() *COO {
+	m := NewCOO(c.NumRows, c.NumCols)
+	m.Entries = make([]Entry, 0, c.NNZ())
+	for col := int32(0); col < c.NumCols; col++ {
+		for i := c.Offsets[col]; i < c.Offsets[col+1]; i++ {
+			m.Entries = append(m.Entries, Entry{Row: c.Indexes[i], Col: col, Val: c.Values[i]})
+		}
+	}
+	return m
+}
+
+// Validate checks the structural invariants of the format. It is used by
+// property tests and by the partitioner before accepting a matrix.
+func (c *CSC) Validate() error {
+	if int32(len(c.Offsets)) != c.NumCols+1 {
+		return fmt.Errorf("sparse: offsets length %d, want %d", len(c.Offsets), c.NumCols+1)
+	}
+	if c.Offsets[0] != 0 {
+		return fmt.Errorf("sparse: offsets[0]=%d, want 0", c.Offsets[0])
+	}
+	if c.Offsets[c.NumCols] != int64(len(c.Values)) || len(c.Values) != len(c.Indexes) {
+		return fmt.Errorf("sparse: offsets end %d vs values %d / indexes %d",
+			c.Offsets[c.NumCols], len(c.Values), len(c.Indexes))
+	}
+	for col := int32(0); col < c.NumCols; col++ {
+		if c.Offsets[col] > c.Offsets[col+1] {
+			return fmt.Errorf("sparse: column %d has negative length", col)
+		}
+		for i := c.Offsets[col]; i < c.Offsets[col+1]; i++ {
+			if r := c.Indexes[i]; r < 0 || r >= c.NumRows {
+				return fmt.Errorf("sparse: column %d row index %d out of range", col, r)
+			}
+			if i > c.Offsets[col] && c.Indexes[i-1] >= c.Indexes[i] {
+				return fmt.Errorf("sparse: column %d rows not strictly increasing at %d", col, i)
+			}
+		}
+	}
+	return nil
+}
+
+// CSCPair is the CSC_Pair layout of Fig. 4: the Indexes and Values arrays are
+// interleaved into a single array of words so a single Walker can stream a
+// column as (index,value) word pairs.
+type CSCPair struct {
+	NumRows, NumCols int32
+	Offsets          []int64 // word offsets into Pair; len NumCols+1; Offsets[c+1]-Offsets[c] = 2*colLen
+	Pair             []PairWord
+}
+
+// PairWord is one word of the interleaved array. Even positions hold row
+// indexes, odd positions hold values; the struct keeps both interpretations
+// so tests can stay type-safe while the simulator streams raw words.
+type PairWord struct {
+	Index int32
+	Value float32
+}
+
+// PairFromCSC interleaves a CSC matrix into CSC_Pair form. Offsets are in
+// words: column c spans Pair[Offsets[c]:Offsets[c+1]] with stride 2.
+func PairFromCSC(c *CSC) *CSCPair {
+	p := &CSCPair{
+		NumRows: c.NumRows,
+		NumCols: c.NumCols,
+		Offsets: make([]int64, c.NumCols+1),
+		Pair:    make([]PairWord, 0, 2*c.NNZ()),
+	}
+	for col := int32(0); col < c.NumCols; col++ {
+		p.Offsets[col] = int64(len(p.Pair))
+		for i := c.Offsets[col]; i < c.Offsets[col+1]; i++ {
+			p.Pair = append(p.Pair, PairWord{Index: c.Indexes[i]}, PairWord{Value: c.Values[i]})
+		}
+	}
+	p.Offsets[c.NumCols] = int64(len(p.Pair))
+	return p
+}
+
+// ColWords returns the (index,value) word span of column col.
+func (p *CSCPair) ColWords(col int32) []PairWord {
+	return p.Pair[p.Offsets[col]:p.Offsets[col+1]]
+}

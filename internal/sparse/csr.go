@@ -1,0 +1,45 @@
+package sparse
+
+import "fmt"
+
+// CSR is a compressed-sparse-rows matrix, the mirror of CSC. The row-oriented
+// GearboxV0 baseline and the SpaceA model stream it.
+type CSR struct {
+	NumRows, NumCols int32
+	Offsets          []int64 // len NumRows+1
+	Indexes          []int32 // column indices
+	Values           []float32
+}
+
+// CSRFromCOO builds a CSR matrix from a coordinate list, coalescing first.
+func CSRFromCOO(m *COO) *CSR {
+	t := CSCFromCOO(m.Transpose())
+	return &CSR{
+		NumRows: t.NumCols,
+		NumCols: t.NumRows,
+		Offsets: t.Offsets,
+		Indexes: t.Indexes,
+		Values:  t.Values,
+	}
+}
+
+// NNZ reports the number of non-zeros.
+func (r *CSR) NNZ() int { return len(r.Values) }
+
+// RowLen reports the number of non-zeros in row row.
+func (r *CSR) RowLen(row int32) int { return int(r.Offsets[row+1] - r.Offsets[row]) }
+
+// Row returns the column indexes and values of one row, aliasing storage.
+func (r *CSR) Row(row int32) ([]int32, []float32) {
+	lo, hi := r.Offsets[row], r.Offsets[row+1]
+	return r.Indexes[lo:hi], r.Values[lo:hi]
+}
+
+// Validate checks the structural invariants of the format.
+func (r *CSR) Validate() error {
+	c := &CSC{NumRows: r.NumCols, NumCols: r.NumRows, Offsets: r.Offsets, Indexes: r.Indexes, Values: r.Values}
+	if err := c.Validate(); err != nil {
+		return fmt.Errorf("csr (as transposed csc): %w", err)
+	}
+	return nil
+}

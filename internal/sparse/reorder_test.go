@@ -1,0 +1,172 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func squareRandom(rng *rand.Rand, n int32, nnz int) *CSC {
+	return CSCFromCOO(randomCOO(rng, n, n, nnz))
+}
+
+func TestIdentityPermutation(t *testing.T) {
+	p := Identity(5)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := squareRandom(rand.New(rand.NewSource(3)), 5, 12)
+	if !cscEqual(c, ApplyPermutation(c, p)) {
+		t.Fatal("identity permutation changed the matrix")
+	}
+}
+
+func TestReorderLongFirstMovesLongVertices(t *testing.T) {
+	// Build a matrix where vertex 7 has a very long column and vertex 3 a
+	// very long row; both must land in the long region.
+	m := NewCOO(16, 16)
+	for r := int32(0); r < 16; r++ {
+		m.Add(r, 7, 1) // long column 7
+	}
+	for c := int32(0); c < 16; c++ {
+		m.Add(3, c, 1) // long row 3
+	}
+	m.Add(5, 5, 1)
+	csc := CSCFromCOO(m)
+	res, err := ReorderLongFirst(csc, 0.05, 42) // top 5% of 16 = 1 column + 1 row
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumLongCols != 1 || res.NumLongRows != 1 {
+		t.Fatalf("long cols=%d rows=%d, want 1/1", res.NumLongCols, res.NumLongRows)
+	}
+	if res.LastLong != 1 { // union {7, 3} occupies new indices 0 and 1
+		t.Fatalf("LastLong = %d, want 1", res.LastLong)
+	}
+	if n7, n3 := res.Perm.New[7], res.Perm.New[3]; n7 > res.LastLong || n3 > res.LastLong {
+		t.Fatalf("long vertices relabeled to %d and %d, beyond LastLong=%d", n7, n3, res.LastLong)
+	}
+	if err := res.Perm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The long column keeps its length after relabeling.
+	if got := res.Matrix.ColLen(res.Perm.New[7]); got != 16 {
+		t.Fatalf("relabeled long column length = %d, want 16", got)
+	}
+}
+
+func TestReorderLongFirstZeroFractionStillShuffles(t *testing.T) {
+	c := squareRandom(rand.New(rand.NewSource(9)), 64, 256)
+	res, err := ReorderLongFirst(c, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LastLong != -1 {
+		t.Fatalf("LastLong = %d, want -1 with no long vertices", res.LastLong)
+	}
+	moved := 0
+	for v, nw := range res.Perm.New {
+		if int32(v) != nw {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("shuffle left every vertex in place (seed must randomize)")
+	}
+}
+
+func TestReorderRejectsRectangular(t *testing.T) {
+	c := CSCFromCOO(randomCOO(rand.New(rand.NewSource(2)), 4, 6, 10))
+	if _, err := ReorderLongFirst(c, 0.01, 0); err == nil {
+		t.Fatal("rectangular matrix accepted")
+	}
+}
+
+func TestPermuteUnpermuteVector(t *testing.T) {
+	c := squareRandom(rand.New(rand.NewSource(11)), 32, 64)
+	res, err := ReorderLongFirst(c, 0.05, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]float32, 32)
+	for i := range v {
+		v[i] = float32(i) * 1.5
+	}
+	round := UnpermuteVector(PermuteVector(v, res.Perm), res.Perm)
+	for i := range v {
+		if round[i] != v[i] {
+			t.Fatalf("round-trip[%d] = %v, want %v", i, round[i], v[i])
+		}
+	}
+}
+
+// TestQuickReorderPreservesSpMV is the key semantic property: relabeling both
+// dimensions by the same permutation must commute with matrix-vector
+// multiplication.
+func TestQuickReorderPreservesSpMV(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Int31n(24)
+		c := squareRandom(rng, n, rng.Intn(int(n)*3))
+		res, err := ReorderLongFirst(c, 0.1, seed)
+		if err != nil {
+			return false
+		}
+		if res.Perm.Validate() != nil {
+			return false
+		}
+		x := make([]float32, n)
+		for i := range x {
+			x[i] = float32(rng.Intn(5))
+		}
+		// y = M x computed on the original labeling.
+		y := denseSpMV(c, x)
+		// y' = M' x' on the relabeled matrix, then unpermute.
+		yp := denseSpMV(res.Matrix, PermuteVector(x, res.Perm))
+		back := UnpermuteVector(yp, res.Perm)
+		for i := range y {
+			if y[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// denseSpMV is a trivial reference y = M*x used only by tests in this package.
+func denseSpMV(c *CSC, x []float32) []float32 {
+	y := make([]float32, c.NumRows)
+	for col := int32(0); col < c.NumCols; col++ {
+		rows, vals := c.Col(col)
+		for i, r := range rows {
+			y[r] += vals[i] * x[col]
+		}
+	}
+	return y
+}
+
+func TestQuickPermutationBijective(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Int31n(64)
+		c := squareRandom(rng, n, rng.Intn(int(n)*2))
+		res, err := ReorderLongFirst(c, rng.Float64()*0.2, seed)
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, nw := range res.Perm.New {
+			if seen[nw] {
+				return false
+			}
+			seen[nw] = true
+		}
+		return res.Perm.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

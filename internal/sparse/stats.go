@@ -1,0 +1,152 @@
+package sparse
+
+import (
+	"math"
+	"sort"
+)
+
+// Stats summarizes the shape of a matrix the way Table 3 and Fig. 5 of the
+// paper do.
+type Stats struct {
+	Rows, Cols int32
+	NNZ        int
+	Density    float64 // NNZ / (Rows*Cols)
+	SizeBytes  int64   // CSC footprint: values + indexes + offsets, 4/4/8 bytes
+	MaxColLen  int
+	MaxRowLen  int
+	AvgColLen  float64
+}
+
+// ComputeStats derives the Table-3 style summary for a matrix.
+func ComputeStats(c *CSC) Stats {
+	s := Stats{Rows: c.NumRows, Cols: c.NumCols, NNZ: c.NNZ()}
+	if c.NumRows > 0 && c.NumCols > 0 {
+		s.Density = float64(s.NNZ) / (float64(c.NumRows) * float64(c.NumCols))
+	}
+	s.SizeBytes = int64(s.NNZ)*8 + int64(len(c.Offsets))*8
+	rowLens := make([]int, c.NumRows)
+	for col := int32(0); col < c.NumCols; col++ {
+		l := c.ColLen(col)
+		if l > s.MaxColLen {
+			s.MaxColLen = l
+		}
+		for i := c.Offsets[col]; i < c.Offsets[col+1]; i++ {
+			rowLens[c.Indexes[i]]++
+		}
+	}
+	for _, l := range rowLens {
+		if l > s.MaxRowLen {
+			s.MaxRowLen = l
+		}
+	}
+	if c.NumCols > 0 {
+		s.AvgColLen = float64(s.NNZ) / float64(c.NumCols)
+	}
+	return s
+}
+
+// HistBin is one bar of the Fig. 5 histogram: the percentage of columns whose
+// length falls in (UpperLen/2, UpperLen].
+type HistBin struct {
+	UpperLen int     // power of two: 1, 2, 4, ...
+	Percent  float64 // percentage of all columns
+}
+
+// ColumnLengthHistogram bins column lengths by powers of two, reproducing the
+// x-axis of Fig. 5. Zero-length columns are excluded, matching the figure
+// (its smallest bin is length 1).
+func ColumnLengthHistogram(c *CSC) []HistBin {
+	counts := map[int]int{}
+	maxBin := 0
+	total := 0
+	for col := int32(0); col < c.NumCols; col++ {
+		l := c.ColLen(col)
+		if l == 0 {
+			continue
+		}
+		total++
+		bin := 1
+		for bin < l {
+			bin <<= 1
+		}
+		counts[bin]++
+		if bin > maxBin {
+			maxBin = bin
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	var bins []HistBin
+	for b := 1; b <= maxBin; b <<= 1 {
+		if n := counts[b]; n > 0 {
+			bins = append(bins, HistBin{UpperLen: b, Percent: 100 * float64(n) / float64(total)})
+		}
+	}
+	return bins
+}
+
+// ColumnLengths returns the per-column non-zero counts.
+func ColumnLengths(c *CSC) []int {
+	lens := make([]int, c.NumCols)
+	for col := int32(0); col < c.NumCols; col++ {
+		lens[col] = c.ColLen(col)
+	}
+	return lens
+}
+
+// RowLengths returns the per-row non-zero counts.
+func RowLengths(c *CSC) []int {
+	lens := make([]int, c.NumRows)
+	for _, r := range c.Indexes {
+		lens[r]++
+	}
+	return lens
+}
+
+// PowerLawExponent estimates the exponent alpha of a discrete power-law fit
+// P(len) ~ len^-alpha over the column-length distribution, using the standard
+// maximum-likelihood estimator with len_min=1. It is used by tests to check
+// that the synthetic datasets are genuinely heavy-tailed.
+func PowerLawExponent(lens []int) float64 {
+	n := 0
+	sum := 0.0
+	for _, l := range lens {
+		if l < 1 {
+			continue
+		}
+		n++
+		sum += math.Log(float64(l) + 0.5) // +0.5: continuity correction for discrete MLE
+	}
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	return 1 + float64(n)/sum
+}
+
+// TopFraction returns the indices of the ceil(frac*len(lens)) largest entries
+// of lens, ties broken by lower index. frac<=0 returns nil. This is the
+// "top X% of columns/rows are long" selection of §3.2.
+func TopFraction(lens []int, frac float64) []int32 {
+	if frac <= 0 || len(lens) == 0 {
+		return nil
+	}
+	k := int(math.Ceil(frac * float64(len(lens))))
+	if k > len(lens) {
+		k = len(lens)
+	}
+	idx := make([]int32, len(lens))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		la, lb := lens[idx[a]], lens[idx[b]]
+		if la != lb {
+			return la > lb
+		}
+		return idx[a] < idx[b]
+	})
+	out := append([]int32(nil), idx[:k]...)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

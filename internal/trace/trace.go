@@ -1,0 +1,77 @@
+// Package trace records the machine's phase timeline and exports it in the
+// Chrome trace-event format (chrome://tracing, Perfetto). Hook a Recorder
+// into a Machine with SetTrace and every §5 step becomes a complete event on
+// the simulated clock.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Event is one Chrome trace "complete" event; timestamps are microseconds.
+type Event struct {
+	Name  string  `json:"name"`
+	Phase string  `json:"ph"`
+	TsUs  float64 `json:"ts"`
+	DurUs float64 `json:"dur"`
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+}
+
+// Recorder accumulates phase completions.
+type Recorder struct {
+	events []Event
+	lastNs float64
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Hook returns the callback to pass to Machine.SetTrace: each completion at
+// time atNs closes a phase that started at the previous completion.
+func (r *Recorder) Hook() func(name string, atNs float64) {
+	return func(name string, atNs float64) {
+		r.events = append(r.events, Event{
+			Name:  name,
+			Phase: "X",
+			TsUs:  r.lastNs / 1e3,
+			DurUs: (atNs - r.lastNs) / 1e3,
+		})
+		r.lastNs = atNs
+	}
+}
+
+// Len reports recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Events returns a copy of the recorded events.
+func (r *Recorder) Events() []Event { return append([]Event(nil), r.events...) }
+
+// WriteJSON emits the chrome://tracing JSON document.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	doc := struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}{TraceEvents: r.events}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// Summary renders a human-readable per-phase total.
+func (r *Recorder) Summary(w io.Writer) error {
+	totals := map[string]float64{}
+	order := []string{}
+	for _, e := range r.events {
+		if _, ok := totals[e.Name]; !ok {
+			order = append(order, e.Name)
+		}
+		totals[e.Name] += e.DurUs
+	}
+	for _, name := range order {
+		if _, err := fmt.Fprintf(w, "%-32s %10.2f us\n", name, totals[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRecorderBuildsCompleteEvents(t *testing.T) {
+	r := New()
+	hook := r.Hook()
+	hook("step1", 100)
+	hook("step2", 250)
+	hook("step3", 250) // zero-duration phase
+	if r.Len() != 3 {
+		t.Fatalf("events = %d", r.Len())
+	}
+	ev := r.Events()
+	if ev[0].Name != "step1" || ev[0].TsUs != 0 || ev[0].DurUs != 0.1 {
+		t.Fatalf("event 0 = %+v", ev[0])
+	}
+	if ev[1].TsUs != 0.1 || ev[1].DurUs != 0.15 {
+		t.Fatalf("event 1 = %+v", ev[1])
+	}
+	if ev[2].DurUs != 0 {
+		t.Fatalf("event 2 = %+v", ev[2])
+	}
+}
+
+func TestWriteJSONIsChromeFormat(t *testing.T) {
+	r := New()
+	hook := r.Hook()
+	hook("a", 1000)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 1 || doc.TraceEvents[0].Phase != "X" {
+		t.Fatalf("doc = %+v", doc)
+	}
+}
+
+func TestSummaryAggregatesPerPhase(t *testing.T) {
+	r := New()
+	hook := r.Hook()
+	hook("stepA", 100)
+	hook("stepB", 300)
+	hook("stepA", 400)
+	var buf bytes.Buffer
+	if err := r.Summary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "stepA") || !strings.Contains(out, "stepB") {
+		t.Fatalf("summary missing phases:\n%s", out)
+	}
+	if strings.Count(out, "stepA") != 1 {
+		t.Fatal("summary must aggregate repeated phases")
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	r := New()
+	r.Hook()("x", 10)
+	ev := r.Events()
+	ev[0].Name = "mutated"
+	if r.Events()[0].Name != "x" {
+		t.Fatal("Events exposed internal storage")
+	}
+}
