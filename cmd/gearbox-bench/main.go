@@ -22,7 +22,7 @@ import (
 func main() {
 	size := flag.String("size", "small", "dataset size tier: tiny, small, medium")
 	exp := flag.String("exp", "all", "comma-separated experiments (table3,fig5,fig12,fig13,fig14a,fig14b,fig15,table5,fig16a,fig16b,fig17a,fig17b,table6,fig18, plus extensions scaling,utilization,ablation-overlap,ablation-buffer,ablation-linkwidth,ablation-refresh,ablation-errors) or 'all'")
-	workers := flag.Int("workers", 0, "parallel prewarm workers (0: NumCPU)")
+	workers := flag.Int("workers", 0, "parallelism: prewarm fan-out and per-machine worker pool (0: NumCPU)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -37,6 +37,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gearbox-bench: unknown size %q\n", *size)
 		os.Exit(2)
 	}
+	// Machine-level worker pools produce bit-identical results at any
+	// width, so the suite's caches and tables are unaffected by -workers.
+	cfg.Workers = *workers
 
 	suite, err := bench.NewSuite(cfg)
 	if err != nil {

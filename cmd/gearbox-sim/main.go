@@ -22,10 +22,11 @@ func main() {
 	sizeFlag := flag.String("size", "small", "dataset size tier: tiny, small, medium")
 	app := flag.String("app", "bfs", "application: bfs, pr, sssp, spknn, svm, cc")
 	version := flag.String("version", "v3", "gearbox version: v1, hypov2, v2, v3")
-	longFrac := flag.Float64("longfrac", 0, "long row/column fraction (0: scaled default)")
+	longFrac := flag.Float64("longfrac", 0, "long row/column fraction (0: scaled default, negative: no long columns)")
 	placementFlag := flag.String("placement", "shuffled", "placement: shuffled, samesubarray, samebank, samevault, distributed")
 	source := flag.Int("source", 0, "source vertex for bfs/sssp")
 	prIters := flag.Int("pr-iters", 10, "PageRank iterations")
+	workers := flag.Int("workers", 0, "simulator worker goroutines for the per-SPU step loops (0: GOMAXPROCS, 1: serial; results are identical)")
 	tracePath := flag.String("trace", "", "write a chrome://tracing JSON timeline to this file")
 	flag.Parse()
 
@@ -50,7 +51,7 @@ func main() {
 		fatal(err)
 	}
 	sys, err := gearbox.NewSystem(ds.Matrix, gearbox.Options{
-		Version: ver, LongFrac: *longFrac, Placement: placement,
+		Version: ver, LongFrac: *longFrac, Placement: placement, Workers: *workers,
 	})
 	if err != nil {
 		fatal(err)

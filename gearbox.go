@@ -142,14 +142,33 @@ func (v Version) PartitionConfig(longFrac float64, placement Placement, seed int
 // paper's configuration (V3, Table 2 geometry/timing, shuffled placement,
 // the scaled long threshold).
 type Options struct {
-	Version   Version
-	Geometry  *Geometry
-	Timing    *Timing
+	Version  Version
+	Geometry *Geometry
+	Timing   *Timing
+	// LongFrac is the long-column threshold. Zero selects the scaled paper
+	// default (partition.ScaledLongFrac); any negative value requests
+	// exactly zero long columns, which the zero value cannot express.
 	LongFrac  float64
 	Placement Placement
 	Seed      int64
 	// MaxIters bounds iterative apps (0: app default).
 	MaxIters int
+	// Workers sizes the simulator's deterministic worker pool: the per-SPU
+	// step loops shard across this many goroutines. 0 selects GOMAXPROCS,
+	// 1 forces the serial path. Results are bit-identical for every value.
+	Workers int
+}
+
+// resolveLongFrac maps the Options.LongFrac encoding onto the partitioner's
+// plain fraction: 0 means "paper default", negative means "exactly zero".
+func resolveLongFrac(f float64) float64 {
+	switch {
+	case f == 0:
+		return partition.ScaledLongFrac
+	case f < 0:
+		return 0
+	}
+	return f
 }
 
 // System is a partitioned Gearbox stack ready to run applications on one
@@ -167,9 +186,7 @@ func NewSystem(m *Matrix, opts Options) (*System, error) {
 	if opts.Version == 0 {
 		opts.Version = V3
 	}
-	if opts.LongFrac == 0 {
-		opts.LongFrac = partition.ScaledLongFrac
-	}
+	opts.LongFrac = resolveLongFrac(opts.LongFrac)
 	geo := mem.DefaultGeometry()
 	if opts.Geometry != nil {
 		geo = *opts.Geometry
@@ -188,6 +205,7 @@ func NewSystem(m *Matrix, opts Options) (*System, error) {
 	}
 	mcfg := core.DefaultConfig()
 	mcfg.Geo, mcfg.Tim = geo, tim
+	mcfg.Workers = opts.Workers
 	return &System{
 		opts:   opts,
 		matrix: m,
@@ -207,6 +225,11 @@ func (s *System) Matrix() *Matrix { return s.matrix }
 
 // Version reports the Table 4 variant the system simulates.
 func (s *System) Version() Version { return s.opts.Version }
+
+// LongCount reports how many vertices the partition labeled long (resident
+// in the logic layer). Zero when Options.LongFrac was negative or the
+// version has no long region.
+func (s *System) LongCount() int { return int(s.plan.LastLong + 1) }
 
 // BFS runs breadth-first search from source (original labeling).
 func (s *System) BFS(source int32) (*BFSResult, error) {
@@ -288,9 +311,7 @@ func NewMultiStackDevice(m *Matrix, stacks int, opts Options) (*MultiStackDevice
 	if opts.Version == 0 {
 		opts.Version = V3
 	}
-	if opts.LongFrac == 0 {
-		opts.LongFrac = partition.ScaledLongFrac
-	}
+	opts.LongFrac = resolveLongFrac(opts.LongFrac)
 	pcfg, err := opts.Version.PartitionConfig(opts.LongFrac, opts.Placement, opts.Seed)
 	if err != nil {
 		return nil, err
@@ -298,6 +319,7 @@ func NewMultiStackDevice(m *Matrix, stacks int, opts Options) (*MultiStackDevice
 	cfg := multistack.DefaultConfig()
 	cfg.Stacks = stacks
 	cfg.Partition = pcfg
+	cfg.Machine.Workers = opts.Workers
 	if opts.Geometry != nil {
 		cfg.Machine.Geo = *opts.Geometry
 	}

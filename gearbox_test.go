@@ -1,6 +1,7 @@
 package gearbox_test
 
 import (
+	"reflect"
 	"testing"
 
 	"gearbox"
@@ -71,6 +72,69 @@ func TestPublicAPIVersions(t *testing.T) {
 			if res.Levels[x] != want[x] {
 				t.Fatalf("%v: level mismatch at %d", v, x)
 			}
+		}
+	}
+}
+
+// TestWorkersBitExact checks the public-API contract of Options.Workers: for
+// every version on every tiny dataset, a parallel run returns results and
+// statistics that are bit-identical to the serial run (DeepEqual over the
+// whole Result, float simulated times included).
+func TestWorkersBitExact(t *testing.T) {
+	for _, name := range gearbox.DatasetNames() {
+		ds, err := gearbox.LoadDataset(name, gearbox.Tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range []gearbox.Version{gearbox.V1, gearbox.HypoV2, gearbox.V2, gearbox.V3} {
+			run := func(workers int) *gearbox.PRResult {
+				sys, err := gearbox.NewSystem(ds.Matrix, gearbox.Options{Version: v, Workers: workers})
+				if err != nil {
+					t.Fatalf("%s/%v: %v", name, v, err)
+				}
+				res, err := sys.PageRank(0.85, 2)
+				if err != nil {
+					t.Fatalf("%s/%v: %v", name, v, err)
+				}
+				return res
+			}
+			if serial, parallel := run(1), run(8); !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("%s/%v: Workers=8 result differs from Workers=1", name, v)
+			}
+		}
+	}
+}
+
+// TestLongFracSentinel pins the Options.LongFrac contract: zero means the
+// scaled paper default, a negative value means exactly zero long columns.
+func TestLongFracSentinel(t *testing.T) {
+	ds, err := gearbox.LoadDataset("patent", gearbox.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := gearbox.NewSystem(ds.Matrix, gearbox.Options{Version: gearbox.V3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.LongCount() == 0 {
+		t.Fatal("default LongFrac selected no long columns")
+	}
+	none, err := gearbox.NewSystem(ds.Matrix, gearbox.Options{Version: gearbox.V3, LongFrac: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := none.LongCount(); n != 0 {
+		t.Fatalf("LongFrac=-1 selected %d long columns, want 0", n)
+	}
+	// The no-long-column system must still run correctly.
+	res, err := none.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := apps.RefBFS(ds.Matrix, 0)
+	for v := range want {
+		if res.Levels[v] != want[v] {
+			t.Fatalf("level mismatch at %d with LongFrac=-1", v)
 		}
 	}
 }

@@ -19,6 +19,9 @@ import (
 var Names = []string{"BFS", "PR", "SPKNN", "SSSP", "SVM"}
 
 // RunConfig selects the hardware configuration an app runs on.
+// Machine.Workers sizes the simulator's deterministic worker pool; app
+// results and statistics are bit-identical for any value, so callers can
+// parallelize freely.
 type RunConfig struct {
 	Partition partition.Config
 	Machine   gearbox.Config

@@ -36,6 +36,11 @@ type Config struct {
 	// overrides it).
 	LongFrac float64
 	Seed     int64
+	// Workers sizes each simulated machine's deterministic worker pool
+	// (gearbox.Config.Workers): 0 = GOMAXPROCS, 1 = serial. Simulated
+	// results are bit-identical either way, so the run cache stays valid
+	// for any value.
+	Workers int
 }
 
 // DefaultConfig runs the Small tier: every dataset in the hundred-thousand-
@@ -156,6 +161,7 @@ func (s *Suite) Run(app string, d *gen.Dataset, pcfg partition.Config, tim mem.T
 	}
 	mcfg := gearbox.DefaultConfig()
 	mcfg.Geo, mcfg.Tim = s.Cfg.Geo, tim
+	mcfg.Workers = s.Cfg.Workers
 	run := apps.RunConfig{Partition: pcfg, Machine: mcfg, Plan: plan}
 
 	var res apps.Result

@@ -17,6 +17,7 @@ import (
 	"gearbox/internal/fulcrum"
 	"gearbox/internal/interconnect"
 	"gearbox/internal/mem"
+	"gearbox/internal/par"
 	"gearbox/internal/partition"
 	"gearbox/internal/semiring"
 	"gearbox/internal/sim"
@@ -75,9 +76,17 @@ type Config struct {
 	// BitErrorRate injects deterministic single-bit mantissa flips into
 	// accumulated contributions at the given per-accumulation probability
 	// (§9: graph processing tolerates DRAM-class error rates). Zero
-	// disables injection.
+	// disables injection. Every SPU draws from its own splitmix64 stream
+	// keyed by (ErrorSeed, SPU index), so injection is reproducible and
+	// independent of how the step loops are sharded across workers.
 	BitErrorRate float64
 	ErrorSeed    uint64
+	// Workers sizes the deterministic worker pool that shards the per-SPU
+	// loops of steps 2, 3, 5 and 6 across goroutines: 0 selects
+	// GOMAXPROCS, 1 is the serial path. Simulated results (RunStats,
+	// frontiers, outputs) are bit-identical for every value; see DESIGN.md
+	// "Execution model" for the merge-order rules that guarantee it.
+	Workers int
 }
 
 // DefaultConfig returns the Table 2 machine: default geometry/timing and a
@@ -97,6 +106,7 @@ type Machine struct {
 	cfg  Config
 	net  *interconnect.Network
 	eng  *sim.Engine
+	pool *par.Pool
 
 	clean  float32
 	output []float32 // dense output vector, relabeled index space
@@ -108,9 +118,12 @@ type Machine struct {
 	logicAcc   []float32
 	logicDirty []int32
 
-	// Error-injection stream state (splitmix64) and count.
-	errState uint64
-	errCount uint64
+	// Per-SPU error-injection stream states (splitmix64) and flip counts.
+	// One stream per SPU keeps injection deterministic under any worker
+	// sharding: SPU k always draws the same sequence regardless of which
+	// goroutine runs its loop.
+	errStates []uint64
+	errCounts []int64
 
 	// Scratch reused across iterations.
 	busy      []float64
@@ -118,6 +131,7 @@ type Machine struct {
 	dirty     [][]int32 // newly non-clean short indexes per SPU
 	dirtyLong [][]int32 // newly non-clean replica slots per SPU (V3)
 	recvPairs [][]routedPair
+	emit      []spuEmit // step 3 per-SPU out-buckets, merged in SPU order
 
 	instrCosts costs
 }
@@ -127,6 +141,32 @@ type routedPair struct {
 	idx    int32
 	val    float32
 	clean  bool
+}
+
+// spuEmit buffers the shared-state effects SPU k's step 3 loop produces, so
+// the loop itself can run on any worker goroutine while the effects are
+// folded after the barrier in fixed SPU order (bit-identical to the serial
+// path).
+type spuEmit struct {
+	// pairs is dispatcher traffic in emission order: local clean-indicator
+	// pairs (dst == k) and remote accumulations (dst == owner).
+	pairs []dstPair
+	// logic is the contributions bound for shared logic-layer state (V2
+	// long sends; in HypoGearboxV2, every accumulation), in emission order.
+	logic []idxVal
+	// sentPairs and logicPairs drive the SPU's network sends.
+	sentPairs  int64
+	logicPairs int64
+}
+
+type dstPair struct {
+	dst  int32
+	pair routedPair
+}
+
+type idxVal struct {
+	idx int32
+	val float32
 }
 
 // costs bundles the per-entry instruction counts pinned to the fulcrum
@@ -177,6 +217,11 @@ func New(plan *partition.Plan, sem semiring.Semiring, cfg Config) (*Machine, err
 	if plan.Geo != cfg.Geo {
 		return nil, fmt.Errorf("gearbox: plan was built for a different geometry")
 	}
+	if plan.NumSPUs < 1 {
+		// A zero-SPU plan would turn busyStats' mean into NaN and poison
+		// every downstream time; reject it up front.
+		return nil, fmt.Errorf("gearbox: plan has %d SPUs, need at least 1", plan.NumSPUs)
+	}
 	net, err := interconnect.New(cfg.Geo, cfg.Tim)
 	if err != nil {
 		return nil, err
@@ -188,6 +233,7 @@ func New(plan *partition.Plan, sem semiring.Semiring, cfg Config) (*Machine, err
 		cfg:        cfg,
 		net:        net,
 		eng:        sim.New(),
+		pool:       par.New(cfg.Workers),
 		clean:      sem.Zero(),
 		output:     make([]float32, n),
 		busy:       make([]float64, plan.NumSPUs),
@@ -195,12 +241,17 @@ func New(plan *partition.Plan, sem semiring.Semiring, cfg Config) (*Machine, err
 		dirty:      make([][]int32, plan.NumSPUs),
 		dirtyLong:  make([][]int32, plan.NumSPUs),
 		recvPairs:  make([][]routedPair, plan.NumSPUs),
+		emit:       make([]spuEmit, plan.NumSPUs),
 		instrCosts: defaultCosts(cfg.Tim),
 	}
 	for i := range m.output {
 		m.output[i] = m.clean
 	}
-	m.errState = cfg.ErrorSeed
+	m.errStates = make([]uint64, plan.NumSPUs)
+	m.errCounts = make([]int64, plan.NumSPUs)
+	for k := range m.errStates {
+		m.errStates[k] = errStreamSeed(cfg.ErrorSeed, k)
+	}
 	if plan.LastLong >= 0 {
 		m.logicAcc = make([]float32, plan.LastLong+1)
 		for i := range m.logicAcc {
@@ -318,6 +369,10 @@ func (m *Machine) resetScratch() {
 		m.dirty[k] = m.dirty[k][:0]
 		m.dirtyLong[k] = m.dirtyLong[k][:0]
 		m.recvPairs[k] = m.recvPairs[k][:0]
+		m.emit[k].pairs = m.emit[k].pairs[:0]
+		m.emit[k].logic = m.emit[k].logic[:0]
+		m.emit[k].sentPairs = 0
+		m.emit[k].logicPairs = 0
 	}
 }
 
@@ -345,27 +400,45 @@ func (m *Machine) refreshFactor() float64 {
 	return 1 / (1 - m.cfg.TRFCNs/m.cfg.TREFINs)
 }
 
+// errStreamSeed derives SPU k's splitmix64 stream state from the machine
+// seed. The finalizer decorrelates the per-SPU states so stream k is not a
+// shifted copy of stream 0.
+func errStreamSeed(seed uint64, k int) uint64 {
+	z := seed ^ (uint64(k)+1)*0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
 // corrupt injects a deterministic single-bit mantissa flip with probability
-// BitErrorRate, using a splitmix64 stream keyed by ErrorSeed.
-func (m *Machine) corrupt(v float32) float32 {
+// BitErrorRate, drawing from SPU spu's private splitmix64 stream. Keeping
+// one stream per SPU makes injection independent of worker sharding: only
+// SPU spu's loop ever advances stream spu, always in the same order.
+func (m *Machine) corrupt(spu int, v float32) float32 {
 	if m.cfg.BitErrorRate <= 0 {
 		return v
 	}
-	m.errState += 0x9E3779B97F4A7C15
-	z := m.errState
+	m.errStates[spu] += 0x9E3779B97F4A7C15
+	z := m.errStates[spu]
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	z ^= z >> 31
 	if float64(z>>11)/float64(1<<53) >= m.cfg.BitErrorRate {
 		return v
 	}
-	m.errCount++
+	m.errCounts[spu]++
 	bit := uint32(1) << (z % 20) // low mantissa bits
 	return math.Float32frombits(math.Float32bits(v) ^ bit)
 }
 
 // ErrorsInjected reports how many bit flips corrupt has applied.
-func (m *Machine) ErrorsInjected() int64 { return int64(m.errCount) }
+func (m *Machine) ErrorsInjected() int64 {
+	var n int64
+	for _, c := range m.errCounts {
+		n += c
+	}
+	return n
+}
 
 // replica lazily allocates SPU k's copy of the long output region, filled
 // with the clean value.

@@ -14,6 +14,16 @@ import (
 // logic-layer core time where the step touches the logic layer, and a launch
 // overhead per step broadcast (§4: "launch a kernel ... by broadcasting at
 // most 8 instructions").
+//
+// The per-SPU loops of steps 2, 3, 5 and 6 are embarrassingly parallel —
+// each subarray pipeline owns a contiguous output shard, its replica, its
+// dirty list and its receive buffer — so they run on the machine's worker
+// pool. Everything an SPU would push into shared state (dispatcher pairs,
+// logic-layer contributions, network sends, event counters) is buffered
+// per SPU or per worker during the parallel phase and folded after the
+// barrier in fixed SPU order, which keeps float accumulation order, traffic
+// order and therefore every simulated time bit-identical to the serial
+// (Workers=1) path. DESIGN.md "Execution model" documents the rules.
 
 // step1FrontierDistribution broadcasts the long-activating frontier entries
 // from the logic layer to all subarrays (§5 Step 1) and, for HypoGearboxV2,
@@ -44,8 +54,9 @@ func (m *Machine) step2OffsetPacking(f *Frontier, st *IterStats) {
 	long := int64(len(f.Long))
 	s := &st.Steps[1]
 	s.StallRounds = 1
-	var instrs, acts int64
-	for k := range m.busy {
+	type counters struct{ instrs, acts int64 }
+	perWorker := make([]counters, m.pool.Workers())
+	m.pool.ForEach(m.plan.NumSPUs, func(w, k int) {
 		e := int64(len(f.Local[k]))
 		// Owned-column offset lookups walk the shard's offsets array in
 		// sorted order, so activations are bounded by the rows the offsets
@@ -58,8 +69,13 @@ func (m *Machine) step2OffsetPacking(f *Frontier, st *IterStats) {
 		a += long
 		i := (e + long) * m.instrCosts.packInstrs
 		m.busy[k] = float64(i)*cyc + float64(a)*m.stallNs(m.instrCosts.packInstrs)
-		instrs += i
-		acts += a
+		perWorker[w].instrs += i
+		perWorker[w].acts += a
+	})
+	var instrs, acts int64
+	for _, c := range perWorker {
+		instrs += c.instrs
+		acts += c.acts
 	}
 	m.busyStats(s)
 	s.TimeNs = m.cfg.Tim.LaunchNs + maxOf(m.busy)*m.refreshFactor()
@@ -67,11 +83,24 @@ func (m *Machine) step2OffsetPacking(f *Frontier, st *IterStats) {
 	s.Events.RandRowActs = acts
 }
 
+// step3Counters is the per-worker slice of IterStats/Events fields the
+// parallel phase of step 3 accumulates; they reduce after the barrier.
+type step3Counters struct {
+	ev                             Events
+	localAccums, remoteAccums      int64
+	longAccums, cleanHits          int64
+	activatedColumns, processedNNZ int64
+}
+
 // step3LocalAccumulations is the heart of the algorithm (Fig. 11): every SPU
 // streams its activated columns and long-column fragments, multiplies, and
 // either accumulates locally, reduces into its replica of the long region,
 // sends the contribution toward the logic layer, or dispatches it as a
 // remote accumulation.
+//
+// The per-SPU loops run on the worker pool; each SPU buffers its dispatcher
+// pairs and logic-layer contributions in m.emit[k], and the merge below the
+// barrier folds them in SPU order.
 func (m *Machine) step3LocalAccumulations(f *Frontier, st *IterStats) {
 	cyc := m.cfg.Tim.SPUCycleNs()
 	hypo := m.plan.Cfg.Scheme == partition.HypoLogicLayer
@@ -81,62 +110,48 @@ func (m *Machine) step3LocalAccumulations(f *Frontier, st *IterStats) {
 	s := &st.Steps[2]
 	s.StallRounds = 1
 
-	logicPerVault := make([]float64, m.cfg.Geo.Vaults)
-	recvPerBank := make([]int64, m.cfg.Geo.Layers*m.cfg.Geo.BanksPerLayer)
-	var ev Events
+	perWorker := make([]step3Counters, m.pool.Workers())
 
-	for k := 0; k < m.plan.NumSPUs; k++ {
-		var instr, aluOps, randActs, seqActs, sentPairs, logicPairs int64
+	// Parallel phase: shard-private compute. SPU k only touches its own
+	// output shard, replica, emit buckets and error stream; shared-state
+	// effects are deferred to the ordered merge.
+	m.pool.ForEach(m.plan.NumSPUs, func(w, k int) {
+		c := &perWorker[w]
+		e := &m.emit[k]
+		var instr, randActs, seqActs int64
 		lastRow := int64(-1)
 		lastRepRow := int64(-1)
-		srcID := m.plan.SPUIDOf(k)
-		vault := m.cfg.Geo.VaultOf(srcID.Bank)
 
 		accumulate := func(r int32, contribution float32) {
-			contribution = m.corrupt(contribution)
-			aluOps += 2 // ⊗ then ⊕
+			contribution = m.corrupt(k, contribution)
+			c.ev.ALUOps += 2 // ⊗ then ⊕
 			owner := m.plan.OwnerOf[r]
 			switch {
 			case hypo:
-				// Everything accumulates in the logic layer's SRAM.
+				// Everything accumulates in the logic layer's SRAM; the
+				// read-modify-write itself happens in the ordered merge.
 				instr += m.instrCosts.macRemote
-				logicPairs++
-				logicPerVault[vault] += m.instrCosts.logicOpNsPerPair
-				if owner >= 0 {
-					old := m.output[r]
-					if m.sem.IsZero(old) {
-						m.dirty[owner] = append(m.dirty[owner], r)
-						st.CleanHits++
-					}
-					m.output[r] = m.sem.Add(old, contribution)
-				} else {
-					old := m.logicAcc[r]
-					if m.sem.IsZero(old) {
-						m.logicDirtyAdd(r)
-						st.CleanHits++
-					}
-					m.logicAcc[r] = m.sem.Add(old, contribution)
-				}
-				st.LocalAccums++
+				e.logicPairs++
+				e.logic = append(e.logic, idxVal{idx: r, val: contribution})
+				c.localAccums++
 			case owner == int32(k):
 				instr += m.instrCosts.macLocal
 				old := m.output[r]
 				if m.sem.IsZero(old) {
 					// Fig. 11: the clean indicator pair takes the dispatcher
 					// round trip inside the bank.
-					m.recvPairs[k] = append(m.recvPairs[k], routedPair{srcSPU: int32(k), idx: r, clean: true})
-					sentPairs++
-					recvPerBank[bankFlat(m.cfg.Geo, srcID)]++
-					st.CleanHits++
+					e.pairs = append(e.pairs, dstPair{dst: int32(k), pair: routedPair{srcSPU: int32(k), idx: r, clean: true}})
+					e.sentPairs++
+					c.cleanHits++
 				}
 				m.output[r] = m.sem.Add(old, contribution)
-				st.LocalAccums++
+				c.localAccums++
 				if row := int64(r) >> 6; row != lastRow {
 					randActs++
 					lastRow = row
 				}
 			case r <= m.plan.LastLong:
-				st.LongAccums++
+				c.longAccums++
 				if replicate {
 					rep := m.replica(k)
 					instr += m.instrCosts.macLocal
@@ -152,42 +167,36 @@ func (m *Machine) step3LocalAccumulations(f *Frontier, st *IterStats) {
 				} else {
 					// V2: send the contribution down to the logic layer.
 					instr += m.instrCosts.macRemote
-					logicPairs++
-					logicPerVault[vault] += m.instrCosts.logicOpNsPerPair
-					old := m.logicAcc[r]
-					if m.sem.IsZero(old) {
-						m.logicDirtyAdd(r)
-					}
-					m.logicAcc[r] = m.sem.Add(old, contribution)
+					e.logicPairs++
+					e.logic = append(e.logic, idxVal{idx: r, val: contribution})
 				}
 			default:
 				// Remote accumulation: dispatch toward the owner's bank.
 				instr += m.instrCosts.macRemote
-				m.recvPairs[owner] = append(m.recvPairs[owner], routedPair{srcSPU: int32(k), idx: r, val: contribution})
-				sentPairs++
-				recvPerBank[bankFlat(m.cfg.Geo, m.plan.SPUIDOf(int(owner)))]++
-				st.RemoteAccums++
+				e.pairs = append(e.pairs, dstPair{dst: owner, pair: routedPair{srcSPU: int32(k), idx: r, val: contribution}})
+				e.sentPairs++
+				c.remoteAccums++
 			}
 		}
 
-		for _, e := range f.Local[k] {
-			rows, vals := m.plan.Matrix.Col(e.Index)
-			st.ActivatedColumns++
-			st.ProcessedNNZ += int64(len(rows))
+		for _, fe := range f.Local[k] {
+			rows, vals := m.plan.Matrix.Col(fe.Index)
+			c.activatedColumns++
+			c.processedNNZ += int64(len(rows))
 			for i, r := range rows {
-				accumulate(r, m.sem.Mul(vals[i], e.Value))
+				accumulate(r, m.sem.Mul(vals[i], fe.Value))
 			}
 			seqActs += int64(2*len(rows))/int64(m.cfg.Geo.WordsPerRow()) + 1
 		}
-		for _, e := range f.Long {
-			frag := m.plan.LongFrags[k][e.Index]
-			spill := m.plan.LongRowSpill[k][e.Index]
-			st.ProcessedNNZ += int64(len(frag) + len(spill))
-			for _, fe := range frag {
-				accumulate(fe.Row, m.sem.Mul(fe.Val, e.Value))
+		for _, fe := range f.Long {
+			frag := m.plan.LongFrags[k][fe.Index]
+			spill := m.plan.LongRowSpill[k][fe.Index]
+			c.processedNNZ += int64(len(frag) + len(spill))
+			for _, fr := range frag {
+				accumulate(fr.Row, m.sem.Mul(fr.Val, fe.Value))
 			}
-			for _, fe := range spill {
-				accumulate(fe.Row, m.sem.Mul(fe.Val, e.Value))
+			for _, fr := range spill {
+				accumulate(fr.Row, m.sem.Mul(fr.Val, fe.Value))
 			}
 			if n := len(frag) + len(spill); n > 0 {
 				seqActs += int64(2*n)/int64(m.cfg.Geo.WordsPerRow()) + 1
@@ -195,16 +204,68 @@ func (m *Machine) step3LocalAccumulations(f *Frontier, st *IterStats) {
 		}
 
 		m.busy[k] = float64(instr)*cyc + float64(randActs)*m.stallNs(m.instrCosts.macLocal)
-		ev.SPUInstrs += instr
-		ev.ALUOps += aluOps
-		ev.RandRowActs += randActs
-		ev.SeqRowActs += seqActs
-		if sentPairs > 0 {
-			m.net.SendSPUToSPU(srcID, m.plan.DispatcherOf(k), sentPairs)
+		c.ev.SPUInstrs += instr
+		c.ev.RandRowActs += randActs
+		c.ev.SeqRowActs += seqActs
+	})
+
+	var ev Events
+	for _, c := range perWorker {
+		ev.Add(c.ev)
+		st.LocalAccums += c.localAccums
+		st.RemoteAccums += c.remoteAccums
+		st.LongAccums += c.longAccums
+		st.CleanHits += c.cleanHits
+		st.ActivatedColumns += c.activatedColumns
+		st.ProcessedNNZ += c.processedNNZ
+	}
+
+	// Ordered merge: fold each SPU's buffered effects in ascending SPU
+	// order, exactly the order the serial loop produced them in. This keeps
+	// the per-destination receive order, the logic-layer float accumulation
+	// order and the network-link occupancy order independent of worker
+	// scheduling.
+	logicPairsPerVault := make([]int64, m.cfg.Geo.Vaults)
+	recvPerBank := make([]int64, m.cfg.Geo.Layers*m.cfg.Geo.BanksPerLayer)
+	for k := 0; k < m.plan.NumSPUs; k++ {
+		e := &m.emit[k]
+		for _, lp := range e.logic {
+			if hypo {
+				if owner := m.plan.OwnerOf[lp.idx]; owner >= 0 {
+					old := m.output[lp.idx]
+					if m.sem.IsZero(old) {
+						m.dirty[owner] = append(m.dirty[owner], lp.idx)
+						st.CleanHits++
+					}
+					m.output[lp.idx] = m.sem.Add(old, lp.val)
+				} else {
+					old := m.logicAcc[lp.idx]
+					if m.sem.IsZero(old) {
+						m.logicDirtyAdd(lp.idx)
+						st.CleanHits++
+					}
+					m.logicAcc[lp.idx] = m.sem.Add(old, lp.val)
+				}
+			} else {
+				old := m.logicAcc[lp.idx]
+				if m.sem.IsZero(old) {
+					m.logicDirtyAdd(lp.idx)
+				}
+				m.logicAcc[lp.idx] = m.sem.Add(old, lp.val)
+			}
 		}
-		if logicPairs > 0 {
-			m.net.SendToLogic(srcID, logicPairs)
-			ev.LogicOps += 2 * logicPairs
+		for _, dp := range e.pairs {
+			m.recvPairs[dp.dst] = append(m.recvPairs[dp.dst], dp.pair)
+			recvPerBank[bankFlat(m.cfg.Geo, m.plan.SPUIDOf(int(dp.dst)))]++
+		}
+		srcID := m.plan.SPUIDOf(k)
+		if e.sentPairs > 0 {
+			m.net.SendSPUToSPU(srcID, m.plan.DispatcherOf(k), e.sentPairs)
+		}
+		if e.logicPairs > 0 {
+			m.net.SendToLogic(srcID, e.logicPairs)
+			ev.LogicOps += 2 * e.logicPairs
+			logicPairsPerVault[m.cfg.Geo.VaultOf(srcID.Bank)] += e.logicPairs
 		}
 	}
 	// Counted while routing: each long activation processed one fragment set.
@@ -226,7 +287,12 @@ func (m *Machine) step3LocalAccumulations(f *Frontier, st *IterStats) {
 	ev.DispatchInstrs += dispInstrs
 
 	m.busyStats(s)
-	logicBusy := maxOf(logicPerVault)
+	logicBusy := 0.0
+	for _, n := range logicPairsPerVault {
+		if b := float64(n) * m.instrCosts.logicOpNsPerPair; b > logicBusy {
+			logicBusy = b
+		}
+	}
 	busy := maxOf(m.busy)
 	t := busy
 	if dispBusy > t {
@@ -293,17 +359,24 @@ func (m *Machine) step4Dispatching(st *IterStats) {
 
 // step5RemoteAccumulations has every Compute SPU fold the received pairs
 // into its output shard with the ScatterAccumulate kernel, appending
-// clean-indicator indexes to the frontier list (§5 Step 5).
+// clean-indicator indexes to the frontier list (§5 Step 5). Each SPU's fold
+// only touches its own shard and dirty list, so the loop shards cleanly
+// across the worker pool.
 func (m *Machine) step5RemoteAccumulations(st *IterStats) {
 	cyc := m.cfg.Tim.SPUCycleNs()
 	s := &st.Steps[4]
 	s.StallRounds = 1
-	var ev Events
-	for k := 0; k < m.plan.NumSPUs; k++ {
+	type counters struct {
+		ev        Events
+		cleanHits int64
+	}
+	perWorker := make([]counters, m.pool.Workers())
+	m.pool.ForEach(m.plan.NumSPUs, func(w, k int) {
+		c := &perWorker[w]
 		pairs := m.recvPairs[k]
 		if len(pairs) == 0 {
 			m.busy[k] = 0
-			continue
+			return
 		}
 		var instr, randActs int64
 		lastRow := int64(-1)
@@ -314,12 +387,12 @@ func (m *Machine) step5RemoteAccumulations(st *IterStats) {
 				continue
 			}
 			instr += m.instrCosts.scatterLocal
-			ev.ALUOps++
+			c.ev.ALUOps++
 			old := m.output[p.idx]
 			if m.sem.IsZero(old) {
 				m.dirty[k] = append(m.dirty[k], p.idx)
 				instr += m.instrCosts.cleanAppend
-				st.CleanHits++
+				c.cleanHits++
 			}
 			m.output[p.idx] = m.sem.Add(old, p.val)
 			if row := int64(p.idx) >> 6; row != lastRow {
@@ -328,9 +401,14 @@ func (m *Machine) step5RemoteAccumulations(st *IterStats) {
 			}
 		}
 		m.busy[k] = float64(instr)*cyc + float64(randActs)*m.stallNs(m.instrCosts.scatterLocal+m.instrCosts.cleanAppend)
-		ev.SPUInstrs += instr
-		ev.RandRowActs += randActs
-		ev.SeqRowActs += int64(2*len(pairs))/int64(m.cfg.Geo.WordsPerRow()) + 1
+		c.ev.SPUInstrs += instr
+		c.ev.RandRowActs += randActs
+		c.ev.SeqRowActs += int64(2*len(pairs))/int64(m.cfg.Geo.WordsPerRow()) + 1
+	})
+	var ev Events
+	for _, c := range perWorker {
+		ev.Add(c.ev)
+		st.CleanHits += c.cleanHits
 	}
 	m.busyStats(s)
 	s.TimeNs = m.cfg.Tim.LaunchNs + maxOf(m.busy)*m.refreshFactor()
@@ -340,7 +418,11 @@ func (m *Machine) step5RemoteAccumulations(st *IterStats) {
 // step6Applying performs the optional Applying op, reduces the replicated
 // long regions in the logic layer (V3), emits the next frontier from the
 // newly non-clean slots, and resets the output vector to clean indicators
-// (§5 Step 6).
+// (§5 Step 6). The dense apply and the frontier emission shard across the
+// worker pool (each SPU owns its output range and dirty list); the V3
+// replica reduction folds into the shared logic accumulator and therefore
+// runs serially in SPU order, which is also what keeps its float sums
+// bit-stable.
 func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
 	cyc := m.cfg.Tim.SPUCycleNs()
 	m.net.Reset()
@@ -355,10 +437,14 @@ func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
 	// combines same-slot partials, and only the bank-level partials cross
 	// the TSVs — without this the replicated scheme would push
 	// SPUs x slots pairs at the logic layer and lose its advantage.
+	// bankSlots is indexed by flattened bank id and walked in index order:
+	// iterating a map here would emit per-bank traffic and fold the
+	// per-vault logic time in Go's randomized map order, making simulated
+	// times differ run to run.
 	if m.plan.Cfg.Replicate && m.plan.LastLong >= 0 {
 		pairsPerRow := int64(m.cfg.Geo.WordsPerRow() / 2)
 		banks := m.cfg.Geo.Layers * m.cfg.Geo.BanksPerLayer
-		bankSlots := make(map[int]map[int32]bool, banks)
+		bankSlots := make([]map[int32]bool, banks)
 		for k := 0; k < m.plan.NumSPUs; k++ {
 			dl := m.dirtyLong[k]
 			if len(dl) == 0 {
@@ -387,6 +473,9 @@ func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
 			ev.SPUInstrs += n * 2 // read replica slot + send
 		}
 		for bf, slots := range bankSlots {
+			if len(slots) == 0 {
+				continue
+			}
 			id := mem.SPUID{Layer: bf / m.cfg.Geo.BanksPerLayer, Bank: bf % m.cfg.Geo.BanksPerLayer, SPU: m.cfg.Geo.SPUsPerBank() - 1}
 			n := int64(len(slots))
 			m.net.SendToLogic(id, n)
@@ -397,14 +486,15 @@ func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
 		}
 	}
 
-	// Optional Applying op over the whole vector.
+	// Optional Applying op over the whole vector, sharded by output range.
 	if opts.Apply != nil {
 		alpha, y := opts.Apply.Alpha, opts.Apply.Y
-		for k := 0; k < m.plan.NumSPUs; k++ {
+		applyWorker := make([]Events, m.pool.Workers())
+		m.pool.ForEach(m.plan.NumSPUs, func(w, k int) {
 			r := m.plan.Ranges[k]
 			if r.Len() == 0 {
 				m.busy[k] = 0
-				continue
+				return
 			}
 			// After a dense apply every slot may be non-clean; rebuild the
 			// dirty list by scanning (the scan rides the same stream).
@@ -417,9 +507,12 @@ func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
 			}
 			words := int64(r.Len())
 			m.busy[k] = float64(words*m.instrCosts.applyPerWord) * cyc
-			ev.SPUInstrs += words * m.instrCosts.applyPerWord
-			ev.ALUOps += 2 * words
-			ev.SeqRowActs += 2*words/int64(m.cfg.Geo.WordsPerRow()) + 1
+			applyWorker[w].SPUInstrs += words * m.instrCosts.applyPerWord
+			applyWorker[w].ALUOps += 2 * words
+			applyWorker[w].SeqRowActs += 2*words/int64(m.cfg.Geo.WordsPerRow()) + 1
+		})
+		for _, we := range applyWorker {
+			ev.Add(we)
 		}
 		for r := int32(0); r <= m.plan.LastLong; r++ {
 			m.logicAcc[r] = m.sem.Add(m.logicAcc[r], m.sem.Mul(alpha, y[r]))
@@ -434,13 +527,20 @@ func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
 		}
 	}
 
-	// Emit the next frontier and reset output slots to clean.
+	// Emit the next frontier and reset output slots to clean. Each SPU
+	// sorts its own dirty list and writes its own frontier bucket.
 	next := &Frontier{Local: make([][]FrontierEntry, m.plan.NumSPUs)}
-	for k := 0; k < m.plan.NumSPUs; k++ {
+	type emitCounters struct {
+		ev          Events
+		frontierOut int64
+	}
+	emitWorker := make([]emitCounters, m.pool.Workers())
+	m.pool.ForEach(m.plan.NumSPUs, func(w, k int) {
 		dl := m.dirty[k]
 		if len(dl) == 0 {
-			continue
+			return
 		}
+		c := &emitWorker[w]
 		sort.Slice(dl, func(i, j int) bool { return dl[i] < dl[j] })
 		lastRow, randActs := int64(-1), int64(0)
 		entries := make([]FrontierEntry, 0, len(dl))
@@ -462,9 +562,13 @@ func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
 		next.Local[k] = entries
 		n := int64(len(entries))
 		m.busy[k] += float64(n*m.instrCosts.frontierEmit)*cyc + float64(randActs)*m.stallNs(m.instrCosts.frontierEmit)
-		ev.SPUInstrs += n * m.instrCosts.frontierEmit
-		ev.RandRowActs += randActs
-		st.FrontierOut += n
+		c.ev.SPUInstrs += n * m.instrCosts.frontierEmit
+		c.ev.RandRowActs += randActs
+		c.frontierOut += n
+	})
+	for _, c := range emitWorker {
+		ev.Add(c.ev)
+		st.FrontierOut += c.frontierOut
 	}
 	// Long outputs become next-iteration logic-layer frontier entries.
 	if len(m.logicDirty) > 0 {

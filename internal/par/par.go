@@ -1,0 +1,78 @@
+// Package par is a small deterministic fork-join worker pool for the
+// simulator's per-SPU step loops. Determinism is the design constraint, not
+// throughput tricks: a parallel region always partitions its index space
+// into the same contiguous blocks for a given (workers, n) pair, every
+// worker receives a stable worker id for private scratch, and the caller is
+// expected to merge per-worker or per-index results in fixed index order
+// after the join. Under those rules a region's observable effects are
+// bit-identical whether it runs on one goroutine or sixteen, which is what
+// lets the gearbox machine validate its parallel path against the serial
+// one by exact comparison.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool executes parallel-for regions over a fixed worker count.
+//
+// A Pool is stateless between regions and safe for concurrent use; each
+// ForEach forks its own goroutines and joins them before returning
+// (fork-join costs ~1-2 us per region, negligible against the multi-ms
+// step loops it shards).
+type Pool struct {
+	workers int
+}
+
+// New returns a pool of the requested width. workers <= 0 selects
+// runtime.GOMAXPROCS(0); workers == 1 is the serial path (ForEach runs
+// inline on the calling goroutine).
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool width. Worker ids passed to ForEach callbacks
+// are always in [0, Workers()).
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach runs fn(worker, i) for every i in [0, n), sharding the index
+// space into at most Workers() contiguous blocks. Block boundaries depend
+// only on (Workers(), n), and every index is visited exactly once, so
+// per-index outputs land in deterministic slots; cross-index state must be
+// worker-private (keyed by the worker id) and merged by the caller after
+// ForEach returns.
+//
+// fn must not panic across goroutines' shared state assumptions: indexes
+// within one block run in ascending order on one goroutine.
+func (p *Pool) ForEach(n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for worker := 0; worker < w; worker++ {
+		// Balanced contiguous blocks: worker k owns [k*n/w, (k+1)*n/w).
+		lo, hi := worker*n/w, (worker+1)*n/w
+		go func(worker, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(worker, i)
+			}
+		}(worker, lo, hi)
+	}
+	wg.Wait()
+}

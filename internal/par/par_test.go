@@ -1,0 +1,88 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	for _, w := range []int{0, -3} {
+		if got, want := New(w).Workers(), runtime.GOMAXPROCS(0); got != want {
+			t.Fatalf("New(%d).Workers() = %d, want %d", w, got, want)
+		}
+	}
+	if got := New(5).Workers(); got != 5 {
+		t.Fatalf("New(5).Workers() = %d", got)
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 2, 5, 16, 97} {
+			p := New(workers)
+			counts := make([]int32, n)
+			p.ForEach(n, func(worker, i int) {
+				if worker < 0 || worker >= p.Workers() {
+					t.Errorf("workers=%d n=%d: worker id %d out of range", workers, n, worker)
+				}
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachBlocksAreContiguousAndAscending(t *testing.T) {
+	const n = 50
+	p := New(4)
+	var mu sync.Mutex
+	seen := map[int][]int{} // worker -> indexes in visit order
+	p.ForEach(n, func(worker, i int) {
+		mu.Lock()
+		seen[worker] = append(seen[worker], i)
+		mu.Unlock()
+	})
+	total := 0
+	for w, idxs := range seen {
+		total += len(idxs)
+		for j := 1; j < len(idxs); j++ {
+			if idxs[j] != idxs[j-1]+1 {
+				t.Fatalf("worker %d block not contiguous ascending: %v", w, idxs)
+			}
+		}
+	}
+	if total != n {
+		t.Fatalf("visited %d of %d indexes", total, n)
+	}
+}
+
+func TestSerialPoolRunsInline(t *testing.T) {
+	p := New(1)
+	var order []int
+	p.ForEach(10, func(worker, i int) {
+		if worker != 0 {
+			t.Fatalf("serial pool used worker %d", worker)
+		}
+		order = append(order, i) // no lock: must be single-goroutine
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+func TestMoreWorkersThanWork(t *testing.T) {
+	p := New(32)
+	var hits int32
+	p.ForEach(3, func(worker, i int) { atomic.AddInt32(&hits, 1) })
+	if hits != 3 {
+		t.Fatalf("hits = %d, want 3", hits)
+	}
+}

@@ -69,11 +69,20 @@ func (e *Engine) Run() float64 {
 }
 
 // RunUntil executes events with At <= deadline; later events stay queued.
-// The clock ends at min(deadline, last executed event time) if events remain,
-// or at the last executed event otherwise.
+// If events remain past the deadline, the clock advances to the deadline
+// (the simulation observed that no further event fires before it); if the
+// queue drains, the clock stays at the last executed event, matching Run.
+// A deadline already in the past executes nothing and leaves the clock
+// unchanged. Returns the final clock value.
 func (e *Engine) RunUntil(deadline float64) float64 {
+	if math.IsNaN(deadline) {
+		panic("sim: RunUntil with NaN deadline")
+	}
 	for e.queue.Len() > 0 && e.queue[0].At <= deadline {
 		e.step()
+	}
+	if e.queue.Len() > 0 && deadline > e.now {
+		e.now = deadline
 	}
 	return e.now
 }

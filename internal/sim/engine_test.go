@@ -98,6 +98,48 @@ func TestRunUntilLeavesLaterEventsQueued(t *testing.T) {
 	}
 }
 
+func TestRunUntilAdvancesClockToDeadline(t *testing.T) {
+	e := New()
+	e.At(10, "early", func(*Engine) {})
+	e.At(100, "late", func(*Engine) {})
+	// Events remain past the deadline: the clock must land on the deadline,
+	// not stall at the last executed event.
+	if got := e.RunUntil(50); got != 50 {
+		t.Fatalf("RunUntil(50) = %v, want 50", got)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now() = %v, want 50", e.Now())
+	}
+	// Scheduling relative to the advanced clock must not panic.
+	e.After(1, "ok", func(*Engine) {})
+	if end := e.Run(); end != 100 {
+		t.Fatalf("final clock = %v, want 100", end)
+	}
+}
+
+func TestRunUntilDrainedQueueKeepsLastEventTime(t *testing.T) {
+	e := New()
+	e.At(10, "only", func(*Engine) {})
+	// Queue drains before the deadline: clock stays at the last event,
+	// matching Run's semantics.
+	if got := e.RunUntil(50); got != 10 {
+		t.Fatalf("RunUntil(50) with drained queue = %v, want 10", got)
+	}
+}
+
+func TestRunUntilPastDeadlineIsNoOp(t *testing.T) {
+	e := New()
+	e.At(10, "a", func(*Engine) {})
+	e.Run()
+	e.At(100, "b", func(*Engine) {})
+	if got := e.RunUntil(5); got != 10 {
+		t.Fatalf("RunUntil(past) = %v, want clock unchanged at 10", got)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
 func TestTraceSeesEveryEvent(t *testing.T) {
 	e := New()
 	var seen []string
