@@ -13,17 +13,38 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"gearbox/internal/bench"
 	"gearbox/internal/gen"
 )
 
+// cpuProfiling tracks whether a CPU profile is being collected, so fatal can
+// flush it before os.Exit discards the buffered samples.
+var cpuProfiling bool
+
 func main() {
 	size := flag.String("size", "small", "dataset size tier: tiny, small, medium")
 	exp := flag.String("exp", "all", "comma-separated experiments (table3,fig5,fig12,fig13,fig14a,fig14b,fig15,table5,fig16a,fig16b,fig17a,fig17b,table6,fig18, plus extensions scaling,utilization,ablation-overlap,ablation-buffer,ablation-linkwidth,ablation-refresh,ablation-errors) or 'all'")
 	workers := flag.Int("workers", 0, "parallelism: prewarm fan-out and per-machine worker pool (0: NumCPU)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuProfiling = true
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memProfile)
 
 	cfg := bench.DefaultConfig()
 	switch *size {
@@ -127,6 +148,26 @@ func main() {
 }
 
 func fatal(err error) {
+	if cpuProfiling {
+		pprof.StopCPUProfile()
+	}
 	fmt.Fprintln(os.Stderr, "gearbox-bench:", err)
 	os.Exit(1)
+}
+
+// writeMemProfile snapshots the heap after a GC so the profile shows live
+// steady-state allocations rather than collectable garbage.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
+	}
 }

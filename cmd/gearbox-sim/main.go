@@ -12,10 +12,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"gearbox"
 )
+
+// cpuProfiling tracks whether a CPU profile is being collected, so fatal can
+// flush it before os.Exit discards the buffered samples.
+var cpuProfiling bool
 
 func main() {
 	dataset := flag.String("dataset", "holly", "dataset: holly, orkut, patent, road, twitter")
@@ -28,7 +34,22 @@ func main() {
 	prIters := flag.Int("pr-iters", 10, "PageRank iterations")
 	workers := flag.Int("workers", 0, "simulator worker goroutines for the per-SPU step loops (0: GOMAXPROCS, 1: serial; results are identical)")
 	tracePath := flag.String("trace", "", "write a chrome://tracing JSON timeline to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuProfiling = true
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memProfile)
 
 	size, ok := map[string]gearbox.Size{"tiny": gearbox.Tiny, "small": gearbox.Small, "medium": gearbox.Medium}[*sizeFlag]
 	if !ok {
@@ -151,6 +172,26 @@ func main() {
 }
 
 func fatal(err error) {
+	if cpuProfiling {
+		pprof.StopCPUProfile()
+	}
 	fmt.Fprintln(os.Stderr, "gearbox-sim:", err)
 	os.Exit(1)
+}
+
+// writeMemProfile snapshots the heap after a GC so the profile shows live
+// steady-state allocations rather than collectable garbage.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
+	}
 }

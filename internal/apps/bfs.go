@@ -49,6 +49,7 @@ func BFS(m *sparse.CSC, source int32, cfg RunConfig) (*BFSResult, error) {
 	if maxIters == 0 {
 		maxIters = int(n)
 	}
+	var nextBuf []gearbox.FrontierEntry // reused extraction buffer
 	for depth := int32(1); len(entries) > 0 && res.Work.Iterations < maxIters; depth++ {
 		f, err := mach.DistributeFrontier(entries)
 		if err != nil {
@@ -58,10 +59,13 @@ func BFS(m *sparse.CSC, source int32, cfg RunConfig) (*BFSResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		mach.Recycle(f)
 		res.addIter(st, len(entries), false)
 
+		nextBuf = next.AppendEntries(nextBuf[:0])
+		mach.Recycle(next)
 		entries = entries[:0]
-		for _, e := range next.Entries() {
+		for _, e := range nextBuf {
 			if levelsNew[e.Index] < 0 {
 				levelsNew[e.Index] = depth
 				entries = append(entries, gearbox.FrontierEntry{Index: e.Index, Value: 1})

@@ -47,6 +47,7 @@ func ConnectedComponents(m *sparse.CSC, cfg RunConfig) (*CCResult, error) {
 	if maxIters == 0 {
 		maxIters = int(n)
 	}
+	var nextBuf []gearbox.FrontierEntry // reused extraction buffer
 	for len(entries) > 0 && res.Work.Iterations < maxIters {
 		f, err := mach.DistributeFrontier(entries)
 		if err != nil {
@@ -56,10 +57,13 @@ func ConnectedComponents(m *sparse.CSC, cfg RunConfig) (*CCResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		mach.Recycle(f)
 		res.addIter(st, len(entries), false)
 
+		nextBuf = next.AppendEntries(nextBuf[:0])
+		mach.Recycle(next)
 		entries = entries[:0]
-		for _, e := range next.Entries() {
+		for _, e := range nextBuf {
 			if e.Value < labels[e.Index] {
 				labels[e.Index] = e.Value
 				entries = append(entries, e)

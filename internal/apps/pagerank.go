@@ -56,6 +56,7 @@ func PageRank(m *sparse.CSC, damping float32, iters int, cfg RunConfig) (*PRResu
 
 	res := &PRResult{Result: newResult(m)}
 	entries := make([]gearbox.FrontierEntry, 0, n)
+	var nextBuf []gearbox.FrontierEntry // reused extraction buffer
 	for it := 0; it < iters; it++ {
 		entries = entries[:0]
 		for c := int32(0); c < n; c++ {
@@ -71,12 +72,15 @@ func PageRank(m *sparse.CSC, damping float32, iters int, cfg RunConfig) (*PRResu
 		if err != nil {
 			return nil, err
 		}
+		mach.Recycle(f)
 		res.addIter(st, len(entries), true)
 
+		nextBuf = next.AppendEntries(nextBuf[:0])
+		mach.Recycle(next)
 		for i := range pr {
 			pr[i] = 0
 		}
-		for _, e := range next.Entries() {
+		for _, e := range nextBuf {
 			pr[e.Index] = e.Value
 		}
 	}

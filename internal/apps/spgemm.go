@@ -33,14 +33,15 @@ func SpGEMM(a *sparse.CSC, b *sparse.CSC, cfg RunConfig) (*SpGEMMResult, error) 
 
 	res := &SpGEMMResult{Result: newResult(a)}
 	out := sparse.NewCOO(a.NumRows, b.NumCols)
+	var entries, colBuf []gearbox.FrontierEntry // reused per-column buffers
 	for j := int32(0); j < b.NumCols; j++ {
 		rows, vals := b.Col(j)
 		if len(rows) == 0 {
 			continue
 		}
-		entries := make([]gearbox.FrontierEntry, len(rows))
+		entries = entries[:0]
 		for i, r := range rows {
-			entries[i] = gearbox.FrontierEntry{Index: plan.Perm.New[r], Value: vals[i]}
+			entries = append(entries, gearbox.FrontierEntry{Index: plan.Perm.New[r], Value: vals[i]})
 		}
 		f, err := mach.DistributeFrontier(entries)
 		if err != nil {
@@ -50,8 +51,11 @@ func SpGEMM(a *sparse.CSC, b *sparse.CSC, cfg RunConfig) (*SpGEMMResult, error) 
 		if err != nil {
 			return nil, err
 		}
+		mach.Recycle(f)
 		res.addIter(st, len(entries), false)
-		for _, e := range col.Entries() {
+		colBuf = col.AppendEntries(colBuf[:0])
+		mach.Recycle(col)
+		for _, e := range colBuf {
 			out.Entries = append(out.Entries, sparse.Entry{
 				Row: plan.Perm.Old[e.Index], Col: j, Val: e.Value,
 			})

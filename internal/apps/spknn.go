@@ -42,11 +42,12 @@ func SpKNN(m *sparse.CSC, numQueries, queryNNZ, k int, seed int64, cfg RunConfig
 	plan := mach.Plan()
 
 	res := &KNNResult{Result: newResult(m)}
+	var entries, scoreBuf []gearbox.FrontierEntry // reused per-query buffers
 	for q := 0; q < numQueries; q++ {
 		idx, vals := QueryVector(m.NumRows, queryNNZ, seed+int64(q))
-		entries := make([]gearbox.FrontierEntry, len(idx))
+		entries = entries[:0]
 		for i := range idx {
-			entries[i] = gearbox.FrontierEntry{Index: plan.Perm.New[idx[i]], Value: vals[i]}
+			entries = append(entries, gearbox.FrontierEntry{Index: plan.Perm.New[idx[i]], Value: vals[i]})
 		}
 		f, err := mach.DistributeFrontier(entries)
 		if err != nil {
@@ -56,10 +57,13 @@ func SpKNN(m *sparse.CSC, numQueries, queryNNZ, k int, seed int64, cfg RunConfig
 		if err != nil {
 			return nil, err
 		}
+		mach.Recycle(f)
 		res.addIter(st, len(entries), false)
 
-		hits := make([]Neighbor, 0, scores.NNZ())
-		for _, e := range scores.Entries() {
+		scoreBuf = scores.AppendEntries(scoreBuf[:0])
+		mach.Recycle(scores)
+		hits := make([]Neighbor, 0, len(scoreBuf))
+		for _, e := range scoreBuf {
 			hits = append(hits, Neighbor{Sample: plan.Perm.Old[e.Index], Score: e.Value})
 		}
 		res.Neighbors = append(res.Neighbors, TopK(hits, k))

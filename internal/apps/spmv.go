@@ -44,12 +44,14 @@ func SpMV(m *sparse.CSC, x []float32, cfg RunConfig) (*SpMVResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	mach.Recycle(f)
 
 	res := &SpMVResult{Result: newResult(m), Y: make([]float32, m.NumRows)}
 	res.addIter(st, len(entries), false)
 	for _, e := range out.Entries() {
 		res.Y[plan.Perm.Old[e.Index]] = e.Value
 	}
+	mach.Recycle(out)
 	res.finish()
 	return res, nil
 }

@@ -47,6 +47,7 @@ func SSSP(m *sparse.CSC, source int32, cfg RunConfig) (*SSSPResult, error) {
 		maxIters = int(n)
 	}
 	res := &SSSPResult{Result: newResult(m)}
+	var nextBuf []gearbox.FrontierEntry // reused extraction buffer
 	for len(entries) > 0 && res.Work.Iterations < maxIters {
 		f, err := mach.DistributeFrontier(entries)
 		if err != nil {
@@ -56,10 +57,13 @@ func SSSP(m *sparse.CSC, source int32, cfg RunConfig) (*SSSPResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		mach.Recycle(f)
 		res.addIter(st, len(entries), false)
 
+		nextBuf = next.AppendEntries(nextBuf[:0])
+		mach.Recycle(next)
 		entries = entries[:0]
-		for _, e := range next.Entries() {
+		for _, e := range nextBuf {
 			if e.Value < dist[e.Index] {
 				dist[e.Index] = e.Value
 				entries = append(entries, e)

@@ -34,11 +34,12 @@ func SVM(m *sparse.CSC, batches, weightNNZ int, bias float32, seed int64, cfg Ru
 	n := m.NumRows
 
 	res := &SVMResult{Result: newResult(m)}
+	var entries, scoreBuf []gearbox.FrontierEntry // reused per-batch buffers
 	for b := 0; b < batches; b++ {
 		idx, vals := WeightVector(n, weightNNZ, seed+int64(b))
-		entries := make([]gearbox.FrontierEntry, len(idx))
+		entries = entries[:0]
 		for i := range idx {
-			entries[i] = gearbox.FrontierEntry{Index: plan.Perm.New[idx[i]], Value: vals[i]}
+			entries = append(entries, gearbox.FrontierEntry{Index: plan.Perm.New[idx[i]], Value: vals[i]})
 		}
 		f, err := mach.DistributeFrontier(entries)
 		if err != nil {
@@ -48,13 +49,16 @@ func SVM(m *sparse.CSC, batches, weightNNZ int, bias float32, seed int64, cfg Ru
 		if err != nil {
 			return nil, err
 		}
+		mach.Recycle(f)
 		res.addIter(st, len(entries), false)
 
+		scoreBuf = scores.AppendEntries(scoreBuf[:0])
+		mach.Recycle(scores)
 		classes := make([]int8, n)
 		for i := range classes {
 			classes[i] = classify(0, bias)
 		}
-		for _, e := range scores.Entries() {
+		for _, e := range scoreBuf {
 			classes[plan.Perm.Old[e.Index]] = classify(e.Value, bias)
 		}
 		res.Classes = append(res.Classes, classes)

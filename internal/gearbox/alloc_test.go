@@ -1,0 +1,86 @@
+//go:build !race
+
+// AllocsPerRun measurements are meaningless under the race detector (its
+// instrumentation allocates), so this file is excluded from -race runs; CI
+// covers it through the non-race benchmark smoke step.
+
+package gearbox
+
+import (
+	"testing"
+
+	"gearbox/internal/partition"
+	"gearbox/internal/semiring"
+)
+
+// TestIterateSteadyStateAllocs is the tentpole's regression test: once an
+// application recycles its frontiers and extracts entries through a reused
+// buffer, a full DistributeFrontier → Iterate → AppendEntries cycle allocates
+// nothing. Swept over the Table 4 versions so the V2 logic-layer path, the
+// V3 replica reduction and the hypothetical-V2 short fold all stay on the
+// pooled-scratch path.
+func TestIterateSteadyStateAllocs(t *testing.T) {
+	m := testMatrix(t, 31)
+	for _, vc := range versionConfigs() {
+		t.Run(vc.name, func(t *testing.T) {
+			mach := machineWithWorkers(t, m, vc.cfg, semiring.PlusTimes{}, 1, nil)
+			entries := randomFrontier(m.NumRows, 60, 7)
+			var buf []FrontierEntry
+			cycle := func() {
+				f, err := mach.DistributeFrontier(entries)
+				if err != nil {
+					t.Fatal(err)
+				}
+				next, _, err := mach.Iterate(f, IterateOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				mach.Recycle(f)
+				buf = next.AppendEntries(buf[:0])
+				mach.Recycle(next)
+			}
+			// Warm the pools: first iterations grow emit buckets, receive
+			// buffers, frontier shells and the entry buffer to steady-state
+			// capacity.
+			for i := 0; i < 3; i++ {
+				cycle()
+			}
+			if avg := testing.AllocsPerRun(10, cycle); avg > 0.5 {
+				t.Fatalf("steady-state iteration allocates: %.1f allocs/op, want ~0", avg)
+			}
+		})
+	}
+}
+
+// TestIterateSteadyStateAllocsParallel covers the worker-pool path: the
+// fork-join goroutines themselves are the only steady-state cost, so the
+// budget allows the handful of allocations Go makes per spawned goroutine
+// batch but still catches per-entry or per-SPU churn (hundreds of allocs).
+func TestIterateSteadyStateAllocsParallel(t *testing.T) {
+	m := testMatrix(t, 32)
+	mach := machineWithWorkers(t, m, partition.DefaultConfig(), semiring.PlusTimes{}, 4, nil)
+	entries := randomFrontier(m.NumRows, 60, 7)
+	var buf []FrontierEntry
+	cycle := func() {
+		f, err := mach.DistributeFrontier(entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, _, err := mach.Iterate(f, IterateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mach.Recycle(f)
+		buf = next.AppendEntries(buf[:0])
+		mach.Recycle(next)
+	}
+	for i := 0; i < 3; i++ {
+		cycle()
+	}
+	// 7 parallel regions × 4 workers ≈ 28 goroutine spawns per iteration;
+	// each costs at most a couple of allocations when the runtime can't
+	// reuse a dead g. Anything structural would blow far past this.
+	if avg := testing.AllocsPerRun(10, cycle); avg > 60 {
+		t.Fatalf("parallel steady-state iteration allocates: %.1f allocs/op", avg)
+	}
+}

@@ -12,7 +12,7 @@ package gearbox
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"gearbox/internal/fulcrum"
 	"gearbox/internal/interconnect"
@@ -36,6 +36,11 @@ type FrontierEntry struct {
 type Frontier struct {
 	Local [][]FrontierEntry
 	Long  []FrontierEntry
+
+	// pooled marks a frontier currently owned by a Machine's recycle pool;
+	// it guards against double-Recycle handing the same backing arrays to
+	// two callers.
+	pooled bool
 }
 
 // NNZ reports the frontier's total entry count.
@@ -48,14 +53,25 @@ func (f *Frontier) NNZ() int {
 }
 
 // Entries flattens the frontier into a sorted entry list (for tests and for
-// handing results back to applications).
+// handing results back to applications). It allocates; iterative callers
+// should prefer AppendEntries with a reused buffer.
 func (f *Frontier) Entries() []FrontierEntry {
-	out := append([]FrontierEntry(nil), f.Long...)
+	return f.AppendEntries(nil)
+}
+
+// AppendEntries appends the frontier's entries to dst in ascending index
+// order and returns the extended slice. Passing dst[:0] of a buffer kept
+// across iterations makes frontier extraction allocation-free in steady
+// state; the appended entries are copies, so dst stays valid after the
+// frontier is recycled.
+func (f *Frontier) AppendEntries(dst []FrontierEntry) []FrontierEntry {
+	start := len(dst)
+	dst = append(dst, f.Long...)
 	for _, l := range f.Local {
-		out = append(out, l...)
+		dst = append(dst, l...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
-	return out
+	slices.SortFunc(dst[start:], func(a, b FrontierEntry) int { return int(a.Index) - int(b.Index) })
+	return dst
 }
 
 // Config carries machine-level knobs beyond geometry and timing.
@@ -127,11 +143,34 @@ type Machine struct {
 
 	// Scratch reused across iterations.
 	busy      []float64
-	lastRow   []int64
 	dirty     [][]int32 // newly non-clean short indexes per SPU
 	dirtyLong [][]int32 // newly non-clean replica slots per SPU (V3)
 	recvPairs [][]routedPair
 	emit      []spuEmit // step 3 per-SPU out-buckets, merged in SPU order
+	scr       scratch   // pooled per-iteration accounting buffers
+
+	// Plan facts cached at New so the worker bodies read fields instead of
+	// recomputing per call.
+	hypo      bool    // HypoLogicLayer scheme
+	replicate bool    // V3 replicated long region
+	cyc       float64 // SPU cycle time in ns
+	bankOf    []int32 // flat bank id per compute-SPU index
+
+	// Frontier recycle pool: frontiers handed back via Recycle, reused by
+	// DistributeFrontier and step 6 instead of fresh allocations.
+	freeFrontiers []*Frontier
+
+	// Current-iteration state published for the pre-bound worker bodies
+	// (created once at New, so Iterate never allocates closures).
+	curF     *Frontier
+	curApply *ApplySpec
+	curNext  *Frontier
+	iterSt   IterStats
+
+	fnStep2, fnStep3, fnStep5  func(w, k int)
+	fnApply, fnEmit            func(w, k int)
+	fnMergePairs, fnMergeLogic func(w, lo, hi int)
+	fnMergeHypoShort           func(w, lo, hi int)
 
 	instrCosts costs
 }
@@ -237,15 +276,21 @@ func New(plan *partition.Plan, sem semiring.Semiring, cfg Config) (*Machine, err
 		clean:      sem.Zero(),
 		output:     make([]float32, n),
 		busy:       make([]float64, plan.NumSPUs),
-		lastRow:    make([]int64, plan.NumSPUs),
 		dirty:      make([][]int32, plan.NumSPUs),
 		dirtyLong:  make([][]int32, plan.NumSPUs),
 		recvPairs:  make([][]routedPair, plan.NumSPUs),
 		emit:       make([]spuEmit, plan.NumSPUs),
+		hypo:       plan.Cfg.Scheme == partition.HypoLogicLayer,
+		replicate:  plan.Cfg.Replicate,
+		cyc:        cfg.Tim.SPUCycleNs(),
 		instrCosts: defaultCosts(cfg.Tim),
 	}
 	for i := range m.output {
 		m.output[i] = m.clean
+	}
+	m.bankOf = make([]int32, plan.NumSPUs)
+	for k := range m.bankOf {
+		m.bankOf[k] = bankFlat(cfg.Geo, plan.SPUIDOf(k))
 	}
 	m.errStates = make([]uint64, plan.NumSPUs)
 	m.errCounts = make([]int64, plan.NumSPUs)
@@ -261,6 +306,7 @@ func New(plan *partition.Plan, sem semiring.Semiring, cfg Config) (*Machine, err
 			m.replicas = make([][]float32, plan.NumSPUs)
 		}
 	}
+	m.initScratch()
 	return m, nil
 }
 
@@ -272,13 +318,16 @@ func (m *Machine) Semiring() semiring.Semiring { return m.sem }
 
 // DistributeFrontier splits entries (relabeled indexes) by residence. It is
 // the software side of Step 1: long-column activators go to the logic layer,
-// everything else to the SPU owning the column.
+// everything else to the SPU owning the column. The returned frontier comes
+// from the machine's recycle pool when one is available; hand it back with
+// Recycle once it is no longer needed to keep steady state allocation-free.
 func (m *Machine) DistributeFrontier(entries []FrontierEntry) (*Frontier, error) {
-	f := &Frontier{Local: make([][]FrontierEntry, m.plan.NumSPUs)}
+	f := m.getFrontier()
 	n := m.plan.Matrix.NumRows
 	for _, e := range entries {
 		switch {
 		case e.Index < 0 || e.Index >= n:
+			m.Recycle(f)
 			return nil, fmt.Errorf("gearbox: frontier index %d out of range", e.Index)
 		case e.Index <= m.plan.LastLong:
 			f.Long = append(f.Long, e)
@@ -305,10 +354,24 @@ type ApplySpec struct {
 	Y     []float32
 }
 
+// stepNames are the §5 phase names on the engine's trace timeline, in order.
+var stepNames = [6]string{
+	"step1-frontier-distribution",
+	"step2-offset-packing",
+	"step3-local-accumulations",
+	"step4-dispatching",
+	"step5-remote-accumulations",
+	"step6-applying",
+}
+
 // Iterate runs one generalized SpMSpV iteration: Output = Matrix ⊗ frontier
 // over the machine's semiring, returning the next frontier (the sparse form
 // of the output vector) and the iteration's statistics. The output vector is
 // reset to clean afterwards, as Step 6 prescribes.
+//
+// The returned frontier's buffers belong to the caller until handed back via
+// Recycle; in steady state (caller recycles its frontiers) Iterate allocates
+// nothing.
 func (m *Machine) Iterate(f *Frontier, opts IterateOptions) (*Frontier, IterStats, error) {
 	if len(f.Local) != m.plan.NumSPUs {
 		return nil, IterStats{}, fmt.Errorf("gearbox: frontier built for %d SPUs, machine has %d", len(f.Local), m.plan.NumSPUs)
@@ -316,36 +379,39 @@ func (m *Machine) Iterate(f *Frontier, opts IterateOptions) (*Frontier, IterStat
 	if opts.Apply != nil && int32(len(opts.Apply.Y)) != m.plan.Matrix.NumRows {
 		return nil, IterStats{}, fmt.Errorf("gearbox: apply vector length %d, want %d", len(opts.Apply.Y), m.plan.Matrix.NumRows)
 	}
-	var st IterStats
-	var next *Frontier
 
-	// The six §5 steps run as a chain of events on the engine: each step's
-	// completion schedules the next at its computed duration, so the clock
-	// advances through the iteration and trace subscribers see the phase
-	// timeline.
-	steps := []struct {
-		name string
-		run  func()
-	}{
-		{"step1-frontier-distribution", func() { m.step1FrontierDistribution(f, &st) }},
-		{"step2-offset-packing", func() { m.step2OffsetPacking(f, &st) }},
-		{"step3-local-accumulations", func() { m.step3LocalAccumulations(f, &st) }},
-		{"step4-dispatching", func() { m.step4Dispatching(&st) }},
-		{"step5-remote-accumulations", func() { m.step5RemoteAccumulations(&st) }},
-		{"step6-applying", func() { next = m.step6Applying(opts, &st) }},
-	}
-	var schedule func(i int)
-	schedule = func(i int) {
-		if i == len(steps) {
-			return
+	// Iteration state lives on the machine (not locals captured by closures)
+	// so the pre-bound worker bodies can reach it and the hot path stays
+	// allocation-free. The six §5 steps each compute functionally, then play
+	// their duration as one engine event, so the clock advances through the
+	// iteration and trace subscribers see the same phase timeline the old
+	// event-chain produced.
+	m.iterSt = IterStats{}
+	st := &m.iterSt
+	m.curF, m.curApply, m.curNext = f, opts.Apply, nil
+	for i := 0; i < 6; i++ {
+		switch i {
+		case 0:
+			m.step1FrontierDistribution(f, st)
+		case 1:
+			m.step2OffsetPacking(f, st)
+		case 2:
+			m.step3LocalAccumulations(f, st)
+		case 3:
+			m.step4Dispatching(st)
+		case 4:
+			m.step5RemoteAccumulations(st)
+		case 5:
+			m.curNext = m.step6Applying(opts, st)
 		}
-		steps[i].run()
-		m.eng.After(st.Steps[i].TimeNs, steps[i].name, func(*sim.Engine) { schedule(i + 1) })
+		m.eng.After(st.Steps[i].TimeNs, stepNames[i], nil)
+		m.eng.Run()
 	}
-	schedule(0)
-	m.eng.Run()
 
-	return next, st, nil
+	next := m.curNext
+	out := m.iterSt
+	m.curF, m.curApply, m.curNext = nil, nil, nil
+	return next, out, nil
 }
 
 // SetTrace subscribes to the engine's phase timeline: fn receives each step
@@ -365,7 +431,6 @@ func (m *Machine) Output() []float32 { return append([]float32(nil), m.output...
 func (m *Machine) resetScratch() {
 	for k := range m.busy {
 		m.busy[k] = 0
-		m.lastRow[k] = -1
 		m.dirty[k] = m.dirty[k][:0]
 		m.dirtyLong[k] = m.dirtyLong[k][:0]
 		m.recvPairs[k] = m.recvPairs[k][:0]

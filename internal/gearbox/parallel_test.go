@@ -70,6 +70,9 @@ func runChained(t *testing.T, mach *Machine, entries []FrontierEntry, iters int)
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Hand the consumed input back to the pool so the chain exercises the
+		// recycle path; next stays live for the exact comparison.
+		mach.Recycle(f)
 		stats = append(stats, st)
 		frontiers = append(frontiers, next)
 		entries = next.Entries()
@@ -86,24 +89,27 @@ func runChained(t *testing.T, mach *Machine, entries []FrontierEntry, iters int)
 // TestParallelMatchesSerialAllVersions is the tentpole's contract: for every
 // Table 4 version, a multi-iteration run on the worker pool produces
 // bit-identical IterStats (including float times) and frontiers to the
-// serial path.
+// serial path, at every swept worker count (2, an odd width, and
+// GOMAXPROCS).
 func TestParallelMatchesSerialAllVersions(t *testing.T) {
 	m := testMatrix(t, 21)
 	entries := randomFrontier(m.NumRows, 50, 13)
 	for _, vc := range versionConfigs() {
 		t.Run(vc.name, func(t *testing.T) {
 			serial := machineWithWorkers(t, m, vc.cfg, semiring.PlusTimes{}, 1, nil)
-			parallel := machineWithWorkers(t, m, vc.cfg, semiring.PlusTimes{}, 4, nil)
 			stS, frS := runChained(t, serial, entries, 3)
-			stP, frP := runChained(t, parallel, entries, 3)
-			if !reflect.DeepEqual(stS, stP) {
-				t.Fatalf("IterStats diverge between Workers=1 and Workers=4:\nserial:   %+v\nparallel: %+v", stS, stP)
-			}
-			if !reflect.DeepEqual(frS, frP) {
-				t.Fatal("frontiers diverge between Workers=1 and Workers=4")
-			}
-			if serial.NowNs() != parallel.NowNs() {
-				t.Fatalf("clocks diverge: %v vs %v", serial.NowNs(), parallel.NowNs())
+			for _, workers := range []int{2, 4, 0} {
+				parallel := machineWithWorkers(t, m, vc.cfg, semiring.PlusTimes{}, workers, nil)
+				stP, frP := runChained(t, parallel, entries, 3)
+				if !reflect.DeepEqual(stS, stP) {
+					t.Fatalf("IterStats diverge between Workers=1 and Workers=%d:\nserial:   %+v\nparallel: %+v", workers, stS, stP)
+				}
+				if !reflect.DeepEqual(frS, frP) {
+					t.Fatalf("frontiers diverge between Workers=1 and Workers=%d", workers)
+				}
+				if serial.NowNs() != parallel.NowNs() {
+					t.Fatalf("clocks diverge at Workers=%d: %v vs %v", workers, serial.NowNs(), parallel.NowNs())
+				}
 			}
 		})
 	}
@@ -251,9 +257,13 @@ func benchmarkIterate(b *testing.B, workers int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := mach.Iterate(f, opts); err != nil {
+		next, _, err := mach.Iterate(f, opts)
+		if err != nil {
 			b.Fatal(err)
 		}
+		// Recycle the produced frontier (the reused input f stays live), so
+		// the benchmark measures the steady-state zero-allocation path.
+		mach.Recycle(next)
 	}
 }
 

@@ -1,0 +1,265 @@
+package gearbox
+
+// Pooled per-iteration scratch and the frontier recycle API. Everything here
+// exists so that steady-state Iterate allocates nothing: counter slices the
+// steps previously made per call, the per-bank accounting arrays of steps 3/4,
+// the epoch-stamped slot marks that replaced step 6's per-bank maps, and the
+// pool of Frontier shells that DistributeFrontier and step 6 draw from once
+// applications opt in with Recycle. The worker-loop bodies are bound to the
+// machine once at New: a func literal passed to par.Pool.ForEach escapes to
+// the heap (the pool may run it on a fresh goroutine), so creating it per
+// Iterate would cost one allocation per parallel region.
+
+type packCounters struct{ instrs, acts int64 }
+
+type scatCounters struct {
+	ev        Events
+	cleanHits int64
+}
+
+type emitCounters struct {
+	ev          Events
+	frontierOut int64
+}
+
+// mergeCounters is one worker's private state for the destination-sharded
+// step 3 merge: per-bank receive counts (summed after the barrier; integer
+// addition is order-insensitive), clean transitions observed in the worker's
+// region, and logic slots that turned non-clean there (concatenated after the
+// barrier; step 6 sorts and dedups before anything observable reads them).
+type mergeCounters struct {
+	perBank    []int64
+	cleanHits  int64
+	logicDirty []int32
+}
+
+type scratch struct {
+	packPW  []packCounters
+	s3PW    []step3Counters
+	scatPW  []scatCounters
+	applyPW []Events
+	emitPW  []emitCounters
+	mergePW []mergeCounters
+
+	recvPerBank        []int64
+	bankPairs          []int64
+	logicPairsPerVault []int64
+	logicPerVault      []float64
+
+	// bankSlotMark[bf][r] == epoch marks long slot r as already counted for
+	// flat bank bf this iteration; bankSlotCount[bf] is the distinct-slot
+	// count (all the old per-bank map[int32]bool was consulted for). Marks
+	// are lazily allocated per bank that actually reduces replicas.
+	bankSlotMark  [][]int32
+	bankSlotCount []int64
+	epoch         int32
+}
+
+// initScratch sizes the pooled buffers and binds the worker-loop bodies.
+func (m *Machine) initScratch() {
+	w := m.pool.Workers()
+	banks := m.cfg.Geo.Layers * m.cfg.Geo.BanksPerLayer
+	m.scr = scratch{
+		packPW:             make([]packCounters, w),
+		s3PW:               make([]step3Counters, w),
+		scatPW:             make([]scatCounters, w),
+		applyPW:            make([]Events, w),
+		emitPW:             make([]emitCounters, w),
+		mergePW:            make([]mergeCounters, w),
+		recvPerBank:        make([]int64, banks),
+		bankPairs:          make([]int64, banks),
+		logicPairsPerVault: make([]int64, m.cfg.Geo.Vaults),
+		logicPerVault:      make([]float64, m.cfg.Geo.Vaults),
+		bankSlotMark:       make([][]int32, banks),
+		bankSlotCount:      make([]int64, banks),
+	}
+	for i := range m.scr.mergePW {
+		m.scr.mergePW[i].perBank = make([]int64, banks)
+	}
+	m.bindWorkerFns()
+}
+
+// Recycle hands a frontier back to the machine's reuse pool. It is the
+// caller's declaration that nothing aliases the frontier's entry slices any
+// more: DistributeFrontier and Iterate will reuse the backing arrays for
+// later frontiers. Recycling nil, a frontier built for another machine, or a
+// frontier already in the pool is a safe no-op (the pooled flag guards
+// double-Recycle, which would otherwise hand the same arrays to two owners).
+// Never recycle a frontier that is an argument of an in-flight Iterate.
+func (m *Machine) Recycle(f *Frontier) {
+	if f == nil || f.pooled || len(f.Local) != m.plan.NumSPUs {
+		return
+	}
+	f.Long = f.Long[:0]
+	for k := range f.Local {
+		if f.Local[k] != nil {
+			f.Local[k] = f.Local[k][:0]
+		}
+	}
+	f.pooled = true
+	m.freeFrontiers = append(m.freeFrontiers, f)
+}
+
+// getFrontier pops a recycled frontier shell, or builds a fresh one. The
+// pooled flag is cleared so frontiers observed outside the machine are never
+// marked (reflect.DeepEqual over frontiers stays meaningful in tests).
+func (m *Machine) getFrontier() *Frontier {
+	if n := len(m.freeFrontiers); n > 0 {
+		f := m.freeFrontiers[n-1]
+		m.freeFrontiers[n-1] = nil
+		m.freeFrontiers = m.freeFrontiers[:n-1]
+		f.pooled = false
+		return f
+	}
+	return &Frontier{Local: make([][]FrontierEntry, m.plan.NumSPUs)}
+}
+
+// bindWorkerFns creates the closures the parallel regions pass to the worker
+// pool. Bound once; they read the current iteration's inputs from the
+// machine's cur* fields.
+func (m *Machine) bindWorkerFns() {
+	m.fnStep2 = func(w, k int) {
+		f := m.curF
+		long := int64(len(f.Long))
+		e := int64(len(f.Local[k]))
+		// Owned-column offset lookups walk the shard's offsets array in
+		// sorted order, so activations are bounded by the rows the offsets
+		// span; long entries index the fragment table individually.
+		span := int64(m.plan.Ranges[k].Len())/int64(m.cfg.Geo.WordsPerRow()) + 1
+		a := e
+		if span < a {
+			a = span
+		}
+		a += long
+		i := (e + long) * m.instrCosts.packInstrs
+		m.busy[k] = float64(i)*m.cyc + float64(a)*m.stallNs(m.instrCosts.packInstrs)
+		c := &m.scr.packPW[w]
+		c.instrs += i
+		c.acts += a
+	}
+
+	m.fnStep3 = m.step3SPUBody
+
+	m.fnMergePairs = func(w, lo, hi int) {
+		// Worker w owns destinations [lo, hi): it scans every SPU's emit
+		// bucket in ascending SPU order and appends only the pairs routed to
+		// its destinations, reproducing each destination's serial receive
+		// order exactly (ascending source SPU, emission order within one
+		// source).
+		perBank := m.scr.mergePW[w].perBank
+		for k := 0; k < m.plan.NumSPUs; k++ {
+			for _, dp := range m.emit[k].pairs {
+				if int(dp.dst) < lo || int(dp.dst) >= hi {
+					continue
+				}
+				m.recvPairs[dp.dst] = append(m.recvPairs[dp.dst], dp.pair)
+				perBank[m.bankOf[dp.dst]]++
+			}
+		}
+	}
+
+	m.fnMergeLogic = func(w, lo, hi int) {
+		// Worker w owns logic-accumulator slots [lo, hi) of the long region.
+		// Scanning sources in ascending SPU order keeps each slot's float
+		// fold order identical to the serial merge.
+		c := &m.scr.mergePW[w]
+		for k := 0; k < m.plan.NumSPUs; k++ {
+			for _, lp := range m.emit[k].logic {
+				if int(lp.idx) < lo || int(lp.idx) >= hi {
+					continue
+				}
+				old := m.logicAcc[lp.idx]
+				if m.sem.IsZero(old) {
+					c.logicDirty = append(c.logicDirty, lp.idx)
+					if m.hypo {
+						c.cleanHits++
+					}
+				}
+				m.logicAcc[lp.idx] = m.sem.Add(old, lp.val)
+			}
+		}
+	}
+
+	m.fnMergeHypoShort = func(w, lo, hi int) {
+		// HypoGearboxV2 routes every short accumulation through the logic
+		// layer too; worker w owns the output shards of SPUs [lo, hi). Each
+		// short index has exactly one owner, so shards are exclusive and the
+		// per-owner dirty append order matches the serial merge.
+		c := &m.scr.mergePW[w]
+		for k := 0; k < m.plan.NumSPUs; k++ {
+			for _, lp := range m.emit[k].logic {
+				owner := m.plan.OwnerOf[lp.idx]
+				if int(owner) < lo || int(owner) >= hi {
+					continue
+				}
+				old := m.output[lp.idx]
+				if m.sem.IsZero(old) {
+					m.dirty[owner] = append(m.dirty[owner], lp.idx)
+					c.cleanHits++
+				}
+				m.output[lp.idx] = m.sem.Add(old, lp.val)
+			}
+		}
+	}
+
+	m.fnStep5 = func(w, k int) {
+		c := &m.scr.scatPW[w]
+		pairs := m.recvPairs[k]
+		if len(pairs) == 0 {
+			m.busy[k] = 0
+			return
+		}
+		var instr, randActs int64
+		lastRow := int64(-1)
+		for _, p := range pairs {
+			if p.clean {
+				m.dirty[k] = append(m.dirty[k], p.idx)
+				instr += m.instrCosts.cleanAppend
+				continue
+			}
+			instr += m.instrCosts.scatterLocal
+			c.ev.ALUOps++
+			old := m.output[p.idx]
+			if m.sem.IsZero(old) {
+				m.dirty[k] = append(m.dirty[k], p.idx)
+				instr += m.instrCosts.cleanAppend
+				c.cleanHits++
+			}
+			m.output[p.idx] = m.sem.Add(old, p.val)
+			if row := int64(p.idx) >> 6; row != lastRow {
+				randActs++
+				lastRow = row
+			}
+		}
+		m.busy[k] = float64(instr)*m.cyc + float64(randActs)*m.stallNs(m.instrCosts.scatterLocal+m.instrCosts.cleanAppend)
+		c.ev.SPUInstrs += instr
+		c.ev.RandRowActs += randActs
+		c.ev.SeqRowActs += int64(2*len(pairs))/int64(m.cfg.Geo.WordsPerRow()) + 1
+	}
+
+	m.fnApply = func(w, k int) {
+		alpha, y := m.curApply.Alpha, m.curApply.Y
+		r := m.plan.Ranges[k]
+		if r.Len() == 0 {
+			m.busy[k] = 0
+			return
+		}
+		// After a dense apply every slot may be non-clean; rebuild the
+		// dirty list by scanning (the scan rides the same stream).
+		m.dirty[k] = m.dirty[k][:0]
+		for v := r.First; v <= r.Last; v++ {
+			m.output[v] = m.sem.Add(m.output[v], m.sem.Mul(alpha, y[v]))
+			if !m.sem.IsZero(m.output[v]) {
+				m.dirty[k] = append(m.dirty[k], v)
+			}
+		}
+		words := int64(r.Len())
+		m.busy[k] = float64(words*m.instrCosts.applyPerWord) * m.cyc
+		c := &m.scr.applyPW[w]
+		c.SPUInstrs += words * m.instrCosts.applyPerWord
+		c.ALUOps += 2 * words
+		c.SeqRowActs += 2*words/int64(m.cfg.Geo.WordsPerRow()) + 1
+	}
+
+	m.fnEmit = m.step6EmitBody
+}

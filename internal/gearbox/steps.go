@@ -1,10 +1,9 @@
 package gearbox
 
 import (
-	"sort"
+	"slices"
 
 	"gearbox/internal/mem"
-	"gearbox/internal/partition"
 )
 
 // Step implementations. Each step functionally executes its share of the
@@ -21,9 +20,13 @@ import (
 // pool. Everything an SPU would push into shared state (dispatcher pairs,
 // logic-layer contributions, network sends, event counters) is buffered
 // per SPU or per worker during the parallel phase and folded after the
-// barrier in fixed SPU order, which keeps float accumulation order, traffic
-// order and therefore every simulated time bit-identical to the serial
-// (Workers=1) path. DESIGN.md "Execution model" documents the rules.
+// barrier. The fold itself is sharded by *destination* (receive buffer,
+// accumulator slot, owner shard): each destination is owned by exactly one
+// worker, which scans the per-SPU buffers in ascending SPU order, so every
+// destination sees the exact serial receive/fold order and the results stay
+// bit-identical to the Workers=1 path. DESIGN.md "Execution model" documents
+// the rules. The worker bodies themselves are bound once at New (see
+// scratch.go) so the steady-state hot path allocates nothing.
 
 // step1FrontierDistribution broadcasts the long-activating frontier entries
 // from the logic layer to all subarrays (§5 Step 1) and, for HypoGearboxV2,
@@ -33,7 +36,7 @@ func (m *Machine) step1FrontierDistribution(f *Frontier, st *IterStats) {
 	m.net.Reset()
 
 	words := int64(2 * len(f.Long))
-	if m.plan.Cfg.Scheme == partition.HypoLogicLayer {
+	if m.hypo {
 		words = int64(2 * f.NNZ())
 	}
 	m.net.BroadcastFromLogic(words)
@@ -50,30 +53,14 @@ func (m *Machine) step1FrontierDistribution(f *Frontier, st *IterStats) {
 // step2OffsetPacking packs (column offset, length, frontier value) triples
 // per frontier entry (Fig. 10).
 func (m *Machine) step2OffsetPacking(f *Frontier, st *IterStats) {
-	cyc := m.cfg.Tim.SPUCycleNs()
-	long := int64(len(f.Long))
 	s := &st.Steps[1]
 	s.StallRounds = 1
-	type counters struct{ instrs, acts int64 }
-	perWorker := make([]counters, m.pool.Workers())
-	m.pool.ForEach(m.plan.NumSPUs, func(w, k int) {
-		e := int64(len(f.Local[k]))
-		// Owned-column offset lookups walk the shard's offsets array in
-		// sorted order, so activations are bounded by the rows the offsets
-		// span; long entries index the fragment table individually.
-		span := int64(m.plan.Ranges[k].Len())/int64(m.cfg.Geo.WordsPerRow()) + 1
-		a := e
-		if span < a {
-			a = span
-		}
-		a += long
-		i := (e + long) * m.instrCosts.packInstrs
-		m.busy[k] = float64(i)*cyc + float64(a)*m.stallNs(m.instrCosts.packInstrs)
-		perWorker[w].instrs += i
-		perWorker[w].acts += a
-	})
+	for i := range m.scr.packPW {
+		m.scr.packPW[i] = packCounters{}
+	}
+	m.pool.ForEach(m.plan.NumSPUs, m.fnStep2)
 	var instrs, acts int64
-	for _, c := range perWorker {
+	for _, c := range m.scr.packPW {
 		instrs += c.instrs
 		acts += c.acts
 	}
@@ -92,6 +79,107 @@ type step3Counters struct {
 	activatedColumns, processedNNZ int64
 }
 
+// step3SPUBody is SPU k's share of step 3, run on worker w: stream the
+// activated columns and long-column fragments, multiply, and route each
+// contribution. Shard-private compute only — SPU k touches its own output
+// shard, replica, emit buckets and error stream; shared-state effects are
+// deferred to the ordered merge.
+func (m *Machine) step3SPUBody(w, k int) {
+	f := m.curF
+	c := &m.scr.s3PW[w]
+	e := &m.emit[k]
+	var instr, randActs, seqActs int64
+	lastRow := int64(-1)
+	lastRepRow := int64(-1)
+	replicate := m.replicate && m.plan.LastLong >= 0 && !m.hypo
+
+	accumulate := func(r int32, contribution float32) {
+		contribution = m.corrupt(k, contribution)
+		c.ev.ALUOps += 2 // ⊗ then ⊕
+		owner := m.plan.OwnerOf[r]
+		switch {
+		case m.hypo:
+			// Everything accumulates in the logic layer's SRAM; the
+			// read-modify-write itself happens in the ordered merge.
+			instr += m.instrCosts.macRemote
+			e.logicPairs++
+			e.logic = append(e.logic, idxVal{idx: r, val: contribution})
+			c.localAccums++
+		case owner == int32(k):
+			instr += m.instrCosts.macLocal
+			old := m.output[r]
+			if m.sem.IsZero(old) {
+				// Fig. 11: the clean indicator pair takes the dispatcher
+				// round trip inside the bank.
+				e.pairs = append(e.pairs, dstPair{dst: int32(k), pair: routedPair{srcSPU: int32(k), idx: r, clean: true}})
+				e.sentPairs++
+				c.cleanHits++
+			}
+			m.output[r] = m.sem.Add(old, contribution)
+			c.localAccums++
+			if row := int64(r) >> 6; row != lastRow {
+				randActs++
+				lastRow = row
+			}
+		case r <= m.plan.LastLong:
+			c.longAccums++
+			if replicate {
+				rep := m.replica(k)
+				instr += m.instrCosts.macLocal
+				old := rep[r]
+				if m.sem.IsZero(old) {
+					m.dirtyLong[k] = append(m.dirtyLong[k], r)
+				}
+				rep[r] = m.sem.Add(old, contribution)
+				if row := int64(r) >> 6; row != lastRepRow {
+					randActs++
+					lastRepRow = row
+				}
+			} else {
+				// V2: send the contribution down to the logic layer.
+				instr += m.instrCosts.macRemote
+				e.logicPairs++
+				e.logic = append(e.logic, idxVal{idx: r, val: contribution})
+			}
+		default:
+			// Remote accumulation: dispatch toward the owner's bank.
+			instr += m.instrCosts.macRemote
+			e.pairs = append(e.pairs, dstPair{dst: owner, pair: routedPair{srcSPU: int32(k), idx: r, val: contribution}})
+			e.sentPairs++
+			c.remoteAccums++
+		}
+	}
+
+	for _, fe := range f.Local[k] {
+		rows, vals := m.plan.Matrix.Col(fe.Index)
+		c.activatedColumns++
+		c.processedNNZ += int64(len(rows))
+		for i, r := range rows {
+			accumulate(r, m.sem.Mul(vals[i], fe.Value))
+		}
+		seqActs += int64(2*len(rows))/int64(m.cfg.Geo.WordsPerRow()) + 1
+	}
+	for _, fe := range f.Long {
+		frag := m.plan.LongFrags[k][fe.Index]
+		spill := m.plan.LongRowSpill[k][fe.Index]
+		c.processedNNZ += int64(len(frag) + len(spill))
+		for _, fr := range frag {
+			accumulate(fr.Row, m.sem.Mul(fr.Val, fe.Value))
+		}
+		for _, fr := range spill {
+			accumulate(fr.Row, m.sem.Mul(fr.Val, fe.Value))
+		}
+		if n := len(frag) + len(spill); n > 0 {
+			seqActs += int64(2*n)/int64(m.cfg.Geo.WordsPerRow()) + 1
+		}
+	}
+
+	m.busy[k] = float64(instr)*m.cyc + float64(randActs)*m.stallNs(m.instrCosts.macLocal)
+	c.ev.SPUInstrs += instr
+	c.ev.RandRowActs += randActs
+	c.ev.SeqRowActs += seqActs
+}
+
 // step3LocalAccumulations is the heart of the algorithm (Fig. 11): every SPU
 // streams its activated columns and long-column fragments, multiplies, and
 // either accumulates locally, reduces into its replica of the long region,
@@ -100,117 +188,24 @@ type step3Counters struct {
 //
 // The per-SPU loops run on the worker pool; each SPU buffers its dispatcher
 // pairs and logic-layer contributions in m.emit[k], and the merge below the
-// barrier folds them in SPU order.
+// barrier folds them sharded by destination.
 func (m *Machine) step3LocalAccumulations(f *Frontier, st *IterStats) {
-	cyc := m.cfg.Tim.SPUCycleNs()
-	hypo := m.plan.Cfg.Scheme == partition.HypoLogicLayer
-	replicate := m.plan.Cfg.Replicate && m.plan.LastLong >= 0 && !hypo
 	m.net.Reset()
 
 	s := &st.Steps[2]
 	s.StallRounds = 1
 
-	perWorker := make([]step3Counters, m.pool.Workers())
+	scr := &m.scr
+	for i := range scr.s3PW {
+		scr.s3PW[i] = step3Counters{}
+	}
 
-	// Parallel phase: shard-private compute. SPU k only touches its own
-	// output shard, replica, emit buckets and error stream; shared-state
-	// effects are deferred to the ordered merge.
-	m.pool.ForEach(m.plan.NumSPUs, func(w, k int) {
-		c := &perWorker[w]
-		e := &m.emit[k]
-		var instr, randActs, seqActs int64
-		lastRow := int64(-1)
-		lastRepRow := int64(-1)
-
-		accumulate := func(r int32, contribution float32) {
-			contribution = m.corrupt(k, contribution)
-			c.ev.ALUOps += 2 // ⊗ then ⊕
-			owner := m.plan.OwnerOf[r]
-			switch {
-			case hypo:
-				// Everything accumulates in the logic layer's SRAM; the
-				// read-modify-write itself happens in the ordered merge.
-				instr += m.instrCosts.macRemote
-				e.logicPairs++
-				e.logic = append(e.logic, idxVal{idx: r, val: contribution})
-				c.localAccums++
-			case owner == int32(k):
-				instr += m.instrCosts.macLocal
-				old := m.output[r]
-				if m.sem.IsZero(old) {
-					// Fig. 11: the clean indicator pair takes the dispatcher
-					// round trip inside the bank.
-					e.pairs = append(e.pairs, dstPair{dst: int32(k), pair: routedPair{srcSPU: int32(k), idx: r, clean: true}})
-					e.sentPairs++
-					c.cleanHits++
-				}
-				m.output[r] = m.sem.Add(old, contribution)
-				c.localAccums++
-				if row := int64(r) >> 6; row != lastRow {
-					randActs++
-					lastRow = row
-				}
-			case r <= m.plan.LastLong:
-				c.longAccums++
-				if replicate {
-					rep := m.replica(k)
-					instr += m.instrCosts.macLocal
-					old := rep[r]
-					if m.sem.IsZero(old) {
-						m.dirtyLong[k] = append(m.dirtyLong[k], r)
-					}
-					rep[r] = m.sem.Add(old, contribution)
-					if row := int64(r) >> 6; row != lastRepRow {
-						randActs++
-						lastRepRow = row
-					}
-				} else {
-					// V2: send the contribution down to the logic layer.
-					instr += m.instrCosts.macRemote
-					e.logicPairs++
-					e.logic = append(e.logic, idxVal{idx: r, val: contribution})
-				}
-			default:
-				// Remote accumulation: dispatch toward the owner's bank.
-				instr += m.instrCosts.macRemote
-				e.pairs = append(e.pairs, dstPair{dst: owner, pair: routedPair{srcSPU: int32(k), idx: r, val: contribution}})
-				e.sentPairs++
-				c.remoteAccums++
-			}
-		}
-
-		for _, fe := range f.Local[k] {
-			rows, vals := m.plan.Matrix.Col(fe.Index)
-			c.activatedColumns++
-			c.processedNNZ += int64(len(rows))
-			for i, r := range rows {
-				accumulate(r, m.sem.Mul(vals[i], fe.Value))
-			}
-			seqActs += int64(2*len(rows))/int64(m.cfg.Geo.WordsPerRow()) + 1
-		}
-		for _, fe := range f.Long {
-			frag := m.plan.LongFrags[k][fe.Index]
-			spill := m.plan.LongRowSpill[k][fe.Index]
-			c.processedNNZ += int64(len(frag) + len(spill))
-			for _, fr := range frag {
-				accumulate(fr.Row, m.sem.Mul(fr.Val, fe.Value))
-			}
-			for _, fr := range spill {
-				accumulate(fr.Row, m.sem.Mul(fr.Val, fe.Value))
-			}
-			if n := len(frag) + len(spill); n > 0 {
-				seqActs += int64(2*n)/int64(m.cfg.Geo.WordsPerRow()) + 1
-			}
-		}
-
-		m.busy[k] = float64(instr)*cyc + float64(randActs)*m.stallNs(m.instrCosts.macLocal)
-		c.ev.SPUInstrs += instr
-		c.ev.RandRowActs += randActs
-		c.ev.SeqRowActs += seqActs
-	})
+	// Parallel phase: shard-private compute.
+	m.pool.ForEach(m.plan.NumSPUs, m.fnStep3)
 
 	var ev Events
-	for _, c := range perWorker {
+	for i := range scr.s3PW {
+		c := &scr.s3PW[i]
 		ev.Add(c.ev)
 		st.LocalAccums += c.localAccums
 		st.RemoteAccums += c.remoteAccums
@@ -220,44 +215,50 @@ func (m *Machine) step3LocalAccumulations(f *Frontier, st *IterStats) {
 		st.ProcessedNNZ += c.processedNNZ
 	}
 
-	// Ordered merge: fold each SPU's buffered effects in ascending SPU
-	// order, exactly the order the serial loop produced them in. This keeps
-	// the per-destination receive order, the logic-layer float accumulation
-	// order and the network-link occupancy order independent of worker
-	// scheduling.
-	logicPairsPerVault := make([]int64, m.cfg.Geo.Vaults)
-	recvPerBank := make([]int64, m.cfg.Geo.Layers*m.cfg.Geo.BanksPerLayer)
+	// Ordered merge, sharded by destination. Every mutable target — a
+	// receive buffer, a logic-accumulator slot, an owner's output shard — is
+	// owned by exactly one worker, and each worker scans the per-SPU emit
+	// buckets in ascending SPU order, so per-destination receive order and
+	// per-slot float fold order are exactly the serial merge's. Worker-
+	// private counters (per-bank pair counts, clean hits, newly-dirty logic
+	// slots) reduce after the barrier: integers are order-insensitive, and
+	// the logic dirty list is sorted and deduped in step 6 before anything
+	// observable reads it.
+	for i := range scr.mergePW {
+		c := &scr.mergePW[i]
+		for j := range c.perBank {
+			c.perBank[j] = 0
+		}
+		c.cleanHits = 0
+		c.logicDirty = c.logicDirty[:0]
+	}
+	m.pool.ForEachBlock(m.plan.NumSPUs, m.fnMergePairs)
+	if m.hypo {
+		m.pool.ForEachBlock(m.plan.NumSPUs, m.fnMergeHypoShort)
+	}
+	m.pool.ForEachBlock(int(m.plan.LastLong)+1, m.fnMergeLogic)
+
+	recvPerBank := scr.recvPerBank
+	for i := range recvPerBank {
+		recvPerBank[i] = 0
+	}
+	for i := range scr.mergePW {
+		c := &scr.mergePW[i]
+		for j, n := range c.perBank {
+			recvPerBank[j] += n
+		}
+		st.CleanHits += c.cleanHits
+		m.logicDirty = append(m.logicDirty, c.logicDirty...)
+	}
+
+	// Serial tail: network sends and logic-layer traffic fold in ascending
+	// SPU order, keeping link occupancy order worker-independent.
+	logicPairsPerVault := scr.logicPairsPerVault
+	for i := range logicPairsPerVault {
+		logicPairsPerVault[i] = 0
+	}
 	for k := 0; k < m.plan.NumSPUs; k++ {
 		e := &m.emit[k]
-		for _, lp := range e.logic {
-			if hypo {
-				if owner := m.plan.OwnerOf[lp.idx]; owner >= 0 {
-					old := m.output[lp.idx]
-					if m.sem.IsZero(old) {
-						m.dirty[owner] = append(m.dirty[owner], lp.idx)
-						st.CleanHits++
-					}
-					m.output[lp.idx] = m.sem.Add(old, lp.val)
-				} else {
-					old := m.logicAcc[lp.idx]
-					if m.sem.IsZero(old) {
-						m.logicDirtyAdd(lp.idx)
-						st.CleanHits++
-					}
-					m.logicAcc[lp.idx] = m.sem.Add(old, lp.val)
-				}
-			} else {
-				old := m.logicAcc[lp.idx]
-				if m.sem.IsZero(old) {
-					m.logicDirtyAdd(lp.idx)
-				}
-				m.logicAcc[lp.idx] = m.sem.Add(old, lp.val)
-			}
-		}
-		for _, dp := range e.pairs {
-			m.recvPairs[dp.dst] = append(m.recvPairs[dp.dst], dp.pair)
-			recvPerBank[bankFlat(m.cfg.Geo, m.plan.SPUIDOf(int(dp.dst)))]++
-		}
 		srcID := m.plan.SPUIDOf(k)
 		if e.sentPairs > 0 {
 			m.net.SendSPUToSPU(srcID, m.plan.DispatcherOf(k), e.sentPairs)
@@ -279,7 +280,7 @@ func (m *Machine) step3LocalAccumulations(f *Frontier, st *IterStats) {
 	for _, n := range recvPerBank {
 		rows := (n + pairsPerRow - 1) / pairsPerRow
 		dispInstrs += rows * m.instrCosts.dispatchPerRow
-		if b := float64(rows*m.instrCosts.dispatchPerRow)*cyc + float64(rows)*m.cfg.Tim.RowCycleNs; b > dispBusy {
+		if b := float64(rows*m.instrCosts.dispatchPerRow)*m.cyc + float64(rows)*m.cfg.Tim.RowCycleNs; b > dispBusy {
 			dispBusy = b
 		}
 		ev.SeqRowActs += rows
@@ -315,12 +316,14 @@ func (m *Machine) step3LocalAccumulations(f *Frontier, st *IterStats) {
 // to the destination Compute SPUs over the line interconnect (§5 Step 4),
 // honouring the §6 buffer-overflow stall protocol.
 func (m *Machine) step4Dispatching(st *IterStats) {
-	cyc := m.cfg.Tim.SPUCycleNs()
 	m.net.Reset()
 	s := &st.Steps[3]
 	s.StallRounds = 1
 
-	bankPairs := make([]int64, m.cfg.Geo.Layers*m.cfg.Geo.BanksPerLayer)
+	bankPairs := m.scr.bankPairs
+	for i := range bankPairs {
+		bankPairs[i] = 0
+	}
 	var ev Events
 	for k := 0; k < m.plan.NumSPUs; k++ {
 		n := int64(len(m.recvPairs[k]))
@@ -328,7 +331,7 @@ func (m *Machine) step4Dispatching(st *IterStats) {
 			continue
 		}
 		id := m.plan.SPUIDOf(k)
-		bankPairs[bankFlat(m.cfg.Geo, id)] += n
+		bankPairs[m.bankOf[k]] += n
 		m.net.SendSPUToSPU(m.plan.DispatcherOf(k), id, n)
 	}
 	pairsPerRow := int64(m.cfg.Geo.WordsPerRow() / 2)
@@ -338,7 +341,7 @@ func (m *Machine) step4Dispatching(st *IterStats) {
 		rows := (n + pairsPerRow - 1) / pairsPerRow
 		ev.DispatchInstrs += rows * m.instrCosts.dispatchPerRow
 		ev.SeqRowActs += rows
-		if b := float64(rows*m.instrCosts.dispatchPerRow)*cyc + float64(rows)*m.cfg.Tim.RowCycleNs; b > dispBusy {
+		if b := float64(rows*m.instrCosts.dispatchPerRow)*m.cyc + float64(rows)*m.cfg.Tim.RowCycleNs; b > dispBusy {
 			dispBusy = b
 		}
 		if r := int((n + int64(m.cfg.DispatchBufferPairs) - 1) / int64(m.cfg.DispatchBufferPairs)); r > rounds {
@@ -363,56 +366,56 @@ func (m *Machine) step4Dispatching(st *IterStats) {
 // only touches its own shard and dirty list, so the loop shards cleanly
 // across the worker pool.
 func (m *Machine) step5RemoteAccumulations(st *IterStats) {
-	cyc := m.cfg.Tim.SPUCycleNs()
 	s := &st.Steps[4]
 	s.StallRounds = 1
-	type counters struct {
-		ev        Events
-		cleanHits int64
+	for i := range m.scr.scatPW {
+		m.scr.scatPW[i] = scatCounters{}
 	}
-	perWorker := make([]counters, m.pool.Workers())
-	m.pool.ForEach(m.plan.NumSPUs, func(w, k int) {
-		c := &perWorker[w]
-		pairs := m.recvPairs[k]
-		if len(pairs) == 0 {
-			m.busy[k] = 0
-			return
-		}
-		var instr, randActs int64
-		lastRow := int64(-1)
-		for _, p := range pairs {
-			if p.clean {
-				m.dirty[k] = append(m.dirty[k], p.idx)
-				instr += m.instrCosts.cleanAppend
-				continue
-			}
-			instr += m.instrCosts.scatterLocal
-			c.ev.ALUOps++
-			old := m.output[p.idx]
-			if m.sem.IsZero(old) {
-				m.dirty[k] = append(m.dirty[k], p.idx)
-				instr += m.instrCosts.cleanAppend
-				c.cleanHits++
-			}
-			m.output[p.idx] = m.sem.Add(old, p.val)
-			if row := int64(p.idx) >> 6; row != lastRow {
-				randActs++
-				lastRow = row
-			}
-		}
-		m.busy[k] = float64(instr)*cyc + float64(randActs)*m.stallNs(m.instrCosts.scatterLocal+m.instrCosts.cleanAppend)
-		c.ev.SPUInstrs += instr
-		c.ev.RandRowActs += randActs
-		c.ev.SeqRowActs += int64(2*len(pairs))/int64(m.cfg.Geo.WordsPerRow()) + 1
-	})
+	m.pool.ForEach(m.plan.NumSPUs, m.fnStep5)
 	var ev Events
-	for _, c := range perWorker {
-		ev.Add(c.ev)
-		st.CleanHits += c.cleanHits
+	for i := range m.scr.scatPW {
+		ev.Add(m.scr.scatPW[i].ev)
+		st.CleanHits += m.scr.scatPW[i].cleanHits
 	}
 	m.busyStats(s)
 	s.TimeNs = m.cfg.Tim.LaunchNs + maxOf(m.busy)*m.refreshFactor()
 	s.Events = ev
+}
+
+// step6EmitBody is SPU k's frontier emission, run on worker w: sort the
+// dirty list, emit the non-clean slots into the next frontier's bucket, and
+// reset them to clean. Buckets come from the recycled frontier in m.curNext,
+// so steady-state emission reuses the caller's returned-and-recycled arrays.
+func (m *Machine) step6EmitBody(w, k int) {
+	dl := m.dirty[k]
+	if len(dl) == 0 {
+		return
+	}
+	c := &m.scr.emitPW[w]
+	slices.Sort(dl)
+	lastRow, randActs := int64(-1), int64(0)
+	entries := m.curNext.Local[k][:0]
+	for i, idx := range dl {
+		if i > 0 && dl[i-1] == idx {
+			continue // clean-pair + apply rebuild may duplicate
+		}
+		v := m.output[idx]
+		if m.sem.IsZero(v) {
+			continue // accumulated back to the clean value
+		}
+		entries = append(entries, FrontierEntry{Index: idx, Value: v})
+		m.output[idx] = m.clean
+		if row := int64(idx) >> 6; row != lastRow {
+			randActs++
+			lastRow = row
+		}
+	}
+	m.curNext.Local[k] = entries
+	n := int64(len(entries))
+	m.busy[k] += float64(n*m.instrCosts.frontierEmit)*m.cyc + float64(randActs)*m.stallNs(m.instrCosts.frontierEmit)
+	c.ev.SPUInstrs += n * m.instrCosts.frontierEmit
+	c.ev.RandRowActs += randActs
+	c.frontierOut += n
 }
 
 // step6Applying performs the optional Applying op, reduces the replicated
@@ -424,12 +427,15 @@ func (m *Machine) step5RemoteAccumulations(st *IterStats) {
 // runs serially in SPU order, which is also what keeps its float sums
 // bit-stable.
 func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
-	cyc := m.cfg.Tim.SPUCycleNs()
 	m.net.Reset()
 	s := &st.Steps[5]
 	s.StallRounds = 1
 	var ev Events
-	logicPerVault := make([]float64, m.cfg.Geo.Vaults)
+	scr := &m.scr
+	logicPerVault := scr.logicPerVault
+	for i := range logicPerVault {
+		logicPerVault[i] = 0
+	}
 
 	// V3: reduce per-SPU replicas into the logic layer (Fig. 7b). The
 	// reduction is hierarchical: each SPU sends its dirty replica slots to
@@ -437,14 +443,25 @@ func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
 	// combines same-slot partials, and only the bank-level partials cross
 	// the TSVs — without this the replicated scheme would push
 	// SPUs x slots pairs at the logic layer and lose its advantage.
-	// bankSlots is indexed by flattened bank id and walked in index order:
-	// iterating a map here would emit per-bank traffic and fold the
-	// per-vault logic time in Go's randomized map order, making simulated
-	// times differ run to run.
-	if m.plan.Cfg.Replicate && m.plan.LastLong >= 0 {
+	// The per-bank distinct-slot sets are epoch-stamped flat arrays indexed
+	// by slot and walked in index order, not maps: map iteration order is
+	// randomized per run, and the marks recycle across iterations with a
+	// single epoch bump instead of a clear.
+	if m.replicate && m.plan.LastLong >= 0 {
 		pairsPerRow := int64(m.cfg.Geo.WordsPerRow() / 2)
-		banks := m.cfg.Geo.Layers * m.cfg.Geo.BanksPerLayer
-		bankSlots := make([]map[int32]bool, banks)
+		scr.epoch++
+		if scr.epoch <= 0 { // int32 wrap: reset marks, restart epochs
+			for _, marks := range scr.bankSlotMark {
+				for i := range marks {
+					marks[i] = 0
+				}
+			}
+			scr.epoch = 1
+		}
+		epoch := scr.epoch
+		for i := range scr.bankSlotCount {
+			scr.bankSlotCount[i] = 0
+		}
 		for k := 0; k < m.plan.NumSPUs; k++ {
 			dl := m.dirtyLong[k]
 			if len(dl) == 0 {
@@ -452,11 +469,11 @@ func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
 			}
 			rep := m.replicas[k]
 			id := m.plan.SPUIDOf(k)
-			bf := bankFlat(m.cfg.Geo, id)
-			slots := bankSlots[bf]
-			if slots == nil {
-				slots = map[int32]bool{}
-				bankSlots[bf] = slots
+			bf := m.bankOf[k]
+			marks := scr.bankSlotMark[bf]
+			if marks == nil {
+				marks = make([]int32, m.plan.LastLong+1)
+				scr.bankSlotMark[bf] = marks
 			}
 			for _, r := range dl {
 				old := m.logicAcc[r]
@@ -465,19 +482,21 @@ func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
 				}
 				m.logicAcc[r] = m.sem.Add(old, rep[r])
 				rep[r] = m.clean
-				slots[r] = true
+				if marks[r] != epoch {
+					marks[r] = epoch
+					scr.bankSlotCount[bf]++
+				}
 			}
 			n := int64(len(dl))
 			// Line traffic SPU -> Dispatcher.
 			m.net.SendSPUToSPU(id, m.plan.DispatcherOf(k), n)
 			ev.SPUInstrs += n * 2 // read replica slot + send
 		}
-		for bf, slots := range bankSlots {
-			if len(slots) == 0 {
+		for bf, n := range scr.bankSlotCount {
+			if n == 0 {
 				continue
 			}
 			id := mem.SPUID{Layer: bf / m.cfg.Geo.BanksPerLayer, Bank: bf % m.cfg.Geo.BanksPerLayer, SPU: m.cfg.Geo.SPUsPerBank() - 1}
-			n := int64(len(slots))
 			m.net.SendToLogic(id, n)
 			rows := (n + pairsPerRow - 1) / pairsPerRow
 			ev.DispatchInstrs += rows * m.instrCosts.dispatchPerRow
@@ -489,30 +508,12 @@ func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
 	// Optional Applying op over the whole vector, sharded by output range.
 	if opts.Apply != nil {
 		alpha, y := opts.Apply.Alpha, opts.Apply.Y
-		applyWorker := make([]Events, m.pool.Workers())
-		m.pool.ForEach(m.plan.NumSPUs, func(w, k int) {
-			r := m.plan.Ranges[k]
-			if r.Len() == 0 {
-				m.busy[k] = 0
-				return
-			}
-			// After a dense apply every slot may be non-clean; rebuild the
-			// dirty list by scanning (the scan rides the same stream).
-			m.dirty[k] = m.dirty[k][:0]
-			for v := r.First; v <= r.Last; v++ {
-				m.output[v] = m.sem.Add(m.output[v], m.sem.Mul(alpha, y[v]))
-				if !m.sem.IsZero(m.output[v]) {
-					m.dirty[k] = append(m.dirty[k], v)
-				}
-			}
-			words := int64(r.Len())
-			m.busy[k] = float64(words*m.instrCosts.applyPerWord) * cyc
-			applyWorker[w].SPUInstrs += words * m.instrCosts.applyPerWord
-			applyWorker[w].ALUOps += 2 * words
-			applyWorker[w].SeqRowActs += 2*words/int64(m.cfg.Geo.WordsPerRow()) + 1
-		})
-		for _, we := range applyWorker {
-			ev.Add(we)
+		for i := range scr.applyPW {
+			scr.applyPW[i] = Events{}
+		}
+		m.pool.ForEach(m.plan.NumSPUs, m.fnApply)
+		for i := range scr.applyPW {
+			ev.Add(scr.applyPW[i])
 		}
 		for r := int32(0); r <= m.plan.LastLong; r++ {
 			m.logicAcc[r] = m.sem.Add(m.logicAcc[r], m.sem.Mul(alpha, y[r]))
@@ -529,50 +530,19 @@ func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
 
 	// Emit the next frontier and reset output slots to clean. Each SPU
 	// sorts its own dirty list and writes its own frontier bucket.
-	next := &Frontier{Local: make([][]FrontierEntry, m.plan.NumSPUs)}
-	type emitCounters struct {
-		ev          Events
-		frontierOut int64
+	m.curNext = m.getFrontier()
+	next := m.curNext
+	for i := range scr.emitPW {
+		scr.emitPW[i] = emitCounters{}
 	}
-	emitWorker := make([]emitCounters, m.pool.Workers())
-	m.pool.ForEach(m.plan.NumSPUs, func(w, k int) {
-		dl := m.dirty[k]
-		if len(dl) == 0 {
-			return
-		}
-		c := &emitWorker[w]
-		sort.Slice(dl, func(i, j int) bool { return dl[i] < dl[j] })
-		lastRow, randActs := int64(-1), int64(0)
-		entries := make([]FrontierEntry, 0, len(dl))
-		for i, idx := range dl {
-			if i > 0 && dl[i-1] == idx {
-				continue // clean-pair + apply rebuild may duplicate
-			}
-			v := m.output[idx]
-			if m.sem.IsZero(v) {
-				continue // accumulated back to the clean value
-			}
-			entries = append(entries, FrontierEntry{Index: idx, Value: v})
-			m.output[idx] = m.clean
-			if row := int64(idx) >> 6; row != lastRow {
-				randActs++
-				lastRow = row
-			}
-		}
-		next.Local[k] = entries
-		n := int64(len(entries))
-		m.busy[k] += float64(n*m.instrCosts.frontierEmit)*cyc + float64(randActs)*m.stallNs(m.instrCosts.frontierEmit)
-		c.ev.SPUInstrs += n * m.instrCosts.frontierEmit
-		c.ev.RandRowActs += randActs
-		c.frontierOut += n
-	})
-	for _, c := range emitWorker {
-		ev.Add(c.ev)
-		st.FrontierOut += c.frontierOut
+	m.pool.ForEach(m.plan.NumSPUs, m.fnEmit)
+	for i := range scr.emitPW {
+		ev.Add(scr.emitPW[i].ev)
+		st.FrontierOut += scr.emitPW[i].frontierOut
 	}
 	// Long outputs become next-iteration logic-layer frontier entries.
 	if len(m.logicDirty) > 0 {
-		sort.Slice(m.logicDirty, func(i, j int) bool { return m.logicDirty[i] < m.logicDirty[j] })
+		slices.Sort(m.logicDirty)
 		for i, r := range m.logicDirty {
 			if i > 0 && m.logicDirty[i-1] == r {
 				continue
@@ -604,4 +574,6 @@ func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
 }
 
 // bankFlat flattens a bank coordinate for per-bank accounting arrays.
-func bankFlat(g mem.Geometry, id mem.SPUID) int { return id.Layer*g.BanksPerLayer + id.Bank }
+func bankFlat(g mem.Geometry, id mem.SPUID) int32 {
+	return int32(id.Layer*g.BanksPerLayer + id.Bank)
+}

@@ -188,11 +188,13 @@ func (d *Device) Iterate(entries []gearbox.FrontierEntry) ([]gearbox.FrontierEnt
 		if err != nil {
 			return nil, st, err
 		}
+		mach.Recycle(f)
 		st.PerStack[s] = is
 		if t := is.TimeNs(); t > st.StackTimeNs {
 			st.StackTimeNs = t
 		}
 		outs := next.Entries()
+		mach.Recycle(next)
 		reduceBytes += float64(8 * len(outs))
 		for _, e := range outs {
 			orig := plan.Perm.Old[e.Index]

@@ -76,3 +76,34 @@ func (p *Pool) ForEach(n int, fn func(worker, i int)) {
 	}
 	wg.Wait()
 }
+
+// ForEachBlock runs fn(worker, lo, hi) once per contiguous block of the
+// index space [0, n), using the same block boundaries as ForEach (worker k
+// owns [k*n/w, (k+1)*n/w)). It is the bulk form of ForEach for callers that
+// shard a fold over a key range — e.g. the gearbox machine's
+// destination-sharded merges — where the body wants to loop over sources
+// itself instead of paying one callback per index. With one worker it runs
+// fn(0, 0, n) inline on the calling goroutine.
+func (p *Pool) ForEachBlock(n int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for worker := 0; worker < w; worker++ {
+		lo, hi := worker*n/w, (worker+1)*n/w
+		go func(worker, lo, hi int) {
+			defer wg.Done()
+			fn(worker, lo, hi)
+		}(worker, lo, hi)
+	}
+	wg.Wait()
+}

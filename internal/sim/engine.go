@@ -29,6 +29,10 @@ type Engine struct {
 	// Trace, when non-nil, receives every executed event name and time.
 	Trace func(name string, at float64)
 	ran   int
+	// free recycles executed Event structs so steady-state scheduling (the
+	// gearbox machine schedules six events per iteration, millions of times
+	// per app run) allocates nothing.
+	free []*Event
 }
 
 // New returns an engine with the clock at zero.
@@ -41,7 +45,8 @@ func (e *Engine) Now() float64 { return e.now }
 func (e *Engine) Ran() int { return e.ran }
 
 // At schedules fn to run at absolute time at. Scheduling in the past panics:
-// it would silently corrupt causality.
+// it would silently corrupt causality. fn may be nil: the event still
+// advances the clock and fires Trace, it just has no callback.
 func (e *Engine) At(at float64, name string, fn func(*Engine)) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, at, e.now))
@@ -49,7 +54,15 @@ func (e *Engine) At(at float64, name string, fn func(*Engine)) {
 	if math.IsNaN(at) || math.IsInf(at, 0) {
 		panic(fmt.Sprintf("sim: non-finite time %v for %q", at, name))
 	}
-	ev := &Event{At: at, Name: name, Fn: fn, seq: e.nextSeq}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = Event{At: at, Name: name, Fn: fn, seq: e.nextSeq}
+	} else {
+		ev = &Event{At: at, Name: name, Fn: fn, seq: e.nextSeq}
+	}
 	e.nextSeq++
 	heap.Push(&e.queue, ev)
 }
@@ -94,10 +107,17 @@ func (e *Engine) step() {
 	ev := heap.Pop(&e.queue).(*Event)
 	e.now = ev.At
 	e.ran++
+	name, fn := ev.Name, ev.Fn
+	// Recycle before running fn: fn may schedule new events, which can then
+	// reuse this struct (its fields are already copied out).
+	*ev = Event{}
+	e.free = append(e.free, ev)
 	if e.Trace != nil {
-		e.Trace(ev.Name, ev.At)
+		e.Trace(name, e.now)
 	}
-	ev.Fn(e)
+	if fn != nil {
+		fn(e)
+	}
 }
 
 type eventQueue []*Event
