@@ -14,7 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"slices"
 
 	"gearbox/internal/fulcrum"
 )
@@ -41,10 +41,11 @@ func main() {
 	switch {
 	case *list:
 		var names []string
+		//gearbox:nondet-ok names are sorted before printing
 		for name := range kernels() {
 			names = append(names, name)
 		}
-		sort.Strings(names)
+		slices.Sort(names)
 		for _, n := range names {
 			fmt.Println(n)
 		}

@@ -1,0 +1,107 @@
+// Command gearboxvet is the project's static-contract multichecker: it runs
+// the internal/analyzers suite — maprange, globalrand, wallclock, hotalloc,
+// recycleuse — over the module and fails if any determinism, wall-clock,
+// allocation or recycling contract is violated without a justifying
+// //gearbox: annotation (see DESIGN.md §7, "Statically enforced contracts").
+//
+// Usage:
+//
+//	go run ./cmd/gearboxvet [-only maprange,hotalloc] [-list] [packages...]
+//
+// Packages default to ./... relative to the current directory, which must be
+// inside the module. Exit status: 0 clean, 1 findings, 2 load/internal error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"slices"
+	"strings"
+
+	"gearbox/internal/analyzers"
+	"gearbox/internal/analyzers/analysis"
+	"gearbox/internal/analyzers/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("gearboxvet", flag.ExitOnError)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Parse(args)
+
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		var sel []*analysis.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			i := slices.IndexFunc(suite, func(a *analysis.Analyzer) bool { return a.Name == name })
+			if i < 0 {
+				fmt.Fprintf(os.Stderr, "gearboxvet: unknown analyzer %q\n", name)
+				return 2
+			}
+			sel = append(sel, suite[i])
+		}
+		suite = sel
+	}
+
+	patterns := fs.Args()
+	pkgs, err := load.Packages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gearboxvet:", err)
+		return 2
+	}
+
+	type finding struct {
+		analyzer string
+		diag     analysis.Diagnostic
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, a := range suite {
+			if !analyzers.Applies(a, pkg.Path) {
+				continue
+			}
+			pass := &analysis.Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				Report: func(d analysis.Diagnostic) {
+					findings = append(findings, finding{analyzer: a.Name, diag: d})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "gearboxvet: %s: %s: %v\n", a.Name, pkg.Path, err)
+				return 2
+			}
+		}
+	}
+
+	slices.SortFunc(findings, func(a, b finding) int {
+		if a.diag.Pos != b.diag.Pos {
+			return int(a.diag.Pos - b.diag.Pos)
+		}
+		return strings.Compare(a.analyzer, b.analyzer)
+	})
+	for _, f := range findings {
+		pos := pkgs[0].Fset.Position(f.diag.Pos)
+		fmt.Printf("%s: %s: %s\n", pos, f.analyzer, f.diag.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "gearboxvet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

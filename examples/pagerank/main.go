@@ -4,9 +4,10 @@
 package main
 
 import (
+	"cmp"
 	"fmt"
 	"log"
-	"sort"
+	"slices"
 
 	"gearbox"
 )
@@ -39,7 +40,7 @@ func main() {
 			for i, r := range res.Ranks {
 				top[i] = rank{i, r}
 			}
-			sort.Slice(top, func(i, j int) bool { return top[i].r > top[j].r })
+			slices.SortFunc(top, func(a, b rank) int { return cmp.Compare(b.r, a.r) })
 			fmt.Println("top-5 ranked vertices:")
 			for _, t := range top[:5] {
 				fmt.Printf("  vertex %6d: %.6f\n", t.v, t.r)

@@ -1,0 +1,164 @@
+// Package analysis is a minimal, self-contained analogue of
+// golang.org/x/tools/go/analysis, carrying just what the gearboxvet
+// analyzers need: an Analyzer descriptor, a per-package Pass with full type
+// information, and the //gearbox: annotation grammar shared by every
+// checker. The module deliberately has no external dependencies, so the
+// framework is built on the standard library's go/ast and go/types alone;
+// the Analyzer/Pass shape mirrors x/tools so the checkers could migrate to
+// the real multichecker if the dependency policy ever changes.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the diagnostic prefix and the -only selector in the driver.
+	Name string
+	// Doc is a one-paragraph description of the contract the check enforces.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// Report receives every diagnostic; the driver and the test harness
+	// install their own collectors.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Annotation kinds of the //gearbox: grammar (see DESIGN.md §7):
+//
+//	//gearbox:nondet-ok <reason>   suppress a maprange/globalrand/wallclock
+//	                               finding on this line or the next
+//	//gearbox:alloc-ok <reason>    suppress a hotalloc finding likewise
+//	//gearbox:steadystate          mark a function or bound func literal as
+//	                               a steady-state hot path for hotalloc
+//
+// The -ok kinds require a non-empty reason: a reasonless annotation does
+// not suppress, and the underlying diagnostic fires with a hint appended.
+const (
+	KindNondetOK = "nondet-ok"
+	KindAllocOK  = "alloc-ok"
+	KindSteady   = "steadystate"
+)
+
+type annotation struct {
+	kind   string
+	reason string
+}
+
+// lineKey identifies one source line; annotations must not leak between
+// files that happen to share line numbers.
+type lineKey struct {
+	file string
+	line int
+}
+
+// Annotations indexes a file set's //gearbox: comments by (file, line).
+type Annotations struct {
+	fset   *token.FileSet
+	byLine map[lineKey][]annotation
+}
+
+// ScanAnnotations collects every //gearbox: line comment in files. Files
+// must have been parsed with parser.ParseComments.
+func ScanAnnotations(fset *token.FileSet, files ...*ast.File) *Annotations {
+	a := &Annotations{fset: fset, byLine: make(map[lineKey][]annotation)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//gearbox:")
+				if !ok {
+					continue
+				}
+				kind, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Slash)
+				k := lineKey{file: pos.Filename, line: pos.Line}
+				a.byLine[k] = append(a.byLine[k], annotation{
+					kind:   strings.TrimSpace(kind),
+					reason: strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return a
+}
+
+// At reports whether an annotation of the given kind covers pos — i.e. sits
+// on the same line or the line immediately above — and returns its reason.
+func (a *Annotations) At(kind string, pos token.Pos) (found bool, reason string) {
+	p := a.fset.Position(pos)
+	for _, l := range [2]int{p.Line, p.Line - 1} {
+		for _, ann := range a.byLine[lineKey{file: p.Filename, line: l}] {
+			if ann.kind == kind {
+				return true, ann.reason
+			}
+		}
+	}
+	return false, ""
+}
+
+// Suppressed reports whether a finding of the given kind at pos is
+// suppressed by a justified annotation. When an annotation is present but
+// reasonless, it does not suppress and hint carries the grammar reminder to
+// append to the diagnostic.
+func (a *Annotations) Suppressed(kind string, pos token.Pos) (ok bool, hint string) {
+	found, reason := a.At(kind, pos)
+	switch {
+	case !found:
+		return false, ""
+	case reason == "":
+		return false, fmt.Sprintf(" (//gearbox:%s needs a reason)", kind)
+	default:
+		return true, ""
+	}
+}
+
+// SteadyFunc reports whether a function declaration is marked
+// //gearbox:steadystate, either in its doc comment or on the line above.
+func (a *Annotations) SteadyFunc(decl *ast.FuncDecl) bool {
+	if decl.Doc != nil {
+		for _, c := range decl.Doc.List {
+			if strings.HasPrefix(c.Text, "//gearbox:"+KindSteady) {
+				return true
+			}
+		}
+	}
+	found, _ := a.At(KindSteady, decl.Pos())
+	return found
+}
+
+// SteadyLit reports whether a func literal is marked //gearbox:steadystate
+// on its first line or the line above (the worker-loop bodies bound at New
+// are annotated this way).
+func (a *Annotations) SteadyLit(lit *ast.FuncLit) bool {
+	found, _ := a.At(KindSteady, lit.Pos())
+	return found
+}

@@ -1,0 +1,63 @@
+// Package globalrand flags uses of math/rand's package-level functions and
+// rand.Seed. The global source is process-wide shared state: the k-th draw
+// depends on every other draw in the process, so results stop being a pure
+// function of the run's seeds (the bug class behind the pre-PR-1 shared
+// error-injection stream). All randomness must flow through an explicitly
+// seeded rand.New(rand.NewSource(seed)) — constructors are allowed, the
+// global-source conveniences are not.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gearbox/internal/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc: "flags math/rand package-level functions (incl. rand.Seed): draw from " +
+		"an explicitly seeded rand.New(rand.NewSource(...)) instead",
+	Run: run,
+}
+
+// allowedCtors are the package-level functions that build explicit sources
+// and generators rather than touching the global one.
+var allowedCtors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // math/rand/v2; takes an explicit *Rand
+	"NewPCG":     true, // math/rand/v2 sources
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	ann := analysis.ScanAnnotations(pass.Fset, pass.Files...)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			if fn.Signature().Recv() != nil {
+				return true // methods on an explicit *Rand are the sanctioned path
+			}
+			if allowedCtors[fn.Name()] {
+				return true
+			}
+			if ok, hint := ann.Suppressed(analysis.KindNondetOK, id.Pos()); !ok {
+				pass.Reportf(id.Pos(), "rand.%s draws from the shared global source; "+
+					"use an explicitly seeded rand.New(rand.NewSource(...))%s", fn.Name(), hint)
+			}
+			return true
+		})
+	}
+	return nil
+}

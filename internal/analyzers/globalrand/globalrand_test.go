@@ -1,0 +1,12 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"gearbox/internal/analyzers/analyzertest"
+	"gearbox/internal/analyzers/globalrand"
+)
+
+func TestGlobalRand(t *testing.T) {
+	analyzertest.Run(t, globalrand.Analyzer, "../testdata/src/globalrand")
+}

@@ -1,0 +1,351 @@
+// Package hotalloc turns the steady-state zero-allocation contract into a
+// compile-time check. Functions annotated //gearbox:steadystate — the §5
+// step bodies, the scratch-reuse paths, the worker-loop bodies bound at New
+// — must not allocate per call; TestIterateSteadyStateAllocs pins this
+// dynamically but is skipped under -race, so hotalloc covers the same
+// contract in every build by flagging allocation-inducing constructs:
+//
+//   - make(...) and map/slice composite literals
+//   - append (growth is amortized away only for recycled buffers, which is
+//     exactly what the //gearbox:alloc-ok justification records)
+//   - fmt.* calls (interface boxing plus internal buffers)
+//   - func literals that capture outer variables and escape (a non-escaping
+//     literal — immediately invoked, or bound to a local used only in call
+//     position — stays on the stack and is not flagged)
+//   - implicit conversions of non-pointer-shaped concrete values to
+//     interface types (boxing a pointer/chan/map/func reuses the word;
+//     anything wider copies to the heap)
+//
+// Sites that are justified — cold error paths, amortized growth to a
+// high-water mark, lazy one-time initialization — carry
+// //gearbox:alloc-ok <reason> on the line or the line above.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gearbox/internal/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "flags allocation-inducing constructs inside //gearbox:steadystate " +
+		"functions; justify exceptions with //gearbox:alloc-ok <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	ann := analysis.ScanAnnotations(pass.Fset, pass.Files...)
+	checked := make(map[*ast.BlockStmt]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil && ann.SteadyFunc(fn) && !checked[fn.Body] {
+					checked[fn.Body] = true
+					sig, _ := pass.TypeOf(fn.Name).(*types.Signature)
+					check(pass, ann, fn.Body, sig)
+				}
+			case *ast.FuncLit:
+				if ann.SteadyLit(fn) && !checked[fn.Body] {
+					checked[fn.Body] = true
+					sig, _ := pass.TypeOf(fn).(*types.Signature)
+					check(pass, ann, fn.Body, sig)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checker walks one steady-state function body. sigs tracks the enclosing
+// function signatures (the body's own, then nested literals') so return
+// statements can be checked for interface boxing.
+type checker struct {
+	pass *analysis.Pass
+	ann  *analysis.Annotations
+	body *ast.BlockStmt
+	sigs []*types.Signature
+}
+
+func check(pass *analysis.Pass, ann *analysis.Annotations, body *ast.BlockStmt, sig *types.Signature) {
+	c := &checker{pass: pass, ann: ann, body: body, sigs: []*types.Signature{sig}}
+	c.walkStmts(body.List)
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if ok, hint := c.ann.Suppressed(analysis.KindAllocOK, pos); !ok {
+		c.pass.Reportf(pos, format+"%s", append(args, hint)...)
+	}
+}
+
+func (c *checker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		c.walkNode(s)
+	}
+}
+
+// walkNode inspects a subtree, descending into nested func literals with
+// their own signatures on the stack.
+func (c *checker) walkNode(root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if sig, ok := c.pass.TypeOf(n).(*types.Signature); ok {
+				c.checkFuncLit(n)
+				c.sigs = append(c.sigs, sig)
+				c.walkStmts(n.Body.List)
+				c.sigs = c.sigs[:len(c.sigs)-1]
+				return false
+			}
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.CompositeLit:
+			c.checkCompositeLit(n)
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.ValueSpec:
+			c.checkValueSpec(n)
+		case *ast.ReturnStmt:
+			c.checkReturn(n)
+		}
+		return true
+	})
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	// Builtins: make always allocates; append may grow its backing array.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := c.pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				c.report(call.Pos(), "make allocates in a steady-state function")
+			case "append":
+				c.report(call.Pos(), "append may grow its backing array in a steady-state function")
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x) where T is an interface boxes x.
+	if tv, ok := c.pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		c.checkBox(call.Args[0], tv.Type, "conversion")
+		return
+	}
+
+	// fmt.* allocates (format machinery plus boxed arguments).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn, ok := c.pass.Info.Uses[sel.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			c.report(call.Pos(), "fmt.%s allocates in a steady-state function", fn.Name())
+			return
+		}
+	}
+
+	// Ordinary calls: boxing of arguments into interface parameters. The
+	// type recorded for call.Fun is the instantiated signature, so generic
+	// calls check against their concrete parameter types.
+	sig, ok := c.pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		c.checkBox(arg, pt, "argument")
+	}
+}
+
+func (c *checker) checkCompositeLit(lit *ast.CompositeLit) {
+	t := c.pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		c.report(lit.Pos(), "map literal allocates in a steady-state function")
+	case *types.Slice:
+		c.report(lit.Pos(), "slice literal allocates in a steady-state function")
+	}
+}
+
+func (c *checker) checkAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return // multi-value RHS: boxing, if any, happens in the called function
+	}
+	for i, rhs := range as.Rhs {
+		if lt := c.pass.TypeOf(as.Lhs[i]); lt != nil {
+			c.checkBox(rhs, lt, "assignment")
+		}
+	}
+}
+
+func (c *checker) checkValueSpec(vs *ast.ValueSpec) {
+	for i, v := range vs.Values {
+		if i < len(vs.Names) {
+			if obj := c.pass.Info.Defs[vs.Names[i]]; obj != nil {
+				c.checkBox(v, obj.Type(), "assignment")
+			}
+		}
+	}
+}
+
+func (c *checker) checkReturn(ret *ast.ReturnStmt) {
+	sig := c.sigs[len(c.sigs)-1]
+	if sig == nil {
+		return
+	}
+	res := sig.Results()
+	if len(ret.Results) != res.Len() {
+		return // naked return or multi-value passthrough
+	}
+	for i, r := range ret.Results {
+		c.checkBox(r, res.At(i).Type(), "return")
+	}
+}
+
+// checkBox reports expr if assigning it to target implicitly boxes a
+// non-pointer-shaped concrete value into an interface.
+func (c *checker) checkBox(expr ast.Expr, target types.Type, what string) {
+	if target == nil {
+		return
+	}
+	if _, isIface := target.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	at := c.pass.TypeOf(expr)
+	if at == nil || at == types.Typ[types.Invalid] {
+		return
+	}
+	if b, ok := at.(*types.Basic); ok && b.Info()&types.IsUntyped != 0 {
+		if b.Kind() == types.UntypedNil {
+			return
+		}
+	}
+	if _, isIface := at.Underlying().(*types.Interface); isIface {
+		return // interface-to-interface carries the existing word pair
+	}
+	if pointerShaped(at) {
+		return // the value fits the interface data word; no heap copy
+	}
+	c.report(expr.Pos(), "%s boxes %s into %s and allocates in a steady-state function",
+		what, at.String(), target.String())
+}
+
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// checkFuncLit flags literals that capture outer variables and escape.
+func (c *checker) checkFuncLit(lit *ast.FuncLit) {
+	if !c.captures(lit) {
+		return
+	}
+	if c.escapes(lit) {
+		c.report(lit.Pos(), "func literal captures outer variables and escapes; "+
+			"it allocates a closure in a steady-state function (bind it once outside the hot path)")
+	}
+}
+
+// captures reports whether the literal references any variable declared
+// outside its own body (receiver/parameter/local of an enclosing function).
+func (c *checker) captures(lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		v, ok := c.pass.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level variable, not a capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+// escapes reports whether the literal may outlive the enclosing frame. Two
+// shapes are known non-escaping: an immediately invoked literal, and a
+// literal bound by := to a local variable whose every other use is a direct
+// call. Everything else (passed as an argument, assigned to a field,
+// returned, sent) is treated as escaping.
+func (c *checker) escapes(lit *ast.FuncLit) bool {
+	parents := parentMap(c.body)
+	p := parents[lit]
+	if call, ok := p.(*ast.CallExpr); ok && ast.Unparen(call.Fun) == lit {
+		return false
+	}
+	as, ok := p.(*ast.AssignStmt)
+	if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+		return true
+	}
+	var obj types.Object
+	for i, r := range as.Rhs {
+		if r == lit {
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				obj = c.pass.Info.Defs[id]
+			}
+		}
+	}
+	if obj == nil {
+		return true
+	}
+	onlyCalled := true
+	ast.Inspect(c.body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || c.pass.Info.Uses[id] != obj {
+			return true
+		}
+		if call, ok := parents[id].(*ast.CallExpr); !ok || ast.Unparen(call.Fun) != id {
+			onlyCalled = false
+		}
+		return true
+	})
+	return !onlyCalled
+}
+
+// parentMap builds a child→parent index for the body (computed on demand;
+// steady-state functions are few).
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

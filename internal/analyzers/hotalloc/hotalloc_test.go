@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"gearbox/internal/analyzers/analyzertest"
+	"gearbox/internal/analyzers/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analyzertest.Run(t, hotalloc.Analyzer, "../testdata/src/hotalloc")
+}

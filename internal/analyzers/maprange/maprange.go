@@ -1,0 +1,47 @@
+// Package maprange flags `for … range` statements over map-typed values.
+// Go randomizes map iteration order per run, so any map walk whose effects
+// reach simulated results — float fold order, emitted entry order, traffic
+// accounting — breaks the simulator's bit-identical determinism contract
+// (DESIGN.md §7). Iterations whose order provably cannot be observed (the
+// walk feeds a sort, a set-membership count, a map clear) are annotated
+// `//gearbox:nondet-ok <reason>` at the call site.
+package maprange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gearbox/internal/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maprange",
+	Doc: "flags range statements over maps, whose iteration order is " +
+		"nondeterministic; justify exceptions with //gearbox:nondet-ok <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	ann := analysis.ScanAnnotations(pass.Fset, pass.Files...)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if ok, hint := ann.Suppressed(analysis.KindNondetOK, rs.For); !ok {
+				pass.Reportf(rs.For, "range over map: iteration order is nondeterministic; "+
+					"iterate a sorted slice or annotate //gearbox:nondet-ok <reason>%s", hint)
+			}
+			return true
+		})
+	}
+	return nil
+}

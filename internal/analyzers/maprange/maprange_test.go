@@ -1,0 +1,12 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"gearbox/internal/analyzers/analyzertest"
+	"gearbox/internal/analyzers/maprange"
+)
+
+func TestMapRange(t *testing.T) {
+	analyzertest.Run(t, maprange.Analyzer, "../testdata/src/maprange")
+}

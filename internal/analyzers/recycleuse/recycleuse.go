@@ -1,0 +1,194 @@
+// Package recycleuse flags uses of a *Frontier value after it has been
+// handed back through Machine.Recycle. Recycling declares that no alias of
+// the frontier's entry slices survives — the machine will reuse the backing
+// arrays for later frontiers — so any later read through the same variable
+// observes buffers that a future iteration may be overwriting. The pass is
+// an intra-function, flow-ordered dataflow check:
+//
+//   - a call `recv.Recycle(f)` (any method named Recycle taking one
+//     *Frontier argument) taints the variable f from the call onward;
+//   - assigning to f afterwards (f = machine.DistributeFrontier(...),
+//     f = next) kills the taint;
+//   - any other use of f between the Recycle and a kill is reported —
+//     including a second Recycle(f), the double-recycle shape.
+//
+// Limits, by design: the analysis is position-ordered within one function
+// body, so a use that only reaches the Recycle around a loop back-edge is
+// not reported (the steady-state app loop `next := Iterate(f); Recycle(f);
+// f = next` is exactly this shape and is legal), and `defer Recycle(f)`
+// taints nothing because it runs at function exit.
+package recycleuse
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gearbox/internal/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "recycleuse",
+	Doc: "flags uses of a *Frontier after it is passed to Machine.Recycle; " +
+		"the recycle pool may already have handed its buffers to a new owner",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+				return false // checkBody descends into nested literals itself
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody scans one function body (including nested func literals: a
+// literal shares its enclosing frame's variables, so taint flows through).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	type recycleCall struct {
+		obj types.Object
+		end token.Pos // taint begins after the call
+	}
+	var recycles []recycleCall
+	deferred := make(map[*ast.CallExpr]bool)
+	exitsAfter := make(map[*ast.CallExpr]bool)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// defer Recycle(f) runs at function exit; it taints nothing.
+			deferred[n.Call] = true
+		case *ast.BlockStmt:
+			markExits(n.List, exitsAfter)
+		case *ast.CaseClause:
+			markExits(n.Body, exitsAfter)
+		case *ast.CommClause:
+			markExits(n.Body, exitsAfter)
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || deferred[call] || exitsAfter[call] {
+			return true
+		}
+		if obj := recycledArg(pass, call); obj != nil {
+			recycles = append(recycles, recycleCall{obj: obj, end: call.End()})
+		}
+		return true
+	})
+	if len(recycles) == 0 {
+		return
+	}
+
+	// kills[obj] lists positions where obj is reassigned.
+	kills := make(map[types.Object][]token.Pos)
+	// uses[obj] lists read positions (assignment LHS idents excluded).
+	lhs := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, l := range as.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				lhs[id] = true
+				if obj := pass.Info.Uses[id]; obj != nil {
+					kills[obj] = append(kills[obj], id.Pos())
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || lhs[id] {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		for _, rc := range recycles {
+			if rc.obj != obj || id.Pos() < rc.end {
+				continue
+			}
+			if killedBetween(kills[obj], rc.end, id.Pos()) {
+				continue
+			}
+			pass.Reportf(id.Pos(), "use of %s after it was passed to Recycle: "+
+				"the recycle pool may reuse its buffers (reassign it first, or recycle later)", id.Name)
+			break
+		}
+		return true
+	})
+}
+
+// markExits records calls whose statement is immediately followed by a
+// return in the same statement list: `Recycle(f); return …` exits the
+// frame, so syntactically-later uses of f can never execute after it (the
+// pass is otherwise position-ordered and would misread the error-path
+// shape `case bad: m.Recycle(f); return nil, err` inside a loop).
+func markExits(stmts []ast.Stmt, exitsAfter map[*ast.CallExpr]bool) {
+	for i, s := range stmts {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok || i+1 >= len(stmts) {
+			continue
+		}
+		if _, ret := stmts[i+1].(*ast.ReturnStmt); !ret {
+			continue
+		}
+		if call, ok := es.X.(*ast.CallExpr); ok {
+			exitsAfter[call] = true
+		}
+	}
+}
+
+func killedBetween(kills []token.Pos, from, to token.Pos) bool {
+	for _, k := range kills {
+		if k > from && k < to {
+			return true
+		}
+	}
+	return false
+}
+
+// recycledArg returns the object of the plain-identifier argument of a
+// `recv.Recycle(f)` call where f has type *Frontier (a pointer to a named
+// type called Frontier), or nil if the call is not a recycle.
+func recycledArg(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Recycle" || len(call.Args) != 1 {
+		return nil
+	}
+	if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); !ok || fn.Signature().Recv() == nil {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil || !isFrontierPtr(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+func isFrontierPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Frontier"
+}

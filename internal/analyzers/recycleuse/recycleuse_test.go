@@ -1,0 +1,12 @@
+package recycleuse_test
+
+import (
+	"testing"
+
+	"gearbox/internal/analyzers/analyzertest"
+	"gearbox/internal/analyzers/recycleuse"
+)
+
+func TestRecycleUse(t *testing.T) {
+	analyzertest.Run(t, recycleuse.Analyzer, "../testdata/src/recycleuse")
+}

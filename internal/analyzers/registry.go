@@ -1,0 +1,56 @@
+// Package analyzers registers the gearboxvet suite and the per-package
+// applicability policy: which of the simulator's statically-enforced
+// contracts (DESIGN.md §7, "Statically enforced contracts") bind which
+// import paths.
+package analyzers
+
+import (
+	"strings"
+
+	"gearbox/internal/analyzers/analysis"
+	"gearbox/internal/analyzers/globalrand"
+	"gearbox/internal/analyzers/hotalloc"
+	"gearbox/internal/analyzers/maprange"
+	"gearbox/internal/analyzers/recycleuse"
+	"gearbox/internal/analyzers/wallclock"
+)
+
+// All returns the suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maprange.Analyzer,
+		globalrand.Analyzer,
+		wallclock.Analyzer,
+		hotalloc.Analyzer,
+		recycleuse.Analyzer,
+	}
+}
+
+// simulationPkgs are the packages where simulated time and bit-identical
+// determinism are hard contracts: the machine and its model dependencies.
+// Wall-clock reads are forbidden here outright (CLIs and the bench harness
+// may legitimately measure host time).
+var simulationPkgs = map[string]bool{
+	"gearbox":                       true,
+	"gearbox/internal/gearbox":      true,
+	"gearbox/internal/sim":          true,
+	"gearbox/internal/apps":         true,
+	"gearbox/internal/multistack":   true,
+	"gearbox/internal/fulcrum":      true,
+	"gearbox/internal/interconnect": true,
+	"gearbox/internal/mem":          true,
+	"gearbox/internal/par":          true,
+}
+
+// Applies reports whether analyzer a runs over package path. maprange,
+// globalrand, hotalloc and recycleuse sweep the whole module (their
+// findings are either real hazards or justified annotations anywhere);
+// wallclock binds only the simulation packages.
+func Applies(a *analysis.Analyzer, path string) bool {
+	switch a.Name {
+	case wallclock.Analyzer.Name:
+		return simulationPkgs[path]
+	default:
+		return path == "gearbox" || strings.HasPrefix(path, "gearbox/")
+	}
+}

@@ -1,0 +1,58 @@
+package analyzers_test
+
+import (
+	"bytes"
+	"os/exec"
+	"slices"
+	"testing"
+
+	"gearbox/internal/analyzers"
+	"gearbox/internal/analyzers/analysis"
+)
+
+func TestAppliesPolicy(t *testing.T) {
+	suite := analyzers.All()
+	byName := func(name string) *analysis.Analyzer {
+		i := slices.IndexFunc(suite, func(a *analysis.Analyzer) bool { return a.Name == name })
+		if i < 0 {
+			t.Fatalf("analyzer %s not registered", name)
+		}
+		return suite[i]
+	}
+
+	wallclock := byName("wallclock")
+	if !analyzers.Applies(wallclock, "gearbox/internal/sim") {
+		t.Errorf("wallclock must bind the simulation packages")
+	}
+	if analyzers.Applies(wallclock, "gearbox/cmd/gearbox-bench") {
+		t.Errorf("wallclock must not bind CLIs, which may measure host time")
+	}
+
+	for _, name := range []string{"maprange", "globalrand", "hotalloc", "recycleuse"} {
+		a := byName(name)
+		for _, path := range []string{"gearbox", "gearbox/internal/sparse", "gearbox/cmd/gearboxvet"} {
+			if !analyzers.Applies(a, path) {
+				t.Errorf("%s must sweep the whole module; skips %s", name, path)
+			}
+		}
+		if analyzers.Applies(a, "example.com/other") {
+			t.Errorf("%s must not apply outside the module", name)
+		}
+	}
+}
+
+// TestGearboxvetCleanTree is the satellite smoke test: the committed tree
+// must stay clean under the full suite, exactly as CI enforces it.
+func TestGearboxvetCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs gearboxvet over the whole module")
+	}
+	cmd := exec.Command("go", "run", "./cmd/gearboxvet", "./...")
+	cmd.Dir = "../.." // module root
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("gearboxvet is not clean on the tree:\n%s\n(%v)", out.String(), err)
+	}
+}

@@ -1,0 +1,27 @@
+// Fixture for the globalrand analyzer: math/rand package-level functions
+// draw from the shared global source and are flagged; explicitly seeded
+// generators are the sanctioned path.
+package globalrand
+
+import "math/rand"
+
+func globalDraws() int {
+	n := rand.Intn(10)                 // want "rand.Intn draws from the shared global source"
+	rand.Seed(42)                      // want "rand.Seed draws from the shared global source"
+	f := rand.Float64()                // want "rand.Float64 draws from the shared global source"
+	rand.Shuffle(n, func(i, j int) {}) // want "rand.Shuffle draws from the shared global source"
+	_ = f
+	return n
+}
+
+func seededIsFine(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := rng.Float64() + float64(rng.Intn(7))
+	z := rand.NewZipf(rng, 1.5, 1, 100)
+	return v + float64(z.Uint64())
+}
+
+func justified() int {
+	//gearbox:nondet-ok demo-only jitter, never reaches simulated state
+	return rand.Intn(3)
+}

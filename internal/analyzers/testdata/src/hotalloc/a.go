@@ -1,0 +1,71 @@
+// Fixture for the hotalloc analyzer: //gearbox:steadystate bodies must not
+// allocate; //gearbox:alloc-ok <reason> records justified exceptions.
+package hotalloc
+
+import "fmt"
+
+var hook func()
+
+// Not annotated: allocations in setup/cold code are out of scope.
+func coldSetup(n int) []int {
+	return make([]int, n)
+}
+
+//gearbox:steadystate
+func hot(buf []int, n int) int {
+	tmp := make([]int, n)         // want "make allocates in a steady-state function"
+	buf = append(buf, n)          // want "append may grow its backing array"
+	m := map[int]int{n: n}        // want "map literal allocates"
+	s := []int{n, n}              // want "slice literal allocates"
+	msg := fmt.Sprintf("n=%d", n) // want "fmt.Sprintf allocates"
+	return len(tmp) + len(buf) + len(m) + len(s) + len(msg)
+}
+
+func sink(v any) {}
+
+//gearbox:steadystate
+func boxing(x int, p *int, err error) error {
+	sink(x)   // want "argument boxes int"
+	sink(p)   // pointer-shaped: reuses the interface data word
+	sink(err) // interface-to-interface: no new allocation
+	var v any
+	v = x // want "assignment boxes int"
+	_ = v
+	return err
+}
+
+//gearbox:steadystate
+func returnsBoxed(x int) any {
+	return x // want "return boxes int"
+}
+
+//gearbox:steadystate
+func closures(n int) int {
+	double := func() int { return n * 2 } // bound to a local, only called: stays on the stack
+	total := double()
+	func() { total++ }()         // immediately invoked: stays on the stack
+	hook = func() { total += n } // want "func literal captures outer variables and escapes"
+	return total
+}
+
+//gearbox:steadystate
+func justified(buf []int, n int) []int {
+	buf = append(buf, n) //gearbox:alloc-ok amortized growth into a recycled buffer
+	return buf
+}
+
+//gearbox:steadystate
+func reasonless(n int) []int {
+	//gearbox:alloc-ok
+	return make([]int, n) // want "alloc-ok needs a reason"
+}
+
+type worker struct{ fn func(int) int }
+
+// bind is cold, but the literal it binds is the hot worker body.
+func bind(w *worker) {
+	//gearbox:steadystate
+	w.fn = func(n int) int {
+		return len(make([]int, n)) // want "make allocates in a steady-state function"
+	}
+}

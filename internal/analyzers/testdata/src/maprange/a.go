@@ -1,0 +1,58 @@
+// Fixture for the maprange analyzer: range over maps is flagged unless a
+// justified //gearbox:nondet-ok annotation covers the statement.
+package maprange
+
+type counts map[string]int
+
+func sumUnordered(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want "range over map: iteration order is nondeterministic"
+		s += v
+	}
+	return s
+}
+
+func namedMapType(c counts) int {
+	n := 0
+	for range c { // want "range over map: iteration order is nondeterministic"
+		n++
+	}
+	return n
+}
+
+func justified(m map[int]int) int {
+	n := 0
+	//gearbox:nondet-ok n is an order-insensitive integer sum
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func trailingJustification(m map[int]int) int {
+	n := 0
+	for k := range m { //gearbox:nondet-ok membership count only
+		n += k
+	}
+	return n
+}
+
+func reasonless(m map[int]int) int {
+	n := 0
+	//gearbox:nondet-ok
+	for k := range m { // want "nondet-ok needs a reason"
+		n += k
+	}
+	return n
+}
+
+func slicesAndChannelsAreFine(xs []int, ch chan int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	for x := range ch {
+		n += x
+	}
+	return n
+}

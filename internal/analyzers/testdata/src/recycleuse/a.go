@@ -1,0 +1,60 @@
+// Fixture for the recycleuse analyzer. Matching is name-based (any method
+// named Recycle taking one *Frontier), so the fixture defines its own
+// minimal Machine/Frontier pair.
+package recycleuse
+
+type Frontier struct{ Entries []int }
+
+type Machine struct{ pool []*Frontier }
+
+func (m *Machine) Recycle(f *Frontier) { m.pool = append(m.pool, f) }
+
+func (m *Machine) Iterate(f *Frontier) *Frontier { return &Frontier{Entries: f.Entries} }
+
+func useAfterRecycle(m *Machine, f *Frontier) int {
+	m.Recycle(f)
+	n := len(f.Entries) // want "use of f after it was passed to Recycle"
+	return n
+}
+
+func doubleRecycle(m *Machine, f *Frontier) {
+	m.Recycle(f)
+	m.Recycle(f) // want "use of f after it was passed to Recycle"
+}
+
+func killedByReassign(m *Machine, f *Frontier) int {
+	m.Recycle(f)
+	f = &Frontier{}
+	return len(f.Entries)
+}
+
+func deferredIsFine(m *Machine, f *Frontier) int {
+	defer m.Recycle(f)
+	return len(f.Entries)
+}
+
+// The error-path shape: Recycle immediately followed by return exits the
+// frame, so positionally-later uses in the surrounding loop never execute
+// after it.
+func recycleThenReturn(m *Machine, f *Frontier) (*Frontier, error) {
+	for i := 0; i < 3; i++ {
+		switch {
+		case i == 2:
+			m.Recycle(f)
+			return nil, nil
+		}
+		f = m.Iterate(f)
+	}
+	return f, nil
+}
+
+// The legal steady-state app loop: the only path from Recycle back to a use
+// of f is the loop back-edge, and f is reassigned on it.
+func steadyLoop(m *Machine, f *Frontier) *Frontier {
+	for i := 0; i < 8; i++ {
+		next := m.Iterate(f)
+		m.Recycle(f)
+		f = next
+	}
+	return f
+}

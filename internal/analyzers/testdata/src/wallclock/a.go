@@ -1,0 +1,23 @@
+// Fixture for the wallclock analyzer: reads of the host clock are flagged
+// in simulation packages; pure duration arithmetic is fine.
+package wallclock
+
+import "time"
+
+func wallReads() time.Duration {
+	start := time.Now()          // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+	d := time.Since(start)       // want "time.Since reads the wall clock"
+	t := time.NewTimer(d)        // want "time.NewTimer reads the wall clock"
+	t.Stop()
+	return d
+}
+
+func durationsAreFine(cycles int64) time.Duration {
+	return time.Duration(cycles) * 50 * time.Nanosecond
+}
+
+func justified() time.Time {
+	//gearbox:nondet-ok progress logging only; never reaches simulated state
+	return time.Now()
+}

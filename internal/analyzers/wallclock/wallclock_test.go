@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"gearbox/internal/analyzers/analyzertest"
+	"gearbox/internal/analyzers/wallclock"
+)
+
+func TestWallClock(t *testing.T) {
+	analyzertest.Run(t, wallclock.Analyzer, "../testdata/src/wallclock")
+}

@@ -71,9 +71,7 @@ func RefSpGEMM(a, b *sparse.CSC) *sparse.CSC {
 	out := sparse.NewCOO(a.NumRows, b.NumCols)
 	acc := map[int32]float32{}
 	for j := int32(0); j < b.NumCols; j++ {
-		for k := range acc {
-			delete(acc, k)
-		}
+		clear(acc)
 		bRows, bVals := b.Col(j)
 		for i, k := range bRows {
 			aRows, aVals := a.Col(k)
@@ -81,6 +79,7 @@ func RefSpGEMM(a, b *sparse.CSC) *sparse.CSC {
 				acc[r] += aVals[x] * bVals[i]
 			}
 		}
+		//gearbox:nondet-ok CSCFromCOO sorts the entries; emission order is unobservable
 		for r, v := range acc {
 			if v != 0 {
 				out.Entries = append(out.Entries, sparse.Entry{Row: r, Col: j, Val: v})

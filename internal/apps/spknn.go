@@ -1,8 +1,9 @@
 package apps
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"gearbox/internal/gearbox"
 	"gearbox/internal/gen"
@@ -79,11 +80,11 @@ func QueryVector(n int32, nnz int, seed int64) ([]int32, []float32) {
 
 // TopK selects the k highest-scoring neighbors, ties by lower sample id.
 func TopK(hits []Neighbor, k int) []Neighbor {
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
+	slices.SortFunc(hits, func(a, b Neighbor) int {
+		if c := cmp.Compare(b.Score, a.Score); c != 0 {
+			return c // highest score first
 		}
-		return hits[i].Sample < hits[j].Sample
+		return cmp.Compare(a.Sample, b.Sample)
 	})
 	if len(hits) > k {
 		hits = hits[:k]
@@ -104,6 +105,7 @@ func RefSpKNN(m *sparse.CSC, numQueries, queryNNZ, k int, seed int64) [][]Neighb
 			}
 		}
 		hits := make([]Neighbor, 0, len(scores))
+		//gearbox:nondet-ok TopK orders hits by (score, sample id), a total order
 		for s, v := range scores {
 			if v != 0 {
 				hits = append(hits, Neighbor{Sample: s, Score: v})

@@ -43,6 +43,7 @@ var shiftNames = map[ShiftCond]string{
 
 func invert[K comparable, V comparable](m map[K]V) map[V]K {
 	out := make(map[V]K, len(m))
+	//gearbox:nondet-ok builds a reverse lookup map; insertion order is unobservable
 	for k, v := range m {
 		out[v] = k
 	}

@@ -64,11 +64,13 @@ func (f *Frontier) Entries() []FrontierEntry {
 // across iterations makes frontier extraction allocation-free in steady
 // state; the appended entries are copies, so dst stays valid after the
 // frontier is recycled.
+//
+//gearbox:steadystate
 func (f *Frontier) AppendEntries(dst []FrontierEntry) []FrontierEntry {
 	start := len(dst)
-	dst = append(dst, f.Long...)
+	dst = append(dst, f.Long...) //gearbox:alloc-ok caller-owned buffer; grows once to its high-water mark
 	for _, l := range f.Local {
-		dst = append(dst, l...)
+		dst = append(dst, l...) //gearbox:alloc-ok caller-owned buffer; grows once to its high-water mark
 	}
 	slices.SortFunc(dst[start:], func(a, b FrontierEntry) int { return int(a.Index) - int(b.Index) })
 	return dst
@@ -321,6 +323,8 @@ func (m *Machine) Semiring() semiring.Semiring { return m.sem }
 // everything else to the SPU owning the column. The returned frontier comes
 // from the machine's recycle pool when one is available; hand it back with
 // Recycle once it is no longer needed to keep steady state allocation-free.
+//
+//gearbox:steadystate
 func (m *Machine) DistributeFrontier(entries []FrontierEntry) (*Frontier, error) {
 	f := m.getFrontier()
 	n := m.plan.Matrix.NumRows
@@ -328,12 +332,12 @@ func (m *Machine) DistributeFrontier(entries []FrontierEntry) (*Frontier, error)
 		switch {
 		case e.Index < 0 || e.Index >= n:
 			m.Recycle(f)
-			return nil, fmt.Errorf("gearbox: frontier index %d out of range", e.Index)
+			return nil, fmt.Errorf("gearbox: frontier index %d out of range", e.Index) //gearbox:alloc-ok cold path: an invalid frontier aborts the run
 		case e.Index <= m.plan.LastLong:
-			f.Long = append(f.Long, e)
+			f.Long = append(f.Long, e) //gearbox:alloc-ok recycled frontier buffer; grows to its high-water mark
 		default:
 			k := m.plan.OwnerOf[e.Index]
-			f.Local[k] = append(f.Local[k], e)
+			f.Local[k] = append(f.Local[k], e) //gearbox:alloc-ok recycled frontier buffer; grows to its high-water mark
 		}
 	}
 	return f, nil
@@ -372,12 +376,14 @@ var stepNames = [6]string{
 // The returned frontier's buffers belong to the caller until handed back via
 // Recycle; in steady state (caller recycles its frontiers) Iterate allocates
 // nothing.
+//
+//gearbox:steadystate
 func (m *Machine) Iterate(f *Frontier, opts IterateOptions) (*Frontier, IterStats, error) {
 	if len(f.Local) != m.plan.NumSPUs {
-		return nil, IterStats{}, fmt.Errorf("gearbox: frontier built for %d SPUs, machine has %d", len(f.Local), m.plan.NumSPUs)
+		return nil, IterStats{}, fmt.Errorf("gearbox: frontier built for %d SPUs, machine has %d", len(f.Local), m.plan.NumSPUs) //gearbox:alloc-ok cold path: caller misuse aborts the iteration
 	}
 	if opts.Apply != nil && int32(len(opts.Apply.Y)) != m.plan.Matrix.NumRows {
-		return nil, IterStats{}, fmt.Errorf("gearbox: apply vector length %d, want %d", len(opts.Apply.Y), m.plan.Matrix.NumRows)
+		return nil, IterStats{}, fmt.Errorf("gearbox: apply vector length %d, want %d", len(opts.Apply.Y), m.plan.Matrix.NumRows) //gearbox:alloc-ok cold path: caller misuse aborts the iteration
 	}
 
 	// Iteration state lives on the machine (not locals captured by closures)
@@ -428,6 +434,8 @@ func (m *Machine) NowNs() float64 { return m.eng.Now() }
 func (m *Machine) Output() []float32 { return append([]float32(nil), m.output...) }
 
 // resetScratch prepares per-iteration buffers.
+//
+//gearbox:steadystate
 func (m *Machine) resetScratch() {
 	for k := range m.busy {
 		m.busy[k] = 0
@@ -479,6 +487,8 @@ func errStreamSeed(seed uint64, k int) uint64 {
 // BitErrorRate, drawing from SPU spu's private splitmix64 stream. Keeping
 // one stream per SPU makes injection independent of worker sharding: only
 // SPU spu's loop ever advances stream spu, always in the same order.
+//
+//gearbox:steadystate
 func (m *Machine) corrupt(spu int, v float32) float32 {
 	if m.cfg.BitErrorRate <= 0 {
 		return v
@@ -518,8 +528,10 @@ func (m *Machine) replica(k int) []float32 {
 	return m.replicas[k]
 }
 
-func (m *Machine) logicDirtyAdd(r int32) { m.logicDirty = append(m.logicDirty, r) }
+//gearbox:steadystate
+func (m *Machine) logicDirtyAdd(r int32) { m.logicDirty = append(m.logicDirty, r) } //gearbox:alloc-ok recycled dirty list; grows to its high-water mark
 
+//gearbox:steadystate
 func maxOf(xs []float64) float64 {
 	mx := 0.0
 	for _, x := range xs {
@@ -531,6 +543,8 @@ func maxOf(xs []float64) float64 {
 }
 
 // busyStats fills a step's per-SPU busy distribution from m.busy.
+//
+//gearbox:steadystate
 func (m *Machine) busyStats(s *StepStats) {
 	sum := 0.0
 	for _, b := range m.busy {

@@ -86,6 +86,8 @@ func (m *Machine) initScratch() {
 // frontier already in the pool is a safe no-op (the pooled flag guards
 // double-Recycle, which would otherwise hand the same arrays to two owners).
 // Never recycle a frontier that is an argument of an in-flight Iterate.
+//
+//gearbox:steadystate
 func (m *Machine) Recycle(f *Frontier) {
 	if f == nil || f.pooled || len(f.Local) != m.plan.NumSPUs {
 		return
@@ -97,12 +99,14 @@ func (m *Machine) Recycle(f *Frontier) {
 		}
 	}
 	f.pooled = true
-	m.freeFrontiers = append(m.freeFrontiers, f)
+	m.freeFrontiers = append(m.freeFrontiers, f) //gearbox:alloc-ok pool bookkeeping; grows to the number of distinct frontiers
 }
 
 // getFrontier pops a recycled frontier shell, or builds a fresh one. The
 // pooled flag is cleared so frontiers observed outside the machine are never
 // marked (reflect.DeepEqual over frontiers stays meaningful in tests).
+//
+//gearbox:steadystate
 func (m *Machine) getFrontier() *Frontier {
 	if n := len(m.freeFrontiers); n > 0 {
 		f := m.freeFrontiers[n-1]
@@ -111,13 +115,14 @@ func (m *Machine) getFrontier() *Frontier {
 		f.pooled = false
 		return f
 	}
-	return &Frontier{Local: make([][]FrontierEntry, m.plan.NumSPUs)}
+	return &Frontier{Local: make([][]FrontierEntry, m.plan.NumSPUs)} //gearbox:alloc-ok pool miss: only before the recycle pool reaches steady state
 }
 
 // bindWorkerFns creates the closures the parallel regions pass to the worker
 // pool. Bound once; they read the current iteration's inputs from the
 // machine's cur* fields.
 func (m *Machine) bindWorkerFns() {
+	//gearbox:steadystate
 	m.fnStep2 = func(w, k int) {
 		f := m.curF
 		long := int64(len(f.Long))
@@ -140,6 +145,7 @@ func (m *Machine) bindWorkerFns() {
 
 	m.fnStep3 = m.step3SPUBody
 
+	//gearbox:steadystate
 	m.fnMergePairs = func(w, lo, hi int) {
 		// Worker w owns destinations [lo, hi): it scans every SPU's emit
 		// bucket in ascending SPU order and appends only the pairs routed to
@@ -152,12 +158,13 @@ func (m *Machine) bindWorkerFns() {
 				if int(dp.dst) < lo || int(dp.dst) >= hi {
 					continue
 				}
-				m.recvPairs[dp.dst] = append(m.recvPairs[dp.dst], dp.pair)
+				m.recvPairs[dp.dst] = append(m.recvPairs[dp.dst], dp.pair) //gearbox:alloc-ok recycled receive buffer; grows to its high-water mark
 				perBank[m.bankOf[dp.dst]]++
 			}
 		}
 	}
 
+	//gearbox:steadystate
 	m.fnMergeLogic = func(w, lo, hi int) {
 		// Worker w owns logic-accumulator slots [lo, hi) of the long region.
 		// Scanning sources in ascending SPU order keeps each slot's float
@@ -170,7 +177,7 @@ func (m *Machine) bindWorkerFns() {
 				}
 				old := m.logicAcc[lp.idx]
 				if m.sem.IsZero(old) {
-					c.logicDirty = append(c.logicDirty, lp.idx)
+					c.logicDirty = append(c.logicDirty, lp.idx) //gearbox:alloc-ok recycled per-worker dirty list; grows to its high-water mark
 					if m.hypo {
 						c.cleanHits++
 					}
@@ -180,6 +187,7 @@ func (m *Machine) bindWorkerFns() {
 		}
 	}
 
+	//gearbox:steadystate
 	m.fnMergeHypoShort = func(w, lo, hi int) {
 		// HypoGearboxV2 routes every short accumulation through the logic
 		// layer too; worker w owns the output shards of SPUs [lo, hi). Each
@@ -194,7 +202,7 @@ func (m *Machine) bindWorkerFns() {
 				}
 				old := m.output[lp.idx]
 				if m.sem.IsZero(old) {
-					m.dirty[owner] = append(m.dirty[owner], lp.idx)
+					m.dirty[owner] = append(m.dirty[owner], lp.idx) //gearbox:alloc-ok recycled dirty list; grows to its high-water mark
 					c.cleanHits++
 				}
 				m.output[lp.idx] = m.sem.Add(old, lp.val)
@@ -202,6 +210,7 @@ func (m *Machine) bindWorkerFns() {
 		}
 	}
 
+	//gearbox:steadystate
 	m.fnStep5 = func(w, k int) {
 		c := &m.scr.scatPW[w]
 		pairs := m.recvPairs[k]
@@ -213,7 +222,7 @@ func (m *Machine) bindWorkerFns() {
 		lastRow := int64(-1)
 		for _, p := range pairs {
 			if p.clean {
-				m.dirty[k] = append(m.dirty[k], p.idx)
+				m.dirty[k] = append(m.dirty[k], p.idx) //gearbox:alloc-ok recycled dirty list; grows to its high-water mark
 				instr += m.instrCosts.cleanAppend
 				continue
 			}
@@ -221,7 +230,7 @@ func (m *Machine) bindWorkerFns() {
 			c.ev.ALUOps++
 			old := m.output[p.idx]
 			if m.sem.IsZero(old) {
-				m.dirty[k] = append(m.dirty[k], p.idx)
+				m.dirty[k] = append(m.dirty[k], p.idx) //gearbox:alloc-ok recycled dirty list; grows to its high-water mark
 				instr += m.instrCosts.cleanAppend
 				c.cleanHits++
 			}
@@ -237,6 +246,7 @@ func (m *Machine) bindWorkerFns() {
 		c.ev.SeqRowActs += int64(2*len(pairs))/int64(m.cfg.Geo.WordsPerRow()) + 1
 	}
 
+	//gearbox:steadystate
 	m.fnApply = func(w, k int) {
 		alpha, y := m.curApply.Alpha, m.curApply.Y
 		r := m.plan.Ranges[k]
@@ -250,7 +260,7 @@ func (m *Machine) bindWorkerFns() {
 		for v := r.First; v <= r.Last; v++ {
 			m.output[v] = m.sem.Add(m.output[v], m.sem.Mul(alpha, y[v]))
 			if !m.sem.IsZero(m.output[v]) {
-				m.dirty[k] = append(m.dirty[k], v)
+				m.dirty[k] = append(m.dirty[k], v) //gearbox:alloc-ok recycled dirty list; grows to its high-water mark
 			}
 		}
 		words := int64(r.Len())

@@ -31,6 +31,8 @@ import (
 // step1FrontierDistribution broadcasts the long-activating frontier entries
 // from the logic layer to all subarrays (§5 Step 1) and, for HypoGearboxV2,
 // the whole input vector.
+//
+//gearbox:steadystate
 func (m *Machine) step1FrontierDistribution(f *Frontier, st *IterStats) {
 	m.resetScratch()
 	m.net.Reset()
@@ -52,6 +54,8 @@ func (m *Machine) step1FrontierDistribution(f *Frontier, st *IterStats) {
 
 // step2OffsetPacking packs (column offset, length, frontier value) triples
 // per frontier entry (Fig. 10).
+//
+//gearbox:steadystate
 func (m *Machine) step2OffsetPacking(f *Frontier, st *IterStats) {
 	s := &st.Steps[1]
 	s.StallRounds = 1
@@ -84,6 +88,8 @@ type step3Counters struct {
 // contribution. Shard-private compute only — SPU k touches its own output
 // shard, replica, emit buckets and error stream; shared-state effects are
 // deferred to the ordered merge.
+//
+//gearbox:steadystate
 func (m *Machine) step3SPUBody(w, k int) {
 	f := m.curF
 	c := &m.scr.s3PW[w]
@@ -103,7 +109,7 @@ func (m *Machine) step3SPUBody(w, k int) {
 			// read-modify-write itself happens in the ordered merge.
 			instr += m.instrCosts.macRemote
 			e.logicPairs++
-			e.logic = append(e.logic, idxVal{idx: r, val: contribution})
+			e.logic = append(e.logic, idxVal{idx: r, val: contribution}) //gearbox:alloc-ok recycled emit bucket; grows to its high-water mark
 			c.localAccums++
 		case owner == int32(k):
 			instr += m.instrCosts.macLocal
@@ -111,7 +117,7 @@ func (m *Machine) step3SPUBody(w, k int) {
 			if m.sem.IsZero(old) {
 				// Fig. 11: the clean indicator pair takes the dispatcher
 				// round trip inside the bank.
-				e.pairs = append(e.pairs, dstPair{dst: int32(k), pair: routedPair{srcSPU: int32(k), idx: r, clean: true}})
+				e.pairs = append(e.pairs, dstPair{dst: int32(k), pair: routedPair{srcSPU: int32(k), idx: r, clean: true}}) //gearbox:alloc-ok recycled emit bucket; grows to its high-water mark
 				e.sentPairs++
 				c.cleanHits++
 			}
@@ -128,7 +134,7 @@ func (m *Machine) step3SPUBody(w, k int) {
 				instr += m.instrCosts.macLocal
 				old := rep[r]
 				if m.sem.IsZero(old) {
-					m.dirtyLong[k] = append(m.dirtyLong[k], r)
+					m.dirtyLong[k] = append(m.dirtyLong[k], r) //gearbox:alloc-ok recycled dirty list; grows to its high-water mark
 				}
 				rep[r] = m.sem.Add(old, contribution)
 				if row := int64(r) >> 6; row != lastRepRow {
@@ -139,12 +145,12 @@ func (m *Machine) step3SPUBody(w, k int) {
 				// V2: send the contribution down to the logic layer.
 				instr += m.instrCosts.macRemote
 				e.logicPairs++
-				e.logic = append(e.logic, idxVal{idx: r, val: contribution})
+				e.logic = append(e.logic, idxVal{idx: r, val: contribution}) //gearbox:alloc-ok recycled emit bucket; grows to its high-water mark
 			}
 		default:
 			// Remote accumulation: dispatch toward the owner's bank.
 			instr += m.instrCosts.macRemote
-			e.pairs = append(e.pairs, dstPair{dst: owner, pair: routedPair{srcSPU: int32(k), idx: r, val: contribution}})
+			e.pairs = append(e.pairs, dstPair{dst: owner, pair: routedPair{srcSPU: int32(k), idx: r, val: contribution}}) //gearbox:alloc-ok recycled emit bucket; grows to its high-water mark
 			e.sentPairs++
 			c.remoteAccums++
 		}
@@ -189,6 +195,8 @@ func (m *Machine) step3SPUBody(w, k int) {
 // The per-SPU loops run on the worker pool; each SPU buffers its dispatcher
 // pairs and logic-layer contributions in m.emit[k], and the merge below the
 // barrier folds them sharded by destination.
+//
+//gearbox:steadystate
 func (m *Machine) step3LocalAccumulations(f *Frontier, st *IterStats) {
 	m.net.Reset()
 
@@ -248,7 +256,7 @@ func (m *Machine) step3LocalAccumulations(f *Frontier, st *IterStats) {
 			recvPerBank[j] += n
 		}
 		st.CleanHits += c.cleanHits
-		m.logicDirty = append(m.logicDirty, c.logicDirty...)
+		m.logicDirty = append(m.logicDirty, c.logicDirty...) //gearbox:alloc-ok recycled dirty list; grows to its high-water mark
 	}
 
 	// Serial tail: network sends and logic-layer traffic fold in ascending
@@ -315,6 +323,8 @@ func (m *Machine) step3LocalAccumulations(f *Frontier, st *IterStats) {
 // step4Dispatching forwards the buffered pairs from each bank's Dispatcher
 // to the destination Compute SPUs over the line interconnect (§5 Step 4),
 // honouring the §6 buffer-overflow stall protocol.
+//
+//gearbox:steadystate
 func (m *Machine) step4Dispatching(st *IterStats) {
 	m.net.Reset()
 	s := &st.Steps[3]
@@ -365,6 +375,8 @@ func (m *Machine) step4Dispatching(st *IterStats) {
 // clean-indicator indexes to the frontier list (§5 Step 5). Each SPU's fold
 // only touches its own shard and dirty list, so the loop shards cleanly
 // across the worker pool.
+//
+//gearbox:steadystate
 func (m *Machine) step5RemoteAccumulations(st *IterStats) {
 	s := &st.Steps[4]
 	s.StallRounds = 1
@@ -386,6 +398,8 @@ func (m *Machine) step5RemoteAccumulations(st *IterStats) {
 // dirty list, emit the non-clean slots into the next frontier's bucket, and
 // reset them to clean. Buckets come from the recycled frontier in m.curNext,
 // so steady-state emission reuses the caller's returned-and-recycled arrays.
+//
+//gearbox:steadystate
 func (m *Machine) step6EmitBody(w, k int) {
 	dl := m.dirty[k]
 	if len(dl) == 0 {
@@ -403,7 +417,7 @@ func (m *Machine) step6EmitBody(w, k int) {
 		if m.sem.IsZero(v) {
 			continue // accumulated back to the clean value
 		}
-		entries = append(entries, FrontierEntry{Index: idx, Value: v})
+		entries = append(entries, FrontierEntry{Index: idx, Value: v}) //gearbox:alloc-ok recycled frontier bucket; grows to its high-water mark
 		m.output[idx] = m.clean
 		if row := int64(idx) >> 6; row != lastRow {
 			randActs++
@@ -426,6 +440,8 @@ func (m *Machine) step6EmitBody(w, k int) {
 // replica reduction folds into the shared logic accumulator and therefore
 // runs serially in SPU order, which is also what keeps its float sums
 // bit-stable.
+//
+//gearbox:steadystate
 func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
 	m.net.Reset()
 	s := &st.Steps[5]
@@ -472,7 +488,7 @@ func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
 			bf := m.bankOf[k]
 			marks := scr.bankSlotMark[bf]
 			if marks == nil {
-				marks = make([]int32, m.plan.LastLong+1)
+				marks = make([]int32, m.plan.LastLong+1) //gearbox:alloc-ok lazy one-time per-bank mark allocation, first reduction only
 				scr.bankSlotMark[bf] = marks
 			}
 			for _, r := range dl {
@@ -551,7 +567,7 @@ func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
 			if m.sem.IsZero(v) {
 				continue
 			}
-			next.Long = append(next.Long, FrontierEntry{Index: r, Value: v})
+			next.Long = append(next.Long, FrontierEntry{Index: r, Value: v}) //gearbox:alloc-ok recycled frontier buffer; grows to its high-water mark
 			m.logicAcc[r] = m.clean
 			ev.LogicOps += 2
 		}

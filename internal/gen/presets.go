@@ -3,7 +3,7 @@ package gen
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"sync"
 
 	"gearbox/internal/sparse"
@@ -175,7 +175,7 @@ func SparseVector(n int32, nnz int, seed int64) ([]int32, []float32) {
 			idx = append(idx, v)
 		}
 	}
-	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	slices.Sort(idx)
 	vals := make([]float32, nnz)
 	for i := range vals {
 		vals[i] = 1 + float32(rng.Intn(9))

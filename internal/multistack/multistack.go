@@ -12,8 +12,9 @@
 package multistack
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"gearbox/internal/gearbox"
 	"gearbox/internal/mem"
@@ -208,13 +209,14 @@ func (d *Device) Iterate(entries []gearbox.FrontierEntry) ([]gearbox.FrontierEnt
 
 	st.ReduceTimeNs = d.cfg.Fabric.AllReduceNs(reduceBytes/float64(d.cfg.Stacks), d.cfg.Stacks)
 	out := make([]gearbox.FrontierEntry, 0, len(merged))
+	//gearbox:nondet-ok out is sorted by Index below; slot indexes are unique
 	for idx, v := range merged {
 		if d.sem.IsZero(v) {
 			continue
 		}
 		out = append(out, gearbox.FrontierEntry{Index: idx, Value: v})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	slices.SortFunc(out, func(a, b gearbox.FrontierEntry) int { return cmp.Compare(a.Index, b.Index) })
 	st.ReducedEntries = int64(len(out))
 	return out, st, nil
 }

@@ -11,10 +11,11 @@
 package partition
 
 import (
+	"cmp"
 	"container/heap"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"gearbox/internal/mem"
 	"gearbox/internal/sparse"
@@ -334,12 +335,11 @@ func buildPermutation(m *sparse.CSC, geo mem.Geometry, cfg Config, longFrac floa
 // SPU (LPT list scheduling), equalizing per-SPU non-zero totals.
 func packByLength(shortSet []int32, colLens []int, numSPUs int) [][]int32 {
 	order := append([]int32(nil), shortSet...)
-	sort.Slice(order, func(i, j int) bool {
-		li, lj := colLens[order[i]], colLens[order[j]]
-		if li != lj {
-			return li > lj
+	slices.SortFunc(order, func(a, b int32) int {
+		if c := cmp.Compare(colLens[b], colLens[a]); c != 0 {
+			return c // longest first
 		}
-		return order[i] < order[j]
+		return cmp.Compare(a, b)
 	})
 	// A heap keyed by (load, count) keeps assignment O(n log S).
 	h := make(slotHeap, numSPUs)
@@ -502,6 +502,7 @@ func (p *Plan) Validate() error {
 	// Every long-column entry appears in exactly one fragment list.
 	var fragCount int64
 	for k := 0; k < p.NumSPUs; k++ {
+		//gearbox:nondet-ok validation walk: integer count plus error-or-nil, both order-insensitive
 		for c, es := range p.LongFrags[k] {
 			if c > p.LastLong {
 				return fmt.Errorf("partition: fragment for non-long column %d", c)
@@ -513,6 +514,7 @@ func (p *Plan) Validate() error {
 			}
 			fragCount += int64(len(es))
 		}
+		//gearbox:nondet-ok validation walk: integer count plus error-or-nil, both order-insensitive
 		for _, es := range p.LongRowSpill[k] {
 			for _, e := range es {
 				if p.OwnerOf[e.Row] != -1 {

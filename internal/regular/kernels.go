@@ -11,7 +11,7 @@ package regular
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // Ops counts the micro-operations one kernel run performs.
@@ -307,7 +307,7 @@ func runSort(n int, seed int64) (Ops, float64) {
 	o.Writes = int64(n) * int64(passes)
 	o.ALU = int64(n) * int64(passes)
 	o.Branches = int64(n) * int64(passes)
-	sort.Slice(x, func(i, j int) bool { return x[i] < x[j] })
+	slices.Sort(x)
 	return o, checksum(x)
 }
 

@@ -47,12 +47,14 @@ func (e *Engine) Ran() int { return e.ran }
 // At schedules fn to run at absolute time at. Scheduling in the past panics:
 // it would silently corrupt causality. fn may be nil: the event still
 // advances the clock and fires Trace, it just has no callback.
+//
+//gearbox:steadystate
 func (e *Engine) At(at float64, name string, fn func(*Engine)) {
 	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, at, e.now))
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, at, e.now)) //gearbox:alloc-ok cold path: feeds a panic
 	}
 	if math.IsNaN(at) || math.IsInf(at, 0) {
-		panic(fmt.Sprintf("sim: non-finite time %v for %q", at, name))
+		panic(fmt.Sprintf("sim: non-finite time %v for %q", at, name)) //gearbox:alloc-ok cold path: feeds a panic
 	}
 	var ev *Event
 	if n := len(e.free); n > 0 {
@@ -68,12 +70,16 @@ func (e *Engine) At(at float64, name string, fn func(*Engine)) {
 }
 
 // After schedules fn to run delay nanoseconds from now.
+//
+//gearbox:steadystate
 func (e *Engine) After(delay float64, name string, fn func(*Engine)) {
 	e.At(e.now+delay, name, fn)
 }
 
 // Run executes events in time order until the queue drains, returning the
 // final clock value.
+//
+//gearbox:steadystate
 func (e *Engine) Run() float64 {
 	for e.queue.Len() > 0 {
 		e.step()
@@ -87,6 +93,8 @@ func (e *Engine) Run() float64 {
 // queue drains, the clock stays at the last executed event, matching Run.
 // A deadline already in the past executes nothing and leaves the clock
 // unchanged. Returns the final clock value.
+//
+//gearbox:steadystate
 func (e *Engine) RunUntil(deadline float64) float64 {
 	if math.IsNaN(deadline) {
 		panic("sim: RunUntil with NaN deadline")
@@ -103,6 +111,7 @@ func (e *Engine) RunUntil(deadline float64) float64 {
 // Pending reports how many events are queued.
 func (e *Engine) Pending() int { return e.queue.Len() }
 
+//gearbox:steadystate
 func (e *Engine) step() {
 	ev := heap.Pop(&e.queue).(*Event)
 	e.now = ev.At
@@ -111,7 +120,7 @@ func (e *Engine) step() {
 	// Recycle before running fn: fn may schedule new events, which can then
 	// reuse this struct (its fields are already copied out).
 	*ev = Event{}
-	e.free = append(e.free, ev)
+	e.free = append(e.free, ev) //gearbox:alloc-ok event free-list; grows to its high-water mark
 	if e.Trace != nil {
 		e.Trace(name, e.now)
 	}
@@ -133,11 +142,15 @@ func (q eventQueue) Swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
 	q[i].idx, q[j].idx = i, j
 }
+
+//gearbox:steadystate
 func (q *eventQueue) Push(x any) {
 	ev := x.(*Event)
 	ev.idx = len(*q)
-	*q = append(*q, ev)
+	*q = append(*q, ev) //gearbox:alloc-ok event queue; grows to its high-water mark
 }
+
+//gearbox:steadystate
 func (q *eventQueue) Pop() any {
 	old := *q
 	n := len(old)

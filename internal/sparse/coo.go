@@ -9,8 +9,9 @@
 package sparse
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Entry is one non-zero of a matrix in coordinate form.
@@ -51,12 +52,11 @@ func (m *COO) NNZ() int { return len(m.Entries) }
 // their values, dropping exact zeros produced by cancellation. It returns the
 // receiver for chaining.
 func (m *COO) Coalesce() *COO {
-	sort.Slice(m.Entries, func(i, j int) bool {
-		a, b := m.Entries[i], m.Entries[j]
-		if a.Col != b.Col {
-			return a.Col < b.Col
+	slices.SortFunc(m.Entries, func(a, b Entry) int {
+		if c := cmp.Compare(a.Col, b.Col); c != 0 {
+			return c
 		}
-		return a.Row < b.Row
+		return cmp.Compare(a.Row, b.Row)
 	})
 	out := m.Entries[:0]
 	for _, e := range m.Entries {

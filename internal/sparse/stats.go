@@ -1,8 +1,9 @@
 package sparse
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Stats summarizes the shape of a matrix the way Table 3 and Fig. 5 of the
@@ -139,14 +140,13 @@ func TopFraction(lens []int, frac float64) []int32 {
 	for i := range idx {
 		idx[i] = int32(i)
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		la, lb := lens[idx[a]], lens[idx[b]]
-		if la != lb {
-			return la > lb
+	slices.SortFunc(idx, func(a, b int32) int {
+		if c := cmp.Compare(lens[b], lens[a]); c != 0 {
+			return c // longest first
 		}
-		return idx[a] < idx[b]
+		return cmp.Compare(a, b)
 	})
 	out := append([]int32(nil), idx[:k]...)
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	slices.Sort(out)
 	return out
 }
