@@ -19,6 +19,7 @@ import (
 func main() {
 	sizeFlag := flag.String("size", "small", "dataset size tier: tiny, small, medium")
 	dataset := flag.String("dataset", "", "single dataset name (default: all)")
+	workers := flag.Int("workers", 0, "worker goroutines for dataset generation (0: GOMAXPROCS, 1: serial; output is identical)")
 	flag.Parse()
 
 	size, ok := map[string]gen.Size{"tiny": gen.Tiny, "small": gen.Small, "medium": gen.Medium}[*sizeFlag]
@@ -32,7 +33,7 @@ func main() {
 	}
 
 	for _, name := range names {
-		d, err := gen.Load(name, size)
+		d, err := gen.LoadWorkers(name, size, *workers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gearbox-datagen:", err)
 			os.Exit(1)

@@ -6,17 +6,21 @@
 //
 //	gearbox-sim -dataset holly -app bfs -version v3 [-size small]
 //	            [-longfrac 0.005] [-placement shuffled] [-source 0]
+//	gearbox-sim -mtx path/to/matrix.mtx -app pr
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 
 	"gearbox"
+	"gearbox/internal/mtx"
+	"gearbox/internal/sparse"
 )
 
 // cpuProfiling tracks whether a CPU profile is being collected, so fatal can
@@ -25,6 +29,7 @@ var cpuProfiling bool
 
 func main() {
 	dataset := flag.String("dataset", "holly", "dataset: holly, orkut, patent, road, twitter")
+	mtxPath := flag.String("mtx", "", "load a Matrix Market .mtx file instead of a synthetic dataset")
 	sizeFlag := flag.String("size", "small", "dataset size tier: tiny, small, medium")
 	app := flag.String("app", "bfs", "application: bfs, pr, sssp, spknn, svm, cc")
 	version := flag.String("version", "v3", "gearbox version: v1, hypov2, v2, v3")
@@ -32,7 +37,7 @@ func main() {
 	placementFlag := flag.String("placement", "shuffled", "placement: shuffled, samesubarray, samebank, samevault, distributed")
 	source := flag.Int("source", 0, "source vertex for bfs/sssp")
 	prIters := flag.Int("pr-iters", 10, "PageRank iterations")
-	workers := flag.Int("workers", 0, "simulator worker goroutines for the per-SPU step loops (0: GOMAXPROCS, 1: serial; results are identical)")
+	workers := flag.Int("workers", 0, "worker goroutines for preprocessing (mtx load, coalesce, partition) and the per-SPU step loops (0: GOMAXPROCS, 1: serial; results are identical)")
 	tracePath := flag.String("trace", "", "write a chrome://tracing JSON timeline to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -67,7 +72,13 @@ func main() {
 		fatal(fmt.Errorf("unknown placement %q", *placementFlag))
 	}
 
-	ds, err := gearbox.LoadDataset(*dataset, size)
+	var ds *gearbox.Dataset
+	var err error
+	if *mtxPath != "" {
+		ds, err = loadMTX(*mtxPath, *workers)
+	} else {
+		ds, err = gearbox.LoadDataset(*dataset, size)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -169,6 +180,25 @@ func main() {
 		}
 		fmt.Printf("trace        %d phase events -> %s\n", rec.Len(), *tracePath)
 	}
+}
+
+// loadMTX runs the full preprocessing pipeline on a Matrix Market file:
+// parallel parse, coalesce, and CSC build, all at the requested width.
+func loadMTX(path string, workers int) (*gearbox.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	coo, err := mtx.ReadOpts(f, mtx.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	// CSCFromCOOWorkers coalesces internally: duplicates merge in file order
+	// and exact zeros drop, at any worker count with identical bits.
+	m := sparse.CSCFromCOOWorkers(coo, workers)
+	name := strings.TrimSuffix(filepath.Base(path), ".mtx")
+	return &gearbox.Dataset{Name: name, FullName: path, Matrix: m}, nil
 }
 
 func fatal(err error) {

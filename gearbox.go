@@ -153,9 +153,10 @@ type Options struct {
 	Seed      int64
 	// MaxIters bounds iterative apps (0: app default).
 	MaxIters int
-	// Workers sizes the simulator's deterministic worker pool: the per-SPU
-	// step loops shard across this many goroutines. 0 selects GOMAXPROCS,
-	// 1 forces the serial path. Results are bit-identical for every value.
+	// Workers sizes the deterministic worker pool used both for the per-SPU
+	// step loops of the simulation and for preprocessing (partition plan
+	// build, permutation apply, CSC rebuild). 0 selects GOMAXPROCS, 1
+	// forces the serial path. Results are bit-identical for every value.
 	Workers int
 }
 
@@ -199,6 +200,7 @@ func NewSystem(m *Matrix, opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	pcfg.Workers = opts.Workers
 	plan, err := partition.Build(m, geo, pcfg)
 	if err != nil {
 		return nil, err
@@ -316,6 +318,7 @@ func NewMultiStackDevice(m *Matrix, stacks int, opts Options) (*MultiStackDevice
 	if err != nil {
 		return nil, err
 	}
+	pcfg.Workers = opts.Workers
 	cfg := multistack.DefaultConfig()
 	cfg.Stacks = stacks
 	cfg.Partition = pcfg

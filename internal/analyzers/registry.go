@@ -42,14 +42,27 @@ var simulationPkgs = map[string]bool{
 	"gearbox/internal/par":          true,
 }
 
+// preprocessingPkgs are the parallel preprocessing pipeline packages (mtx
+// ingest, sparse builds, generators, partition planning). Their contract is
+// the same bit-identical-at-any-width determinism as the simulator's, so
+// the wallclock ban binds them too: host time can never influence chunking,
+// sorting, or placement.
+var preprocessingPkgs = map[string]bool{
+	"gearbox/internal/mtx":       true,
+	"gearbox/internal/sparse":    true,
+	"gearbox/internal/gen":       true,
+	"gearbox/internal/partition": true,
+}
+
 // Applies reports whether analyzer a runs over package path. maprange,
 // globalrand, hotalloc and recycleuse sweep the whole module (their
-// findings are either real hazards or justified annotations anywhere);
-// wallclock binds only the simulation packages.
+// findings are either real hazards or justified annotations anywhere,
+// including the preprocessing packages); wallclock binds the simulation and
+// preprocessing packages.
 func Applies(a *analysis.Analyzer, path string) bool {
 	switch a.Name {
 	case wallclock.Analyzer.Name:
-		return simulationPkgs[path]
+		return simulationPkgs[path] || preprocessingPkgs[path]
 	default:
 		return path == "gearbox" || strings.HasPrefix(path, "gearbox/")
 	}

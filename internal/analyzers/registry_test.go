@@ -24,13 +24,24 @@ func TestAppliesPolicy(t *testing.T) {
 	if !analyzers.Applies(wallclock, "gearbox/internal/sim") {
 		t.Errorf("wallclock must bind the simulation packages")
 	}
+	for _, path := range []string{
+		"gearbox/internal/mtx", "gearbox/internal/sparse",
+		"gearbox/internal/gen", "gearbox/internal/partition",
+	} {
+		if !analyzers.Applies(wallclock, path) {
+			t.Errorf("wallclock must bind the preprocessing pipeline; skips %s", path)
+		}
+	}
 	if analyzers.Applies(wallclock, "gearbox/cmd/gearbox-bench") {
 		t.Errorf("wallclock must not bind CLIs, which may measure host time")
 	}
 
 	for _, name := range []string{"maprange", "globalrand", "hotalloc", "recycleuse"} {
 		a := byName(name)
-		for _, path := range []string{"gearbox", "gearbox/internal/sparse", "gearbox/cmd/gearboxvet"} {
+		for _, path := range []string{
+			"gearbox", "gearbox/internal/sparse", "gearbox/internal/mtx",
+			"gearbox/internal/gen", "gearbox/cmd/gearboxvet",
+		} {
 			if !analyzers.Applies(a, path) {
 				t.Errorf("%s must sweep the whole module; skips %s", name, path)
 			}

@@ -55,11 +55,11 @@ type preset struct {
 	fullName            string
 	paperRows, paperNNZ int64
 	paperDensity        float64
-	build               func(s Size) (*sparse.CSC, error)
+	build               func(s Size, workers int) (*sparse.CSC, error)
 }
 
-func rmatScaled(scale int, ef, a, b, c, noise float64, seed int64) func(Size) (*sparse.CSC, error) {
-	return func(s Size) (*sparse.CSC, error) {
+func rmatScaled(scale int, ef, a, b, c, noise float64, seed int64) func(Size, int) (*sparse.CSC, error) {
+	return func(s Size, workers int) (*sparse.CSC, error) {
 		sc, f := scale, ef
 		switch s {
 		case Tiny:
@@ -70,7 +70,7 @@ func rmatScaled(scale int, ef, a, b, c, noise float64, seed int64) func(Size) (*
 		if sc < 4 {
 			sc = 4
 		}
-		return RMAT(RMATConfig{Scale: sc, EdgeFactor: f, A: a, B: b, C: c, Noise: noise, Seed: seed})
+		return RMAT(RMATConfig{Scale: sc, EdgeFactor: f, A: a, B: b, C: c, Noise: noise, Seed: seed, Workers: workers})
 	}
 }
 
@@ -95,7 +95,7 @@ var presets = map[string]preset{
 	// road_usa: planar road network, max degree <= 16 (Fig. 5d).
 	"road": {
 		fullName: "road_usa", paperRows: 23947347, paperNNZ: 57708624, paperDensity: 0.00001e-2,
-		build: func(s Size) (*sparse.CSC, error) {
+		build: func(s Size, _ int) (*sparse.CSC, error) {
 			w, h := 512, 512
 			switch s {
 			case Tiny:
@@ -122,7 +122,12 @@ var (
 // Load builds (or returns a cached copy of) one of the five named datasets
 // at the requested size. The returned matrix is shared: callers must not
 // mutate it.
-func Load(name string, size Size) (*Dataset, error) {
+func Load(name string, size Size) (*Dataset, error) { return LoadWorkers(name, size, 0) }
+
+// LoadWorkers is Load with an explicit worker count for the build (0 selects
+// GOMAXPROCS, 1 forces serial). The built matrix is identical at every worker
+// count, so the cache is keyed by name and size only.
+func LoadWorkers(name string, size Size, workers int) (*Dataset, error) {
 	p, ok := presets[name]
 	if !ok {
 		return nil, fmt.Errorf("gen: unknown dataset %q (want one of %v)", name, DatasetNames)
@@ -133,7 +138,7 @@ func Load(name string, size Size) (*Dataset, error) {
 	if d, ok := cache[key]; ok {
 		return d, nil
 	}
-	m, err := p.build(size)
+	m, err := p.build(size, workers)
 	if err != nil {
 		return nil, fmt.Errorf("gen: building %s: %w", name, err)
 	}

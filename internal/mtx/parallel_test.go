@@ -1,0 +1,171 @@
+package mtx
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"slices"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gearbox/internal/sparse"
+)
+
+// bigMTX writes a matrix large enough to split into several chunks even at
+// high worker counts, with comments and blank lines sprinkled through the
+// body to exercise the chunk scanner's line handling.
+func bigMTX(t testing.TB, symmetry string, n int) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%%%%MatrixMarket matrix coordinate real %s\n%% generated\n%d %d %d\n", symmetry, 4096, 4096, n)
+	for i := 0; i < n; i++ {
+		if i%1000 == 999 {
+			buf.WriteString("% mid-body comment\n\n")
+		}
+		r, c := rng.Intn(4096)+1, rng.Intn(4096)+1
+		if symmetry != "general" && c > r {
+			r, c = c, r // lower triangle, as symmetric files store
+		}
+		fmt.Fprintf(&buf, "%d %d %g\n", r, c, float32(rng.NormFloat64()))
+	}
+	return buf.Bytes()
+}
+
+func cooEqual(a, b *sparse.COO) bool {
+	return a.NumRows == b.NumRows && a.NumCols == b.NumCols && slices.Equal(a.Entries, b.Entries)
+}
+
+func TestReadOptsWorkersEquivalent(t *testing.T) {
+	for _, symmetry := range []string{"general", "symmetric", "skew-symmetric"} {
+		data := bigMTX(t, symmetry, 50_000)
+		want, err := ReadOpts(bytes.NewReader(data), Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", symmetry, err)
+		}
+		for _, w := range []int{2, 3, 4, runtime.GOMAXPROCS(0), 0} {
+			got, err := ReadOpts(bytes.NewReader(data), Options{Workers: w})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", symmetry, w, err)
+			}
+			if !cooEqual(got, want) {
+				t.Fatalf("%s workers=%d: entries differ from serial parse", symmetry, w)
+			}
+		}
+	}
+}
+
+func TestReadErrorsAgreeAcrossWorkers(t *testing.T) {
+	// Corrupt one entry deep in the body: every worker count must report the
+	// same entry ordinal in the error.
+	data := bigMTX(t, "general", 30_000)
+	lines := bytes.Split(data, []byte("\n"))
+	lines[20_000] = []byte("1 1 not-a-number")
+	data = bytes.Join(lines, []byte("\n"))
+	want, err := ReadOpts(bytes.NewReader(data), Options{Workers: 1})
+	if want != nil || err == nil {
+		t.Fatalf("corrupted input parsed: %v", err)
+	}
+	for _, w := range []int{2, 4, 0} {
+		_, gotErr := ReadOpts(bytes.NewReader(data), Options{Workers: w})
+		if gotErr == nil || gotErr.Error() != err.Error() {
+			t.Fatalf("workers=%d error %q, serial %q", w, gotErr, err)
+		}
+	}
+	if !strings.Contains(err.Error(), "entry") {
+		t.Fatalf("error lost its entry ordinal: %q", err)
+	}
+}
+
+// TestParseFloat32MatchesStrconv drives the hand-rolled fast path against
+// strconv over the token shapes .mtx files contain, plus the shapes that
+// must fall back (long mantissas, huge exponents, hex, inf).
+func TestParseFloat32MatchesStrconv(t *testing.T) {
+	fixed := []string{
+		"0", "-0", "+0", "1", "-1", "3.25", "-3.25", ".5", "5.", "0.001",
+		"1e0", "1e7", "1e8", "1e10", "1e17", "1e18", "-1e-10", "1e-11",
+		"16777215", "16777216", "9999999", "10000001", "123456789012345678901234",
+		"1.7976931348623157e308", "5e-324", "0x1p4", "inf", "-inf", "nan",
+		"1_0", "6.02e23", "6.02E23", "6.02e+23", "6.02e-23", "1e1000", "1e-1000",
+	}
+	for _, s := range fixed {
+		want, wantErr := strconv.ParseFloat(s, 32)
+		got, gotErr := parseFloat32([]byte(s))
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%q: err %v vs strconv %v", s, gotErr, wantErr)
+		}
+		if wantErr == nil && math.Float32bits(got) != math.Float32bits(float32(want)) {
+			t.Fatalf("%q: bits %08x vs strconv %08x", s, math.Float32bits(got), math.Float32bits(float32(want)))
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100_000; i++ {
+		mant := rng.Int63n(1 << 30)
+		s := fmt.Sprintf("%d.%0*de%d", mant, rng.Intn(6), rng.Int63n(1000), rng.Intn(50)-25)
+		if rng.Intn(2) == 0 {
+			s = "-" + s
+		}
+		want, wantErr := strconv.ParseFloat(s, 32)
+		got, gotErr := parseFloat32([]byte(s))
+		if wantErr != nil || gotErr != nil {
+			t.Fatalf("%q unexpectedly failed: %v %v", s, wantErr, gotErr)
+		}
+		if math.Float32bits(got) != math.Float32bits(float32(want)) {
+			t.Fatalf("%q: bits %08x vs strconv %08x", s, math.Float32bits(got), math.Float32bits(float32(want)))
+		}
+	}
+}
+
+func TestAtoiTokMatchesStrconv(t *testing.T) {
+	for _, s := range []string{
+		"0", "-0", "+7", "123", "-123", "007", "9223372036854775807",
+		"9223372036854775808", "-9223372036854775808", "12x", "", "-", "+", "1.5",
+		"99999999999999999999999999",
+	} {
+		want, wantErr := strconv.Atoi(s)
+		got, gotErr := atoiTok([]byte(s))
+		if (wantErr == nil) != (gotErr == nil) || got != want {
+			t.Fatalf("%q: (%d, %v) vs strconv (%d, %v)", s, got, gotErr, want, wantErr)
+		}
+	}
+}
+
+func TestReadRejectsOversizedDims(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n3000000000 3 1\n1 1 1\n"
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Fatal("dimensions beyond int32 accepted")
+	}
+}
+
+// FuzzRead asserts the malformed-input contract: any byte string either
+// parses or errors — never panics — and the result is identical at one and
+// four workers (same entries, or errors with the same message).
+func FuzzRead(f *testing.F) {
+	f.Add([]byte("%%MatrixMarket matrix coordinate real general\n3 4 3\n1 1 2.5\n3 2 -1\n2 4 7\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5\n3 3 9\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern skew-symmetric\n2 2 1\n2 1\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 1 1e99\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate real general\n999999999 999999999 10\n1 1 1\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("%"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 0x1p2\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		serial, serr := ReadOpts(bytes.NewReader(data), Options{Workers: 1})
+		par, perr := ReadOpts(bytes.NewReader(data), Options{Workers: 4})
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("worker disagreement: serial err %v, parallel err %v", serr, perr)
+		}
+		if serr != nil {
+			if serr.Error() != perr.Error() {
+				t.Fatalf("error text differs: %q vs %q", serr, perr)
+			}
+			return
+		}
+		if !cooEqual(serial, par) {
+			t.Fatal("parallel parse differs from serial")
+		}
+	})
+}

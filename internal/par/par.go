@@ -39,6 +39,22 @@ func New(workers int) *Pool {
 // are always in [0, Workers()).
 func (p *Pool) Workers() int { return p.workers }
 
+// Blocks reports how many contiguous blocks ForEach and ForEachBlock split
+// [0, n) into — min(Workers(), n), at least 1 for n > 0. Callers that stage
+// per-block scratch (histograms, per-chunk buffers) size it with Blocks(n)
+// and index it by the worker id their callback receives: for a fixed n the
+// pool always produces the same blocks, so scratch slot w always maps to
+// the same index range.
+func (p *Pool) Blocks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if p.workers < n {
+		return p.workers
+	}
+	return n
+}
+
 // ForEach runs fn(worker, i) for every i in [0, n), sharding the index
 // space into at most Workers() contiguous blocks. Block boundaries depend
 // only on (Workers(), n), and every index is visited exactly once, so

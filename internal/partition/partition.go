@@ -12,12 +12,12 @@ package partition
 
 import (
 	"cmp"
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"slices"
 
 	"gearbox/internal/mem"
+	"gearbox/internal/par"
 	"gearbox/internal/sparse"
 )
 
@@ -120,6 +120,12 @@ type Config struct {
 	// Balance selects vertex-count or non-zero-count balancing.
 	Balance Balance
 	Seed    int64
+	// Workers sizes the worker pool the build runs on (0 selects GOMAXPROCS,
+	// 1 forces the serial path). The plan is bit-identical at every worker
+	// count: the parallel pieces — permutation apply, CSC rebuild, ownership
+	// fill, and long-fragment sharding — are all pure functions of fixed
+	// index blocks.
+	Workers int
 }
 
 // PaperLongFrac is the paper's default long threshold: the top 0.01% of
@@ -217,7 +223,7 @@ func Build(m *sparse.CSC, geo mem.Geometry, cfg Config) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	relabeled := sparse.ApplyPermutation(m, perm)
+	relabeled := sparse.ApplyPermutationWorkers(m, perm, cfg.Workers)
 
 	p := &Plan{
 		Cfg:      cfg,
@@ -239,16 +245,20 @@ func Build(m *sparse.CSC, geo mem.Geometry, cfg Config) (*Plan, error) {
 		p.Ranges[k] = Range{First: int32(next), Last: int32(next + size - 1)}
 		next += size
 	}
-	for v := int32(0); v <= lastLong; v++ {
-		p.OwnerOf[v] = -1
-	}
-	for k, r := range p.Ranges {
+	pool := par.New(cfg.Workers)
+	pool.ForEachBlock(int(lastLong+1), func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			p.OwnerOf[v] = -1
+		}
+	})
+	pool.ForEach(numSPUs, func(_, k int) {
+		r := p.Ranges[k]
 		for v := r.First; v <= r.Last; v++ {
 			p.OwnerOf[v] = int32(k)
 		}
-	}
+	})
 
-	p.buildLongFragments()
+	p.buildLongFragments(pool)
 	return p, nil
 }
 
@@ -259,7 +269,7 @@ func Build(m *sparse.CSC, geo mem.Geometry, cfg Config) (*Plan, error) {
 func buildPermutation(m *sparse.CSC, geo mem.Geometry, cfg Config, longFrac float64) (*sparse.Permutation, int32, []int, error) {
 	n := m.NumRows
 	colLens := sparse.ColumnLengths(m)
-	rowLens := sparse.RowLengths(m)
+	rowLens := sparse.RowLengthsWorkers(m, cfg.Workers)
 	isLong := make([]bool, n)
 	for _, v := range sparse.TopFraction(colLens, longFrac) {
 		isLong[v] = true
@@ -341,45 +351,65 @@ func packByLength(shortSet []int32, colLens []int, numSPUs int) [][]int32 {
 		}
 		return cmp.Compare(a, b)
 	})
-	// A heap keyed by (load, count) keeps assignment O(n log S).
-	h := make(slotHeap, numSPUs)
+	// A heap keyed by (load, count) keeps assignment O(n log S). The heap
+	// is value-based and inlined — the loop only ever updates the root, so
+	// init plus a sift-down per assignment is the whole interface, and the
+	// container/heap `any` boxing (one allocation per slot plus interface
+	// dispatch per comparison) buys nothing here.
+	h := make([]slot, numSPUs)
 	for k := 0; k < numSPUs; k++ {
-		h[k] = &slot{spu: k}
+		h[k] = slot{spu: k}
 	}
-	heap.Init(&h)
+	for i := numSPUs/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
 	perSPU := make([][]int32, numSPUs)
 	for _, v := range order {
-		s := h[0]
+		s := &h[0]
 		perSPU[s.spu] = append(perSPU[s.spu], v)
 		s.load += int64(colLens[v])
 		s.count++
-		heap.Fix(&h, 0)
+		siftDown(h, 0)
 	}
 	return perSPU
 }
 
-// slot and slotHeap implement the LPT least-loaded queue.
+// slot is one LPT least-loaded queue entry, ordered by (load, count, spu).
 type slot struct {
 	load  int64
 	count int
 	spu   int
 }
 
-type slotHeap []*slot
-
-func (h slotHeap) Len() int { return len(h) }
-func (h slotHeap) Less(i, j int) bool {
-	if h[i].load != h[j].load {
-		return h[i].load < h[j].load
+func slotLess(a, b slot) bool {
+	if a.load != b.load {
+		return a.load < b.load
 	}
-	if h[i].count != h[j].count {
-		return h[i].count < h[j].count
+	if a.count != b.count {
+		return a.count < b.count
 	}
-	return h[i].spu < h[j].spu
+	return a.spu < b.spu
 }
-func (h slotHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
-func (h *slotHeap) Push(x any)     { *h = append(*h, x.(*slot)) }
-func (h *slotHeap) Pop() (out any) { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
+
+// siftDown restores the min-heap property below index i. Ties prefer the
+// left child, matching container/heap's down() so the replacement preserves
+// the exact assignment order of the previous slotHeap implementation.
+func siftDown(h []slot, i int) {
+	for {
+		c := 2*i + 1
+		if c >= len(h) {
+			return
+		}
+		if r := c + 1; r < len(h) && slotLess(h[r], h[c]) {
+			c = r
+		}
+		if !slotLess(h[c], h[i]) {
+			return
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+}
 
 // spuForColumn maps the i-th short column (in original order) to a compute
 // SPU per the placement policy.
@@ -443,27 +473,61 @@ func rebalance(perSPU [][]int32, total int) {
 // row is short go to the row's owner (so the accumulation is local, Fig. 2b);
 // entries whose row is itself long are round-robined across SPUs and handled
 // by the LongEntryTreat path.
-func (p *Plan) buildLongFragments() {
+//
+// The build is sharded by destination SPU: every worker scans the whole long
+// region but appends only the entries its SPU block owns, so each map is
+// written by exactly one worker and every per-column slice keeps the serial
+// (column-ascending, position-ascending) order. The round-robin target of a
+// spill entry is its global spill ordinal mod NumSPUs; the ordinal is the
+// column's spill-count prefix plus the entry's within-column spill rank —
+// both worker-independent — so the sharded build reproduces the serial `rr`
+// counter bit for bit.
+func (p *Plan) buildLongFragments(pool *par.Pool) {
 	p.LongFrags = make([]map[int32][]sparse.Entry, p.NumSPUs)
 	p.LongRowSpill = make([]map[int32][]sparse.Entry, p.NumSPUs)
-	for k := range p.LongFrags {
-		p.LongFrags[k] = map[int32][]sparse.Entry{}
-		p.LongRowSpill[k] = map[int32][]sparse.Entry{}
-	}
-	rr := 0
-	for c := int32(0); c <= p.LastLong; c++ {
-		rows, vals := p.Matrix.Col(c)
-		for i, r := range rows {
-			e := sparse.Entry{Row: r, Col: c, Val: vals[i]}
-			if owner := p.OwnerOf[r]; owner >= 0 {
-				p.LongFrags[owner][c] = append(p.LongFrags[owner][c], e)
-			} else {
-				k := rr % p.NumSPUs
-				rr++
-				p.LongRowSpill[k][c] = append(p.LongRowSpill[k][c], e)
+	nLong := int(p.LastLong + 1)
+	// Per-column spill counts, then prefix: spillBase[c] is the global
+	// round-robin ordinal of column c's first long-row entry.
+	spillBase := make([]int, nLong+1)
+	pool.ForEach(nLong, func(_, ci int) {
+		rows, _ := p.Matrix.Col(int32(ci))
+		n := 0
+		for _, r := range rows {
+			if p.OwnerOf[r] < 0 {
+				n++
 			}
 		}
+		spillBase[ci+1] = n
+	})
+	for c := 0; c < nLong; c++ {
+		spillBase[c+1] += spillBase[c]
 	}
+	pool.ForEachBlock(p.NumSPUs, func(_, klo, khi int) {
+		for k := klo; k < khi; k++ {
+			p.LongFrags[k] = map[int32][]sparse.Entry{}
+			p.LongRowSpill[k] = map[int32][]sparse.Entry{}
+		}
+		for c := int32(0); c < int32(nLong); c++ {
+			rows, vals := p.Matrix.Col(c)
+			rr := spillBase[c]
+			for i, r := range rows {
+				owner := int(p.OwnerOf[r])
+				if owner < 0 {
+					owner = rr % p.NumSPUs
+					rr++
+					if owner >= klo && owner < khi {
+						p.LongRowSpill[owner][c] = append(p.LongRowSpill[owner][c],
+							sparse.Entry{Row: r, Col: c, Val: vals[i]})
+					}
+					continue
+				}
+				if owner >= klo && owner < khi {
+					p.LongFrags[owner][c] = append(p.LongFrags[owner][c],
+						sparse.Entry{Row: r, Col: c, Val: vals[i]})
+				}
+			}
+		}
+	})
 }
 
 // Validate checks the structural invariants the machine relies on; property

@@ -1,0 +1,115 @@
+package partition
+
+import (
+	"runtime"
+	"slices"
+	"testing"
+
+	"gearbox/internal/sparse"
+)
+
+// planEqual deep-compares everything a Plan derives from the matrix: the
+// relabeled arrays, permutation, ranges, ownership, and both fragment maps
+// (per-column slices compared element-wise, in map-key order).
+func planEqual(t *testing.T, a, b *Plan) {
+	t.Helper()
+	if !slices.Equal(a.Matrix.Offsets, b.Matrix.Offsets) ||
+		!slices.Equal(a.Matrix.Indexes, b.Matrix.Indexes) ||
+		!slices.Equal(a.Matrix.Values, b.Matrix.Values) {
+		t.Fatal("relabeled matrices differ")
+	}
+	if !slices.Equal(a.Perm.New, b.Perm.New) || !slices.Equal(a.Perm.Old, b.Perm.Old) {
+		t.Fatal("permutations differ")
+	}
+	if a.LastLong != b.LastLong || !slices.Equal(a.Ranges, b.Ranges) || !slices.Equal(a.OwnerOf, b.OwnerOf) {
+		t.Fatal("ranges or ownership differ")
+	}
+	fragsEqual := func(x, y []map[int32][]sparse.Entry) {
+		t.Helper()
+		if len(x) != len(y) {
+			t.Fatal("fragment map counts differ")
+		}
+		for k := range x {
+			if len(x[k]) != len(y[k]) {
+				t.Fatalf("SPU %d: fragment column sets differ", k)
+			}
+			cols := make([]int32, 0, len(x[k]))
+			//gearbox:nondet-ok keys are sorted before comparison
+			for c := range x[k] {
+				cols = append(cols, c)
+			}
+			slices.Sort(cols)
+			for _, c := range cols {
+				if !slices.Equal(x[k][c], y[k][c]) {
+					t.Fatalf("SPU %d column %d: fragments differ", k, c)
+				}
+			}
+		}
+	}
+	fragsEqual(a.LongFrags, b.LongFrags)
+	fragsEqual(a.LongRowSpill, b.LongRowSpill)
+}
+
+func TestBuildWorkersEquivalent(t *testing.T) {
+	m := powerLawMatrix(t, 10, 31)
+	for _, cfg := range []Config{
+		DefaultConfig(),
+		{Scheme: Hybrid, Placement: Distributed, LongFrac: 0.02, Balance: NNZBalanced, Seed: 5},
+		{Scheme: ColumnOriented, Placement: Shuffled, Seed: 7},
+	} {
+		serial := cfg
+		serial.Workers = 1
+		want, err := Build(m, smallGeo(), serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 4, runtime.GOMAXPROCS(0), 0} {
+			par := cfg
+			par.Workers = w
+			got, err := Build(m, smallGeo(), par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			planEqual(t, got, want)
+		}
+	}
+}
+
+// TestBuildMatchesPreRefactorRoundRobin pins the spill round-robin contract:
+// the destination of the i-th long-row entry (scanning long columns in
+// order, rows ascending within a column) is i mod NumSPUs — the behavior of
+// the old serial global counter that the sharded rebuild must reproduce.
+func TestBuildMatchesPreRefactorRoundRobin(t *testing.T) {
+	m := powerLawMatrix(t, 9, 37)
+	cfg := DefaultConfig()
+	cfg.LongFrac = 0.05 // enough long vertices that long rows hit long columns
+	p, err := Build(m, smallGeo(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := 0
+	for c := int32(0); c <= p.LastLong; c++ {
+		rows, vals := p.Matrix.Col(c)
+		for i, r := range rows {
+			if p.OwnerOf[r] >= 0 {
+				continue
+			}
+			k := rr % p.NumSPUs
+			rr++
+			es := p.LongRowSpill[k][c]
+			found := false
+			for _, e := range es {
+				if e.Row == r && e.Val == vals[i] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("spill entry (%d,%d) not at round-robin SPU %d", r, c, k)
+			}
+		}
+	}
+	if rr == 0 {
+		t.Skip("matrix produced no long-row spill entries")
+	}
+}

@@ -9,7 +9,6 @@
 package sparse
 
 import (
-	"cmp"
 	"fmt"
 	"slices"
 )
@@ -50,30 +49,30 @@ func (m *COO) NNZ() int { return len(m.Entries) }
 
 // Coalesce sorts entries in (col,row) order and merges duplicates by adding
 // their values, dropping exact zeros produced by cancellation. It returns the
-// receiver for chaining.
-func (m *COO) Coalesce() *COO {
-	slices.SortFunc(m.Entries, func(a, b Entry) int {
-		if c := cmp.Compare(a.Col, b.Col); c != 0 {
-			return c
-		}
-		return cmp.Compare(a.Row, b.Row)
-	})
-	out := m.Entries[:0]
-	for _, e := range m.Entries {
-		if n := len(out); n > 0 && out[n-1].Row == e.Row && out[n-1].Col == e.Col {
-			out[n-1].Val += e.Val
-			continue
-		}
-		out = append(out, e)
+// receiver for chaining. Large inputs run the parallel counting-sort path at
+// full width; the result is bit-identical at every worker count, so callers
+// need no opt-in.
+func (m *COO) Coalesce() *COO { return m.CoalesceWorkers(0) }
+
+// CoalesceWorkers is Coalesce over an explicit worker count (0 selects
+// GOMAXPROCS, 1 forces the serial path). Duplicate values are summed in
+// source order either way — the counting sort is stable, the fallback
+// comparison sort is a stable sort — so the merged floats, and therefore
+// the whole result, are identical for every workers value.
+func (m *COO) CoalesceWorkers(workers int) *COO {
+	n := len(m.Entries)
+	if n == 0 {
+		return m
 	}
-	// Drop entries that cancelled to zero so NNZ matches the logical matrix.
-	kept := out[:0]
-	for _, e := range out {
-		if e.Val != 0 {
-			kept = append(kept, e)
-		}
+	if !useCountingSort(n, m.NumRows, m.NumCols) {
+		slices.SortStableFunc(m.Entries, entryColRow)
+		m.Entries = mergeSortedEntries(m.Entries)
+		return m
 	}
-	m.Entries = kept
+	pool := sortPool(workers, n, m.NumRows, m.NumCols)
+	scratch := make([]Entry, n)
+	colStart := sortByColRow(m.Entries, scratch, m.NumRows, m.NumCols, pool)
+	m.Entries = dedupSortedParallel(m.Entries, scratch, colStart, pool)
 	return m
 }
 

@@ -1,6 +1,9 @@
 package sparse
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // CSC is a compressed-sparse-columns matrix: Offsets[c]..Offsets[c+1] index
 // the row Indexes and Values of column c (Fig. 4 of the paper).
@@ -11,25 +14,91 @@ type CSC struct {
 	Values           []float32 // len NNZ
 }
 
-// CSCFromCOO builds a CSC matrix. The input is coalesced first, so duplicate
-// coordinates are merged.
-func CSCFromCOO(m *COO) *CSC {
-	m = m.Clone().Coalesce() // coalesce sorts by (col,row), exactly CSC order
+// CSCFromCOO builds a CSC matrix. The input is coalesced first (duplicate
+// coordinates merged in source order, exact zeros dropped) without being
+// mutated. Large inputs run the parallel counting-sort build; the output is
+// bit-identical at every worker count.
+func CSCFromCOO(m *COO) *CSC { return CSCFromCOOWorkers(m, 0) }
+
+// CSCFromCOOWorkers is CSCFromCOO over an explicit worker count (0 selects
+// GOMAXPROCS, 1 forces the serial path).
+func CSCFromCOOWorkers(m *COO, workers int) *CSC {
+	nnz := len(m.Entries)
 	c := &CSC{
 		NumRows: m.NumRows,
 		NumCols: m.NumCols,
 		Offsets: make([]int64, m.NumCols+1),
-		Indexes: make([]int32, len(m.Entries)),
-		Values:  make([]float32, len(m.Entries)),
 	}
-	for i, e := range m.Entries {
-		c.Offsets[e.Col+1]++
-		c.Indexes[i] = e.Row
-		c.Values[i] = e.Val
+	if nnz == 0 {
+		c.Indexes = []int32{}
+		c.Values = []float32{}
+		return c
 	}
-	for col := int32(0); col < m.NumCols; col++ {
+	if !useCountingSort(nnz, m.NumRows, m.NumCols) {
+		ent := slices.Clone(m.Entries)
+		slices.SortStableFunc(ent, entryColRow)
+		ent = mergeSortedEntries(ent)
+		c.Indexes = make([]int32, len(ent))
+		c.Values = make([]float32, len(ent))
+		for i, e := range ent {
+			c.Offsets[e.Col+1]++
+			c.Indexes[i] = e.Row
+			c.Values[i] = e.Val
+		}
+		for col := int32(0); col < m.NumCols; col++ {
+			c.Offsets[col+1] += c.Offsets[col]
+		}
+		return c
+	}
+
+	pool := sortPool(workers, nnz, m.NumRows, m.NumCols)
+	// The input stays untouched: sort a copy, then merge straight into the
+	// compressed arrays.
+	buf := make([]Entry, nnz)
+	pool.ForEachBlock(nnz, func(_, lo, hi int) { copy(buf[lo:hi], m.Entries[lo:hi]) })
+	scratch := make([]Entry, nnz)
+	colStart := sortByColRow(buf, scratch, m.NumRows, m.NumCols, pool)
+
+	// Merge duplicates in place per column block (duplicates never span a
+	// column boundary) while counting each column's kept entries.
+	nCols := int(m.NumCols)
+	nb := pool.Blocks(nCols)
+	kept := make([]int32, nb)
+	pool.ForEachBlock(nCols, func(w, clo, chi int) {
+		lo, hi := int(colStart[clo]), int(colStart[chi])
+		out := lo
+		for i := lo; i < hi; {
+			e := buf[i]
+			j := i + 1
+			for j < hi && buf[j].Row == e.Row && buf[j].Col == e.Col {
+				e.Val += buf[j].Val
+				j++
+			}
+			if e.Val != 0 {
+				buf[out] = e
+				c.Offsets[e.Col+1]++
+				out++
+			}
+			i = j
+		}
+		kept[w] = int32(out - lo)
+	})
+	for col := 0; col < nCols; col++ {
 		c.Offsets[col+1] += c.Offsets[col]
 	}
+	total := int(c.Offsets[nCols])
+	c.Indexes = make([]int32, total)
+	c.Values = make([]float32, total)
+	// Block w's kept entries sit compacted at its span start; their final
+	// position starts at Offsets[clo] (the kept total of all earlier columns).
+	pool.ForEachBlock(nCols, func(w, clo, chi int) {
+		src := buf[colStart[clo] : int(colStart[clo])+int(kept[w])]
+		d := int(c.Offsets[clo])
+		for i, e := range src {
+			c.Indexes[d+i] = e.Row
+			c.Values[d+i] = e.Val
+		}
+	})
 	return c
 }
 

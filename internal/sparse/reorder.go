@@ -3,6 +3,9 @@ package sparse
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+
+	"gearbox/internal/par"
 )
 
 // Permutation is a vertex relabeling: New[old] is the new index of vertex
@@ -111,20 +114,39 @@ func ReorderLongFirst(c *CSC, longFrac float64, seed int64) (*ReorderResult, err
 }
 
 // ApplyPermutation relabels both rows and columns of c by perm and rebuilds
-// the CSC structure.
+// the CSC structure. The relabel and rebuild run on the worker pool at full
+// width; output is bit-identical at every worker count.
 func ApplyPermutation(c *CSC, perm *Permutation) *CSC {
+	return ApplyPermutationWorkers(c, perm, 0)
+}
+
+// ApplyPermutationWorkers is ApplyPermutation over an explicit worker count
+// (0 selects GOMAXPROCS, 1 forces the serial path). Entry i of the
+// intermediate coordinate list is the relabeling of source entry i — a pure
+// per-index function — and the rebuild is the deterministic counting-sort
+// CSC build, so worker count cannot leak into the result.
+func ApplyPermutationWorkers(c *CSC, perm *Permutation, workers int) *CSC {
+	nnz := c.NNZ()
 	coo := NewCOO(c.NumRows, c.NumCols)
-	coo.Entries = make([]Entry, 0, c.NNZ())
-	for col := int32(0); col < c.NumCols; col++ {
-		for i := c.Offsets[col]; i < c.Offsets[col+1]; i++ {
-			coo.Entries = append(coo.Entries, Entry{
+	coo.Entries = make([]Entry, nnz)
+	pool := par.New(workers)
+	pool.ForEachBlock(nnz, func(_, lo, hi int) {
+		// Locate the column containing entry lo, then walk forward.
+		col := int32(sort.Search(int(c.NumCols), func(k int) bool {
+			return c.Offsets[k+1] > int64(lo)
+		}))
+		for i := lo; i < hi; i++ {
+			for int64(i) >= c.Offsets[col+1] {
+				col++
+			}
+			coo.Entries[i] = Entry{
 				Row: perm.New[c.Indexes[i]],
 				Col: perm.New[col],
 				Val: c.Values[i],
-			})
+			}
 		}
-	}
-	return CSCFromCOO(coo)
+	})
+	return CSCFromCOOWorkers(coo, workers)
 }
 
 // PermuteVector relabels a dense vector: out[perm.New[i]] = in[i].

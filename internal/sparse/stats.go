@@ -105,6 +105,38 @@ func RowLengths(c *CSC) []int {
 	return lens
 }
 
+// RowLengthsWorkers is RowLengths sharded over the worker pool: per-worker
+// histograms over contiguous index blocks, then a row-sharded integer merge.
+// Counts are order-insensitive integer sums, so the result is identical at
+// every worker count (0 selects GOMAXPROCS, 1 the serial path).
+func RowLengthsWorkers(c *CSC, workers int) []int {
+	nnz := len(c.Indexes)
+	pool := sortPool(workers, nnz, c.NumRows, 0)
+	nb := pool.Blocks(nnz)
+	if nb <= 1 {
+		return RowLengths(c)
+	}
+	rows := int(c.NumRows)
+	hist := make([]int32, nb*rows)
+	pool.ForEachBlock(nnz, func(w, lo, hi int) {
+		h := hist[w*rows : (w+1)*rows]
+		for _, r := range c.Indexes[lo:hi] {
+			h[r]++
+		}
+	})
+	lens := make([]int, rows)
+	pool.ForEachBlock(rows, func(_, rlo, rhi int) {
+		for r := rlo; r < rhi; r++ {
+			var s int
+			for b := 0; b < nb; b++ {
+				s += int(hist[b*rows+r])
+			}
+			lens[r] = s
+		}
+	})
+	return lens
+}
+
 // PowerLawExponent estimates the exponent alpha of a discrete power-law fit
 // P(len) ~ len^-alpha over the column-length distribution, using the standard
 // maximum-likelihood estimator with len_min=1. It is used by tests to check
