@@ -27,7 +27,7 @@ var cpuProfiling bool
 
 func main() {
 	size := flag.String("size", "small", "dataset size tier: tiny, small, medium")
-	exp := flag.String("exp", "all", "comma-separated experiments (table3,fig5,fig12,fig13,fig14a,fig14b,fig15,table5,fig16a,fig16b,fig17a,fig17b,table6,fig18, plus extensions scaling,utilization,ablation-overlap,ablation-buffer,ablation-linkwidth,ablation-refresh,ablation-errors) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiments (table3,fig5,fig12,fig13,fig14a,fig14b,fig15,table5,fig16a,fig16b,fig17a,fig17b,table6,fig18, plus extensions scaling,utilization,heatmap,poolstats,ablation-overlap,ablation-buffer,ablation-linkwidth,ablation-refresh,ablation-errors) or 'all'")
 	workers := flag.Int("workers", 0, "parallelism: prewarm fan-out and per-machine worker pool (0: NumCPU)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -129,6 +129,14 @@ func main() {
 		},
 		"geometry": func() (bench.Table, error) {
 			t, _, err := suite.SweepGeometry()
+			return t, err
+		},
+		"heatmap": func() (bench.Table, error) {
+			t, _, err := suite.Heatmap()
+			return t, err
+		},
+		"poolstats": func() (bench.Table, error) {
+			t, _, err := suite.PoolStats()
 			return t, err
 		},
 	}

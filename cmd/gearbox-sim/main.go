@@ -39,6 +39,7 @@ func main() {
 	prIters := flag.Int("pr-iters", 10, "PageRank iterations")
 	workers := flag.Int("workers", 0, "worker goroutines for preprocessing (mtx load, coalesce, partition) and the per-SPU step loops (0: GOMAXPROCS, 1: serial; results are identical)")
 	tracePath := flag.String("trace", "", "write a chrome://tracing JSON timeline to this file")
+	metricsPath := flag.String("metrics", "", "write a spatial telemetry snapshot (per-SPU/per-link counters) as JSON to this file; .csv extension selects CSV")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -94,6 +95,18 @@ func main() {
 		rec = gearbox.NewTraceRecorder()
 		sys.Trace(rec)
 	}
+	var spatial *gearbox.SpatialStats
+	var sinks []gearbox.TelemetrySink
+	if *metricsPath != "" {
+		spatial = sys.NewSpatialStats()
+		sinks = append(sinks, spatial)
+	}
+	if rec != nil {
+		// With tracing on, telemetry also feeds the Perfetto counter tracks
+		// (frontier size, dispatcher-buffer occupancy over simulated time).
+		sinks = append(sinks, gearbox.NewTraceCounterSink(rec))
+	}
+	sys.Telemetry(gearbox.TeeTelemetry(sinks...))
 
 	var stats gearbox.RunStats
 	var work gearbox.Work
@@ -180,6 +193,26 @@ func main() {
 		}
 		fmt.Printf("trace        %d phase events -> %s\n", rec.Len(), *tracePath)
 	}
+	if spatial != nil {
+		if err := writeMetrics(spatial, *metricsPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics      %d iterations of spatial counters -> %s\n", spatial.Iterations, *metricsPath)
+	}
+}
+
+// writeMetrics snapshots the spatial telemetry; the file extension picks the
+// format (JSON by default, tidy CSV for .csv).
+func writeMetrics(s *gearbox.SpatialStats, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.EqualFold(filepath.Ext(path), ".csv") {
+		return s.WriteCSV(f)
+	}
+	return s.WriteJSON(f)
 }
 
 // loadMTX runs the full preprocessing pipeline on a Matrix Market file:

@@ -13,6 +13,7 @@ import (
 	"gearbox/internal/partition"
 	"gearbox/internal/semiring"
 	"gearbox/internal/sparse"
+	"gearbox/internal/telemetry"
 	"gearbox/internal/trace"
 )
 
@@ -50,6 +51,12 @@ type (
 	// TraceRecorder captures the simulated phase timeline and exports
 	// chrome://tracing JSON.
 	TraceRecorder = trace.Recorder
+	// TelemetrySink receives spatial per-SPU/per-link counters from the
+	// machine (internal/telemetry documents the callback contract).
+	TelemetrySink = telemetry.Sink
+	// SpatialStats is the standard telemetry sink: pre-sized heatmap arrays
+	// with JSON/CSV export, allocation-free while attached.
+	SpatialStats = telemetry.SpatialStats
 	// EnergyBreakdown is the Fig. 14b decomposition in joules.
 	EnergyBreakdown = energy.Breakdown
 	// Placement selects where consecutive columns land (Fig. 16b).
@@ -179,6 +186,10 @@ type System struct {
 	matrix *Matrix // original labeling
 	plan   *partition.Plan
 	run    apps.RunConfig
+
+	// Observability subscribers, applied to every machine app runs build.
+	traceRec *TraceRecorder
+	telSink  TelemetrySink
 }
 
 // NewSystem partitions the matrix for the requested variant. The matrix must
@@ -281,9 +292,46 @@ func (s *System) SpGEMM(b *Matrix) (*SpGEMMResult, error) {
 func NewTraceRecorder() *TraceRecorder { return trace.New() }
 
 // Trace attaches a recorder to every machine subsequent app runs build.
+// Trace and Telemetry compose: both subscribers see the same machines.
 func (s *System) Trace(r *TraceRecorder) {
-	s.run.OnMachine = func(m *core.Machine) { m.SetTrace(r.Hook()) }
+	s.traceRec = r
+	s.bindOnMachine()
 }
+
+// Telemetry attaches a spatial telemetry sink to every machine subsequent
+// app runs build (nil detaches). Use NewSpatialStats for the standard
+// accumulating sink, NewTraceCounterSink to feed Perfetto counter tracks,
+// and TeeTelemetry to combine several sinks.
+func (s *System) Telemetry(sink TelemetrySink) {
+	s.telSink = sink
+	s.bindOnMachine()
+}
+
+func (s *System) bindOnMachine() {
+	tr, tel := s.traceRec, s.telSink
+	s.run.OnMachine = func(m *core.Machine) {
+		if tr != nil {
+			m.SetTrace(tr.Hook())
+		}
+		m.SetTelemetry(tel)
+	}
+}
+
+// NewSpatialStats allocates a telemetry sink sized for this system's
+// machines: per-SPU, per-ring-segment, per-TSV and per-bank counter arrays.
+func (s *System) NewSpatialStats() *SpatialStats {
+	return telemetry.NewSpatialStats(telemetry.ShapeOf(s.run.Machine.Geo, s.plan.NumSPUs))
+}
+
+// NewTraceCounterSink bridges telemetry onto the recorder's Perfetto counter
+// tracks (frontier size, dispatcher-buffer occupancy over simulated time).
+// The returned sink allocates per sample; do not use it in allocation-
+// audited steady-state runs.
+func NewTraceCounterSink(r *TraceRecorder) TelemetrySink { return telemetry.NewTraceSink(r) }
+
+// TeeTelemetry fans one machine's telemetry out to several sinks; nil
+// entries are dropped, and the result is nil when no sink remains.
+func TeeTelemetry(sinks ...TelemetrySink) TelemetrySink { return telemetry.Tee(sinks...) }
 
 // Energy prices a run's events with the default energy model.
 func Energy(stats RunStats) EnergyBreakdown {

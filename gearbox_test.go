@@ -236,7 +236,22 @@ func TestTraceViaAPI(t *testing.T) {
 	if rec.Len() == 0 {
 		t.Fatal("trace recorded nothing")
 	}
-	if rec.Len()%6 != 0 {
-		t.Fatalf("trace events = %d, want a multiple of 6 steps", rec.Len())
+	// The stream mixes phase slices ("X") with the track-naming metadata
+	// ("M"); only the former come one per step.
+	var phases, meta int
+	for _, e := range rec.Events() {
+		switch e.Phase {
+		case "X":
+			phases++
+		case "M":
+			meta++
+		}
+	}
+	if phases == 0 || phases%6 != 0 {
+		t.Fatalf("phase events = %d, want a positive multiple of 6 steps", phases)
+	}
+	// process_name plus one thread_name per step lane.
+	if meta != 7 {
+		t.Fatalf("metadata events = %d, want 7", meta)
 	}
 }

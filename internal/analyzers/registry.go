@@ -40,6 +40,7 @@ var simulationPkgs = map[string]bool{
 	"gearbox/internal/interconnect": true,
 	"gearbox/internal/mem":          true,
 	"gearbox/internal/par":          true,
+	"gearbox/internal/telemetry":    true,
 }
 
 // preprocessingPkgs are the parallel preprocessing pipeline packages (mtx

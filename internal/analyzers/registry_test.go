@@ -24,6 +24,14 @@ func TestAppliesPolicy(t *testing.T) {
 	if !analyzers.Applies(wallclock, "gearbox/internal/sim") {
 		t.Errorf("wallclock must bind the simulation packages")
 	}
+	// The telemetry layer sits on the machine's hot path: its sinks run from
+	// steady-state code and must deliver bit-identical counters at any worker
+	// count, so every simulation-grade contract binds it.
+	for _, name := range []string{"wallclock", "maprange", "hotalloc"} {
+		if !analyzers.Applies(byName(name), "gearbox/internal/telemetry") {
+			t.Errorf("%s must bind gearbox/internal/telemetry", name)
+		}
+	}
 	for _, path := range []string{
 		"gearbox/internal/mtx", "gearbox/internal/sparse",
 		"gearbox/internal/gen", "gearbox/internal/partition",

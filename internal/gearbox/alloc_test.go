@@ -11,6 +11,7 @@ import (
 
 	"gearbox/internal/partition"
 	"gearbox/internal/semiring"
+	"gearbox/internal/telemetry"
 )
 
 // TestIterateSteadyStateAllocs is the tentpole's regression test: once an
@@ -47,6 +48,43 @@ func TestIterateSteadyStateAllocs(t *testing.T) {
 			}
 			if avg := testing.AllocsPerRun(10, cycle); avg > 0.5 {
 				t.Fatalf("steady-state iteration allocates: %.1f allocs/op, want ~0", avg)
+			}
+		})
+	}
+}
+
+// TestIterateSteadyStateAllocsTelemetry is the telemetry tentpole's overhead
+// contract: attaching a SpatialStats sink keeps the steady-state cycle
+// allocation-free. The sink's accumulate methods write into pre-sized arrays
+// and the machine passes only concrete slices through the interface, so
+// nothing boxes or grows.
+func TestIterateSteadyStateAllocsTelemetry(t *testing.T) {
+	m := testMatrix(t, 33)
+	for _, vc := range versionConfigs() {
+		t.Run(vc.name, func(t *testing.T) {
+			mach := machineWithWorkers(t, m, vc.cfg, semiring.PlusTimes{}, 1, nil)
+			sp := telemetry.NewSpatialStats(mach.TelemetryShape())
+			mach.SetTelemetry(sp)
+			entries := randomFrontier(m.NumRows, 60, 7)
+			var buf []FrontierEntry
+			cycle := func() {
+				f, err := mach.DistributeFrontier(entries)
+				if err != nil {
+					t.Fatal(err)
+				}
+				next, _, err := mach.Iterate(f, IterateOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				mach.Recycle(f)
+				buf = next.AppendEntries(buf[:0])
+				mach.Recycle(next)
+			}
+			for i := 0; i < 3; i++ {
+				cycle()
+			}
+			if avg := testing.AllocsPerRun(10, cycle); avg > 0.5 {
+				t.Fatalf("steady-state iteration with telemetry allocates: %.1f allocs/op, want ~0", avg)
 			}
 		})
 	}

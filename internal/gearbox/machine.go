@@ -21,6 +21,7 @@ import (
 	"gearbox/internal/partition"
 	"gearbox/internal/semiring"
 	"gearbox/internal/sim"
+	"gearbox/internal/telemetry"
 )
 
 // FrontierEntry is one non-zero of the sparse input vector, in the plan's
@@ -175,6 +176,14 @@ type Machine struct {
 	fnMergeHypoShort           func(w, lo, hi int)
 
 	instrCosts costs
+
+	// Spatial telemetry: nil means disabled (the hot path pays one nil check
+	// per step). The tel* arrays are SPU-indexed step-3 accumulation counts,
+	// rewritten each iteration by step3SPUBody only while a sink is attached;
+	// iterCount numbers BeginIteration callbacks across the machine's life.
+	tel                         telemetry.Sink
+	telLocal, telRemote, telLng []int64
+	iterCount                   int
 }
 
 type routedPair struct {
@@ -395,6 +404,9 @@ func (m *Machine) Iterate(f *Frontier, opts IterateOptions) (*Frontier, IterStat
 	m.iterSt = IterStats{}
 	st := &m.iterSt
 	m.curF, m.curApply, m.curNext = f, opts.Apply, nil
+	if m.tel != nil {
+		m.tel.BeginIteration(m.iterCount, m.eng.Now(), int64(f.NNZ()))
+	}
 	for i := 0; i < 6; i++ {
 		switch i {
 		case 0:
@@ -412,10 +424,17 @@ func (m *Machine) Iterate(f *Frontier, opts IterateOptions) (*Frontier, IterStat
 		}
 		m.eng.After(st.Steps[i].TimeNs, stepNames[i], nil)
 		m.eng.Run()
+		if m.tel != nil {
+			m.stepTelemetry(i + 1)
+		}
 	}
+	m.iterCount++
 
 	next := m.curNext
 	out := m.iterSt
+	if m.tel != nil {
+		m.tel.EndIteration(m.eng.Now(), out.FrontierOut)
+	}
 	m.curF, m.curApply, m.curNext = nil, nil, nil
 	return next, out, nil
 }
@@ -423,6 +442,62 @@ func (m *Machine) Iterate(f *Frontier, opts IterateOptions) (*Frontier, IterStat
 // SetTrace subscribes to the engine's phase timeline: fn receives each step
 // name and its completion time on the simulated clock.
 func (m *Machine) SetTrace(fn func(name string, atNs float64)) { m.eng.Trace = fn }
+
+// SetTelemetry attaches a spatial telemetry sink (nil detaches). The sink
+// receives per-SPU, per-link and per-bank counters after every step; see
+// internal/telemetry for the callback contract. All callbacks run on the
+// goroutine driving Iterate with values that are bit-identical at any
+// Config.Workers setting. A steady-state-safe sink (telemetry.SpatialStats)
+// keeps Iterate allocation-free.
+func (m *Machine) SetTelemetry(s telemetry.Sink) {
+	m.tel = s
+	if s != nil && m.telLocal == nil {
+		m.telLocal = make([]int64, m.plan.NumSPUs)
+		m.telRemote = make([]int64, m.plan.NumSPUs)
+		m.telLng = make([]int64, m.plan.NumSPUs)
+	}
+}
+
+// TelemetryShape reports the spatial dimensions a sink for this machine must
+// be sized for; pass it to telemetry.NewSpatialStats.
+func (m *Machine) TelemetryShape() telemetry.Shape {
+	return telemetry.ShapeOf(m.cfg.Geo, m.plan.NumSPUs)
+}
+
+// Pool exposes the machine's worker pool, e.g. to enable host-side
+// instrumentation (par.Pool.SetInstrumented) on the exact pool the step
+// loops run on.
+func (m *Machine) Pool() *par.Pool { return m.pool }
+
+// stepTelemetry feeds the sink after step (1-based) has played on the
+// engine clock. It runs between steps, so the per-step state it reads —
+// m.busy, the interconnect's per-link counters (reset at the start of each
+// network-touching step), the dispatcher accounting arrays — still holds
+// exactly what the step left behind.
+//
+//gearbox:steadystate
+func (m *Machine) stepTelemetry(step int) {
+	now := m.eng.Now()
+	switch step {
+	case 1:
+		m.tel.LinkWords(1, now, m.net.RingSegmentWords(), m.net.TSVVaultWords())
+	case 2:
+		m.tel.StepSPUBusy(2, now, m.busy)
+	case 3:
+		m.tel.StepSPUBusy(3, now, m.busy)
+		m.tel.SPUAccums(now, m.telLocal, m.telRemote, m.telLng)
+		m.tel.DispatchOccupancy(3, now, m.scr.recvPerBank)
+		m.tel.LinkWords(3, now, m.net.RingSegmentWords(), m.net.TSVVaultWords())
+	case 4:
+		m.tel.DispatchOccupancy(4, now, m.scr.bankPairs)
+		m.tel.LinkWords(4, now, m.net.RingSegmentWords(), m.net.TSVVaultWords())
+	case 5:
+		m.tel.StepSPUBusy(5, now, m.busy)
+	case 6:
+		m.tel.StepSPUBusy(6, now, m.busy)
+		m.tel.LinkWords(6, now, m.net.RingSegmentWords(), m.net.TSVVaultWords())
+	}
+}
 
 // NowNs reports the machine's simulated clock (sum of all step times run so
 // far).

@@ -121,9 +121,11 @@ func (r RunStats) EventsTotal() Events {
 	return e
 }
 
-// MaxStallRounds reports the worst §6 overflow round count seen.
+// MaxStallRounds reports the worst §6 overflow round count seen. A run with
+// no iterations reports 0, so "no work" stays distinguishable from "ran and
+// never stalled" (every executed step reports at least 1 round).
 func (r RunStats) MaxStallRounds() int {
-	max := 1
+	max := 0
 	for _, it := range r.Iterations {
 		for _, st := range it.Steps {
 			if st.StallRounds > max {

@@ -95,6 +95,10 @@ func (m *Machine) step3SPUBody(w, k int) {
 	c := &m.scr.s3PW[w]
 	e := &m.emit[k]
 	var instr, randActs, seqActs int64
+	// Per-SPU accumulation counts: folded into the per-worker counters after
+	// the loop, and published to the telemetry arrays (SPU k is visited by
+	// exactly one worker per iteration, so plain stores race-free).
+	var locA, remA, lonA int64
 	lastRow := int64(-1)
 	lastRepRow := int64(-1)
 	replicate := m.replicate && m.plan.LastLong >= 0 && !m.hypo
@@ -110,7 +114,7 @@ func (m *Machine) step3SPUBody(w, k int) {
 			instr += m.instrCosts.macRemote
 			e.logicPairs++
 			e.logic = append(e.logic, idxVal{idx: r, val: contribution}) //gearbox:alloc-ok recycled emit bucket; grows to its high-water mark
-			c.localAccums++
+			locA++
 		case owner == int32(k):
 			instr += m.instrCosts.macLocal
 			old := m.output[r]
@@ -122,13 +126,13 @@ func (m *Machine) step3SPUBody(w, k int) {
 				c.cleanHits++
 			}
 			m.output[r] = m.sem.Add(old, contribution)
-			c.localAccums++
+			locA++
 			if row := int64(r) >> 6; row != lastRow {
 				randActs++
 				lastRow = row
 			}
 		case r <= m.plan.LastLong:
-			c.longAccums++
+			lonA++
 			if replicate {
 				rep := m.replica(k)
 				instr += m.instrCosts.macLocal
@@ -152,7 +156,7 @@ func (m *Machine) step3SPUBody(w, k int) {
 			instr += m.instrCosts.macRemote
 			e.pairs = append(e.pairs, dstPair{dst: owner, pair: routedPair{srcSPU: int32(k), idx: r, val: contribution}}) //gearbox:alloc-ok recycled emit bucket; grows to its high-water mark
 			e.sentPairs++
-			c.remoteAccums++
+			remA++
 		}
 	}
 
@@ -184,6 +188,14 @@ func (m *Machine) step3SPUBody(w, k int) {
 	c.ev.SPUInstrs += instr
 	c.ev.RandRowActs += randActs
 	c.ev.SeqRowActs += seqActs
+	c.localAccums += locA
+	c.remoteAccums += remA
+	c.longAccums += lonA
+	if m.tel != nil {
+		m.telLocal[k] = locA
+		m.telRemote[k] = remA
+		m.telLng[k] = lonA
+	}
 }
 
 // step3LocalAccumulations is the heart of the algorithm (Fig. 11): every SPU

@@ -37,6 +37,14 @@ type Network struct {
 	tsvWords  int64 // total (packet x layer-crossing) traversals
 	packets   int64
 	maxBusyNs float64
+
+	// Per-link word counters for the telemetry layer, cleared by Reset like
+	// the occupancy above. ringSegWords counts packets crossing each ring
+	// segment (flattened [layer*BanksPerLayer+segment]); tsvVaultWords
+	// counts packets entering each vault's TSV bus (once per packet, unlike
+	// tsvWords which weights by layer-crossings).
+	ringSegWords  []int64
+	tsvVaultWords []int64
 }
 
 // New returns an empty network for the given stack shape.
@@ -57,6 +65,8 @@ func New(g mem.Geometry, t mem.Timing) (*Network, error) {
 	for b := range n.lineBusy {
 		n.lineBusy[b] = make([]float64, g.SPUsPerBank()-1)
 	}
+	n.ringSegWords = make([]int64, g.Layers*g.BanksPerLayer)
+	n.tsvVaultWords = make([]int64, g.Vaults)
 	return n, nil
 }
 
@@ -131,11 +141,13 @@ func (n *Network) BroadcastFromLogic(words int64) {
 	for v := range n.tsvBusy {
 		n.tsvBusy[v] += ser
 		n.bump(n.tsvBusy[v])
+		n.tsvVaultWords[v] += words
 	}
 	for l := range n.ringBusy {
 		for s := range n.ringBusy[l] {
 			n.ringBusy[l][s] += ser
 			n.bump(n.ringBusy[l][s])
+			n.ringSegWords[l*n.geo.BanksPerLayer+s] += words
 		}
 	}
 	n.hopWords += words * int64(n.geo.Layers*n.geo.BanksPerLayer)
@@ -157,13 +169,14 @@ func (n *Network) charge(src, dst mem.SPUID, r Route, packets int64) {
 		n.chargeLine(src.Layer, src.Bank, src.SPU, n.DispatcherPos(), ser)
 		// Ring segments in the source layer (bank-to-bank shortest arc).
 		if src.Layer != LogicLayer && dst.Layer != LogicLayer && src.Bank != dst.Bank {
-			n.chargeRing(src.Layer, src.Bank, dst.Bank, ser)
+			n.chargeRing(src.Layer, src.Bank, dst.Bank, ser, packets)
 		}
 		// TSV bus of the destination vault.
 		if r.TSVHops > 0 {
 			v := n.geo.VaultOf(dst.Bank)
 			n.tsvBusy[v] += ser
 			n.bump(n.tsvBusy[v])
+			n.tsvVaultWords[v] += packets
 		}
 		// Destination side line from the Dispatcher to the target SPU.
 		n.chargeLine(dst.Layer, dst.Bank, n.DispatcherPos(), dst.SPU, ser)
@@ -189,21 +202,24 @@ func (n *Network) chargeLine(layer, bank, fromSPU, toSPU int, ser float64) {
 	}
 }
 
-func (n *Network) chargeRing(layer, bankA, bankB int, ser float64) {
+func (n *Network) chargeRing(layer, bankA, bankB int, ser float64, packets int64) {
 	b := n.geo.BanksPerLayer
 	d := (bankB - bankA + b) % b
 	segs := n.ringBusy[layer]
+	words := n.ringSegWords[layer*b:]
 	if d <= b-d {
 		for i := 0; i < d; i++ {
 			s := (bankA + i) % b
 			segs[s] += ser
 			n.bump(segs[s])
+			words[s] += packets
 		}
 	} else {
 		for i := 0; i < b-d; i++ {
 			s := (bankA - 1 - i + b) % b
 			segs[s] += ser
 			n.bump(segs[s])
+			words[s] += packets
 		}
 	}
 }
@@ -227,6 +243,17 @@ func (n *Network) TSVWords() int64 { return n.tsvWords }
 // Packets reports the number of packets routed since Reset.
 func (n *Network) Packets() int64 { return n.packets }
 
+// RingSegmentWords reports per-ring-segment packet counts since Reset,
+// flattened [layer*BanksPerLayer+segment]. The slice is borrowed: it stays
+// owned by the network and is zeroed by the next Reset.
+func (n *Network) RingSegmentWords() []int64 { return n.ringSegWords }
+
+// TSVVaultWords reports per-vault TSV packet counts since Reset (each packet
+// counted once when it enters the vault's vertical bus, regardless of how
+// many layers it crosses — unlike the energy-weighted TSVWords total). The
+// slice is borrowed like RingSegmentWords.
+func (n *Network) TSVVaultWords() []int64 { return n.tsvVaultWords }
+
 // Reset clears all occupancy and counters.
 func (n *Network) Reset() {
 	for l := range n.ringBusy {
@@ -242,6 +269,8 @@ func (n *Network) Reset() {
 			n.lineBusy[b][s] = 0
 		}
 	}
+	clear(n.ringSegWords)
+	clear(n.tsvVaultWords)
 	n.hopWords, n.tsvWords, n.packets, n.maxBusyNs = 0, 0, 0, 0
 }
 

@@ -210,3 +210,100 @@ func TestCrossLayerSendChargesTSV(t *testing.T) {
 		t.Fatalf("TSV words = %d, want 20", n.TSVWords())
 	}
 }
+
+// Per-link word counters (telemetry layer).
+
+func TestRingSegmentWordsFollowShortestArc(t *testing.T) {
+	n := newNet(t)
+	g := mem.DefaultGeometry()
+	disp := n.DispatcherPos()
+	// Dispatcher-to-dispatcher so the route has no line hops: every hop word
+	// must land on a ring segment.
+	src := mem.SPUID{Layer: 2, Bank: 0, SPU: disp}
+	dst := mem.SPUID{Layer: 2, Bank: 3, SPU: disp}
+	r := n.SendSPUToSPU(src, dst, 25)
+
+	words := n.RingSegmentWords()
+	base := 2 * g.BanksPerLayer
+	for s := 0; s < g.BanksPerLayer; s++ {
+		want := int64(0)
+		if s < 3 { // segments 0,1,2 join banks 0-1, 1-2, 2-3
+			want = 25
+		}
+		if words[base+s] != want {
+			t.Errorf("layer 2 segment %d carries %d words, want %d", s, words[base+s], want)
+		}
+	}
+	// Other layers stay untouched, and the per-segment counts must sum to
+	// the energy accounting's packet x ring-hop product.
+	var sum int64
+	for i, v := range words {
+		sum += v
+		if v != 0 && i/g.BanksPerLayer != 2 {
+			t.Errorf("segment %d outside layer 2 carries %d words", i, v)
+		}
+	}
+	if want := 25 * int64(r.RingHops); sum != want {
+		t.Errorf("ring words sum %d, want %d", sum, want)
+	}
+	for v, w := range n.TSVVaultWords() {
+		if w != 0 {
+			t.Errorf("same-layer send charged TSV vault %d with %d words", v, w)
+		}
+	}
+}
+
+func TestTSVVaultWordsCountPacketsOnce(t *testing.T) {
+	n := newNet(t)
+	g := mem.DefaultGeometry()
+	src := mem.SPUID{Layer: 0, Bank: 5, SPU: n.DispatcherPos()}
+	dst := mem.SPUID{Layer: 7, Bank: 5, SPU: n.DispatcherPos()}
+	r := n.SendSPUToSPU(src, dst, 11)
+	if r.TSVHops != 7 {
+		t.Fatalf("route = %+v, want 7 TSV hops", r)
+	}
+	for v, w := range n.TSVVaultWords() {
+		want := int64(0)
+		if v == g.VaultOf(5) {
+			want = 11 // once per packet, not 11 x 7 layer crossings
+		}
+		if w != want {
+			t.Errorf("vault %d carries %d words, want %d", v, w, want)
+		}
+	}
+	if n.TSVWords() != 11*7 {
+		t.Errorf("energy-weighted TSV words = %d, want 77", n.TSVWords())
+	}
+}
+
+func TestBroadcastFillsEveryLinkCounter(t *testing.T) {
+	n := newNet(t)
+	n.BroadcastFromLogic(9)
+	for i, w := range n.RingSegmentWords() {
+		if w != 9 {
+			t.Fatalf("ring segment %d carries %d words after broadcast, want 9", i, w)
+		}
+	}
+	for v, w := range n.TSVVaultWords() {
+		if w != 9 {
+			t.Fatalf("TSV vault %d carries %d words after broadcast, want 9", v, w)
+		}
+	}
+}
+
+func TestResetClearsLinkWordCounters(t *testing.T) {
+	n := newNet(t)
+	n.BroadcastFromLogic(3)
+	n.SendSPUToSPU(mem.SPUID{Layer: 0, Bank: 0, SPU: 0}, mem.SPUID{Layer: 3, Bank: 9, SPU: 2}, 4)
+	n.Reset()
+	for i, w := range n.RingSegmentWords() {
+		if w != 0 {
+			t.Fatalf("Reset left %d words on ring segment %d", w, i)
+		}
+	}
+	for v, w := range n.TSVVaultWords() {
+		if w != 0 {
+			t.Fatalf("Reset left %d words on TSV vault %d", w, v)
+		}
+	}
+}

@@ -13,16 +13,19 @@ package par
 import (
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Pool executes parallel-for regions over a fixed worker count.
 //
-// A Pool is stateless between regions and safe for concurrent use; each
-// ForEach forks its own goroutines and joins them before returning
+// A Pool carries no state between regions beyond optional host-side
+// instrumentation (see SetInstrumented) and is safe for concurrent use;
+// each ForEach forks its own goroutines and joins them before returning
 // (fork-join costs ~1-2 us per region, negligible against the multi-ms
 // step loops it shards).
 type Pool struct {
 	workers int
+	ins     *instr // non-nil while host-side instrumentation is enabled
 }
 
 // New returns a pool of the requested width. workers <= 0 selects
@@ -68,13 +71,24 @@ func (p *Pool) ForEach(n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
+	ins := p.ins
+	if ins != nil {
+		ins.regions.Add(1)
+	}
 	w := p.workers
 	if w > n {
 		w = n
 	}
 	if w == 1 {
+		var start time.Time
+		if ins != nil {
+			start = ins.workerEnter()
+		}
 		for i := 0; i < n; i++ {
 			fn(0, i)
+		}
+		if ins != nil {
+			ins.workerExit(0, start, false)
 		}
 		return
 	}
@@ -85,8 +99,15 @@ func (p *Pool) ForEach(n int, fn func(worker, i int)) {
 		lo, hi := worker*n/w, (worker+1)*n/w
 		go func(worker, lo, hi int) {
 			defer wg.Done()
+			var start time.Time
+			if ins != nil {
+				start = ins.workerEnter()
+			}
 			for i := lo; i < hi; i++ {
 				fn(worker, i)
+			}
+			if ins != nil {
+				ins.workerExit(worker, start, false)
 			}
 		}(worker, lo, hi)
 	}
@@ -104,12 +125,23 @@ func (p *Pool) ForEachBlock(n int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
+	ins := p.ins
+	if ins != nil {
+		ins.mergeRegions.Add(1)
+	}
 	w := p.workers
 	if w > n {
 		w = n
 	}
 	if w == 1 {
+		var start time.Time
+		if ins != nil {
+			start = ins.workerEnter()
+		}
 		fn(0, 0, n)
+		if ins != nil {
+			ins.workerExit(0, start, true)
+		}
 		return
 	}
 	var wg sync.WaitGroup
@@ -118,7 +150,14 @@ func (p *Pool) ForEachBlock(n int, fn func(worker, lo, hi int)) {
 		lo, hi := worker*n/w, (worker+1)*n/w
 		go func(worker, lo, hi int) {
 			defer wg.Done()
+			var start time.Time
+			if ins != nil {
+				start = ins.workerEnter()
+			}
 			fn(worker, lo, hi)
+			if ins != nil {
+				ins.workerExit(worker, start, true)
+			}
 		}(worker, lo, hi)
 	}
 	wg.Wait()

@@ -1,0 +1,112 @@
+package par
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Host-side pool introspection. The simulator's results never depend on
+// wall time — instrumentation only measures how well the host's goroutines
+// are balanced, so parallelization regressions (one worker carrying a
+// skewed block, merge phases dominating) are diagnosable from gearbox-bench
+// instead of a profiler session. Disabled pools pay a single nil check per
+// region.
+
+// Stats is a snapshot of an instrumented pool's host-side counters.
+type Stats struct {
+	// Workers is the pool width the per-worker slices are indexed by.
+	Workers int
+	// Regions counts ForEach parallel regions; MergeRegions counts
+	// ForEachBlock regions (the machine's destination-sharded merges).
+	Regions      int64
+	MergeRegions int64
+	// WorkerBusyNs[w] is the wall time worker w's goroutine spent inside
+	// callbacks; WorkerBlocks[w] counts the blocks it executed. An idle
+	// worker (region narrower than the pool) accrues neither.
+	WorkerBusyNs []int64
+	WorkerBlocks []int64
+	// MergeNs is the wall time spent inside ForEachBlock regions, summed
+	// across workers — the host cost of the ordered merges.
+	MergeNs int64
+}
+
+// instr holds the live counters; a nil *instr means instrumentation is off.
+type instr struct {
+	regions      atomic.Int64
+	mergeRegions atomic.Int64
+	mergeNs      atomic.Int64
+	busyNs       []atomic.Int64
+	blocks       []atomic.Int64
+}
+
+// SetInstrumented turns host-side instrumentation on or off. Enable it
+// before handing the pool to parallel regions; toggling is not synchronized
+// with in-flight regions.
+func (p *Pool) SetInstrumented(on bool) {
+	if !on {
+		p.ins = nil
+		return
+	}
+	if p.ins == nil {
+		p.ins = &instr{
+			busyNs: make([]atomic.Int64, p.workers),
+			blocks: make([]atomic.Int64, p.workers),
+		}
+	}
+}
+
+// Instrumented reports whether the pool is collecting host-side stats.
+func (p *Pool) Instrumented() bool { return p.ins != nil }
+
+// Stats snapshots the counters accumulated since instrumentation was enabled
+// (or since ResetStats). ok is false when instrumentation is off.
+func (p *Pool) Stats() (s Stats, ok bool) {
+	ins := p.ins
+	if ins == nil {
+		return Stats{}, false
+	}
+	s = Stats{
+		Workers:      p.workers,
+		Regions:      ins.regions.Load(),
+		MergeRegions: ins.mergeRegions.Load(),
+		MergeNs:      ins.mergeNs.Load(),
+		WorkerBusyNs: make([]int64, p.workers),
+		WorkerBlocks: make([]int64, p.workers),
+	}
+	for w := 0; w < p.workers; w++ {
+		s.WorkerBusyNs[w] = ins.busyNs[w].Load()
+		s.WorkerBlocks[w] = ins.blocks[w].Load()
+	}
+	return s, true
+}
+
+// ResetStats zeroes the counters, keeping instrumentation enabled.
+func (p *Pool) ResetStats() {
+	ins := p.ins
+	if ins == nil {
+		return
+	}
+	ins.regions.Store(0)
+	ins.mergeRegions.Store(0)
+	ins.mergeNs.Store(0)
+	for w := range ins.busyNs {
+		ins.busyNs[w].Store(0)
+		ins.blocks[w].Store(0)
+	}
+}
+
+// workerEnter stamps the start of one worker's share of a region.
+func (ins *instr) workerEnter() time.Time {
+	return time.Now() //gearbox:nondet-ok host-side pool introspection; wall time never reaches simulated state
+}
+
+// workerExit books the elapsed share against worker w (and the merge total
+// when the region is a ForEachBlock).
+func (ins *instr) workerExit(w int, start time.Time, merge bool) {
+	d := int64(time.Since(start)) //gearbox:nondet-ok host-side pool introspection; wall time never reaches simulated state
+	ins.busyNs[w].Add(d)
+	ins.blocks[w].Add(1)
+	if merge {
+		ins.mergeNs.Add(d)
+	}
+}

@@ -1,0 +1,102 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestStatsDisabledByDefault(t *testing.T) {
+	p := New(4)
+	if p.Instrumented() {
+		t.Fatal("fresh pool must not be instrumented")
+	}
+	p.ForEach(16, func(worker, i int) {})
+	if _, ok := p.Stats(); ok {
+		t.Fatal("Stats must report ok=false while instrumentation is off")
+	}
+	p.ResetStats() // must be a safe no-op
+}
+
+func TestStatsAccrue(t *testing.T) {
+	p := New(4)
+	p.SetInstrumented(true)
+	if !p.Instrumented() {
+		t.Fatal("SetInstrumented(true) did not engage")
+	}
+	var visited atomic.Int64
+	for r := 0; r < 3; r++ {
+		p.ForEach(64, func(worker, i int) { visited.Add(1) })
+	}
+	p.ForEachBlock(64, func(worker, lo, hi int) { visited.Add(int64(hi - lo)) })
+
+	s, ok := p.Stats()
+	if !ok {
+		t.Fatal("Stats must report ok=true while instrumented")
+	}
+	if s.Workers != 4 {
+		t.Errorf("Workers = %d, want 4", s.Workers)
+	}
+	if s.Regions != 3 || s.MergeRegions != 1 {
+		t.Errorf("regions = %d/%d, want 3 ForEach + 1 ForEachBlock", s.Regions, s.MergeRegions)
+	}
+	var blocks, busy int64
+	for w := 0; w < s.Workers; w++ {
+		blocks += s.WorkerBlocks[w]
+		busy += s.WorkerBusyNs[w]
+	}
+	// 4 regions × Blocks(64) blocks each, every one counted exactly once.
+	if want := int64(4 * p.Blocks(64)); blocks != want {
+		t.Errorf("total blocks = %d, want %d", blocks, want)
+	}
+	if busy <= 0 {
+		t.Error("no worker busy time accrued")
+	}
+	if s.MergeNs <= 0 || s.MergeNs > busy {
+		t.Errorf("MergeNs = %d, want within (0, total busy %d]", s.MergeNs, busy)
+	}
+	if got := visited.Load(); got != 4*64 {
+		t.Fatalf("instrumentation perturbed the region: visited %d of %d indices", got, 4*64)
+	}
+}
+
+func TestStatsResetAndDisable(t *testing.T) {
+	p := New(2)
+	p.SetInstrumented(true)
+	p.ForEach(8, func(worker, i int) {})
+	p.ResetStats()
+	s, ok := p.Stats()
+	if !ok {
+		t.Fatal("ResetStats must keep instrumentation enabled")
+	}
+	if s.Regions != 0 || s.MergeRegions != 0 || s.MergeNs != 0 {
+		t.Errorf("counters survive ResetStats: %+v", s)
+	}
+	for w := range s.WorkerBusyNs {
+		if s.WorkerBusyNs[w] != 0 || s.WorkerBlocks[w] != 0 {
+			t.Errorf("worker %d counters survive ResetStats", w)
+		}
+	}
+	p.SetInstrumented(false)
+	if p.Instrumented() {
+		t.Fatal("SetInstrumented(false) did not disable")
+	}
+	if _, ok := p.Stats(); ok {
+		t.Fatal("Stats must report ok=false after disabling")
+	}
+}
+
+// TestStatsSerialInline covers the workers==1 inline path, which must accrue
+// into worker 0 without forking.
+func TestStatsSerialInline(t *testing.T) {
+	p := New(1)
+	p.SetInstrumented(true)
+	p.ForEach(10, func(worker, i int) {
+		if worker != 0 {
+			t.Fatalf("serial pool handed worker id %d", worker)
+		}
+	})
+	s, _ := p.Stats()
+	if s.WorkerBlocks[0] != 1 || s.WorkerBusyNs[0] <= 0 {
+		t.Fatalf("serial region not attributed to worker 0: %+v", s)
+	}
+}

@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SpatialStats is the standard Sink: it folds every callback into fixed-size
+// arrays allocated once at construction, so attaching it to a steady-state
+// run stays allocation-free. Per-step arrays are heatmap-shaped — outer index
+// step-1, inner index the spatial coordinate — ready for direct plotting.
+//
+// All counters accumulate across iterations until Reset. Because the machine
+// delivers bit-identical values at any worker count, two SpatialStats filled
+// by the same run at different Workers settings are deeply equal.
+type SpatialStats struct {
+	Shape      Shape `json:"shape"`
+	Iterations int   `json:"iterations"`
+
+	// SPUBusyNs[step-1][spu] is the summed busy time of each compute SPU in
+	// the compute steps (2, 3, 5, 6); rows for steps 1 and 4 stay zero.
+	SPUBusyNs [][]float64 `json:"spu_busy_ns"`
+
+	// Per-SPU step-3 accumulation counts by destination class.
+	LocalAccums  []int64 `json:"local_accums"`
+	RemoteAccums []int64 `json:"remote_accums"`
+	LongAccums   []int64 `json:"long_accums"`
+
+	// RingWords[step-1][layer*BanksPerLayer+seg] and TSVWords[step-1][vault]
+	// are the words each link carried during the network-touching steps
+	// (1, 3, 4, 6); compute-only step rows stay zero.
+	RingWords [][]int64 `json:"ring_words"`
+	TSVWords  [][]int64 `json:"tsv_words"`
+
+	// DispatchHighWater[bank] is the maximum dispatcher-buffer occupancy
+	// (in pairs) ever observed at that bank, across steps and iterations.
+	DispatchHighWater []int64 `json:"dispatch_high_water"`
+
+	// Frontier totals: summed input/output sizes and the largest input
+	// frontier of any iteration.
+	FrontierIn  int64 `json:"frontier_in"`
+	FrontierOut int64 `json:"frontier_out"`
+	MaxFrontier int64 `json:"max_frontier"`
+}
+
+// NewSpatialStats allocates a zeroed SpatialStats for one machine shape.
+func NewSpatialStats(sh Shape) *SpatialStats {
+	s := &SpatialStats{Shape: sh}
+	s.SPUBusyNs = make([][]float64, NumSteps)
+	s.RingWords = make([][]int64, NumSteps)
+	s.TSVWords = make([][]int64, NumSteps)
+	for i := 0; i < NumSteps; i++ {
+		s.SPUBusyNs[i] = make([]float64, sh.NumSPUs)
+		s.RingWords[i] = make([]int64, sh.RingSegs)
+		s.TSVWords[i] = make([]int64, sh.Vaults)
+	}
+	s.LocalAccums = make([]int64, sh.NumSPUs)
+	s.RemoteAccums = make([]int64, sh.NumSPUs)
+	s.LongAccums = make([]int64, sh.NumSPUs)
+	s.DispatchHighWater = make([]int64, sh.Banks)
+	return s
+}
+
+// Reset zeroes every counter while keeping the allocations.
+func (s *SpatialStats) Reset() {
+	s.Iterations = 0
+	for i := 0; i < NumSteps; i++ {
+		clear(s.SPUBusyNs[i])
+		clear(s.RingWords[i])
+		clear(s.TSVWords[i])
+	}
+	clear(s.LocalAccums)
+	clear(s.RemoteAccums)
+	clear(s.LongAccums)
+	clear(s.DispatchHighWater)
+	s.FrontierIn, s.FrontierOut, s.MaxFrontier = 0, 0, 0
+}
+
+//gearbox:steadystate
+func (s *SpatialStats) BeginIteration(iter int, nowNs float64, frontierNNZ int64) {
+	s.Iterations++
+	s.FrontierIn += frontierNNZ
+	if frontierNNZ > s.MaxFrontier {
+		s.MaxFrontier = frontierNNZ
+	}
+}
+
+//gearbox:steadystate
+func (s *SpatialStats) StepSPUBusy(step int, nowNs float64, busyNs []float64) {
+	row := s.SPUBusyNs[step-1]
+	for k, v := range busyNs {
+		row[k] += v
+	}
+}
+
+//gearbox:steadystate
+func (s *SpatialStats) SPUAccums(nowNs float64, local, remote, long []int64) {
+	for k := range local {
+		s.LocalAccums[k] += local[k]
+		s.RemoteAccums[k] += remote[k]
+		s.LongAccums[k] += long[k]
+	}
+}
+
+//gearbox:steadystate
+func (s *SpatialStats) LinkWords(step int, nowNs float64, ringSegWords, tsvVaultWords []int64) {
+	ringRow := s.RingWords[step-1]
+	for i, v := range ringSegWords {
+		ringRow[i] += v
+	}
+	tsvRow := s.TSVWords[step-1]
+	for i, v := range tsvVaultWords {
+		tsvRow[i] += v
+	}
+}
+
+//gearbox:steadystate
+func (s *SpatialStats) DispatchOccupancy(step int, nowNs float64, bankPairs []int64) {
+	for b, v := range bankPairs {
+		if v > s.DispatchHighWater[b] {
+			s.DispatchHighWater[b] = v
+		}
+	}
+}
+
+//gearbox:steadystate
+func (s *SpatialStats) EndIteration(nowNs float64, frontierOut int64) {
+	s.FrontierOut += frontierOut
+}
+
+// WriteJSON emits the snapshot as one indented JSON object.
+func (s *SpatialStats) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV emits the snapshot as long-form rows, metric,step,index,value —
+// one row per non-zero counter, plus the scalar frontier totals with step
+// and index 0. The shape suits spreadsheet pivots and plotting tools that
+// prefer tidy data over nested arrays.
+func (s *SpatialStats) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "metric,step,index,value"); err != nil {
+		return err
+	}
+	for st := 0; st < NumSteps; st++ {
+		for k, v := range s.SPUBusyNs[st] {
+			if v == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "spu_busy_ns,%d,%d,%g\n", st+1, k, v); err != nil {
+				return err
+			}
+		}
+	}
+	perSPU := []struct {
+		name string
+		vals []int64
+	}{
+		{"local_accums", s.LocalAccums},
+		{"remote_accums", s.RemoteAccums},
+		{"long_accums", s.LongAccums},
+	}
+	for _, m := range perSPU {
+		for k, v := range m.vals {
+			if v == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s,3,%d,%d\n", m.name, k, v); err != nil {
+				return err
+			}
+		}
+	}
+	for st := 0; st < NumSteps; st++ {
+		for i, v := range s.RingWords[st] {
+			if v == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "ring_words,%d,%d,%d\n", st+1, i, v); err != nil {
+				return err
+			}
+		}
+		for i, v := range s.TSVWords[st] {
+			if v == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "tsv_words,%d,%d,%d\n", st+1, i, v); err != nil {
+				return err
+			}
+		}
+	}
+	for b, v := range s.DispatchHighWater {
+		if v == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "dispatch_high_water,0,%d,%d\n", b, v); err != nil {
+			return err
+		}
+	}
+	scalars := []struct {
+		name string
+		v    int64
+	}{
+		{"iterations", int64(s.Iterations)},
+		{"frontier_in", s.FrontierIn},
+		{"frontier_out", s.FrontierOut},
+		{"max_frontier", s.MaxFrontier},
+	}
+	for _, m := range scalars {
+		if _, err := fmt.Fprintf(w, "%s,0,0,%d\n", m.name, m.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

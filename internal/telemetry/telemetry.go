@@ -1,0 +1,145 @@
+// Package telemetry is the simulator's spatial observability layer. The
+// global Events/StepStats aggregates answer "how much work happened"; this
+// package answers "where it landed": per-SPU busy and accumulation counters,
+// per-ring-segment and per-TSV word counts, and dispatcher-buffer occupancy
+// high-water marks, the breakdowns that make load imbalance and hot links
+// visible (the quantities Figs. 14-16 of the paper reason about).
+//
+// The layer is a Sink interface the Machine drives from inside Iterate.
+// Three contracts bind every implementation and every call site:
+//
+//   - Zero overhead when disabled: a nil sink costs the machine one nil
+//     check per step; no counters are maintained speculatively.
+//   - Alloc-free when enabled: the machine calls sinks from
+//     //gearbox:steadystate code, so a sink used in steady state must not
+//     allocate per callback. SpatialStats pre-sizes every array at
+//     construction from a Shape and only accumulates in place.
+//   - Bit-identical at any worker count: every value handed to a sink is
+//     produced by the machine's deterministic parallel phases (per-SPU
+//     slots, ordered folds), so a sink observes exactly the same sequence
+//     of calls and values at Workers=1 and Workers=N.
+//
+// Slices passed to sink callbacks are borrowed: they are owned by the
+// machine, valid only for the duration of the call, and reused afterwards.
+// Sinks must copy or fold, never retain.
+package telemetry
+
+import "gearbox/internal/mem"
+
+// NumSteps is the §5 step count every per-step array spans; steps are
+// numbered 1-6 in callbacks and stored at [step-1].
+const NumSteps = 6
+
+// Shape fixes the dimensions of the spatial counter arrays for one machine.
+type Shape struct {
+	NumSPUs  int `json:"num_spus"`  // compute SPUs (partition plan order)
+	Banks    int `json:"banks"`     // Layers*BanksPerLayer flat bank ids
+	RingSegs int `json:"ring_segs"` // per-layer ring segments, flattened [layer*BanksPerLayer+seg]
+	Vaults   int `json:"vaults"`    // TSV buses (one per vault)
+}
+
+// ShapeOf derives the Shape for a stack geometry and its compute-SPU count.
+func ShapeOf(g mem.Geometry, numSPUs int) Shape {
+	return Shape{
+		NumSPUs:  numSPUs,
+		Banks:    g.Layers * g.BanksPerLayer,
+		RingSegs: g.Layers * g.BanksPerLayer,
+		Vaults:   g.Vaults,
+	}
+}
+
+// Sink receives the machine's spatial counters. Step numbers are the §5
+// steps (1-6); nowNs is the simulated clock at the time of the call. All
+// callbacks run synchronously on the goroutine driving Iterate, strictly
+// ordered, after the step's parallel phase has joined — implementations
+// need no locking.
+type Sink interface {
+	// BeginIteration opens iteration iter (0-based) whose input frontier
+	// holds frontierNNZ entries.
+	BeginIteration(iter int, nowNs float64, frontierNNZ int64)
+	// StepSPUBusy reports the per-SPU busy time of one compute step
+	// (2, 3, 5 or 6). busyNs is borrowed and indexed by compute-SPU.
+	StepSPUBusy(step int, nowNs float64, busyNs []float64)
+	// SPUAccums reports step 3's per-SPU accumulation counts: local (own
+	// shard), remote (dispatched toward an owner), long (long-region).
+	// Slices are borrowed and indexed by compute-SPU.
+	SPUAccums(nowNs float64, local, remote, long []int64)
+	// LinkWords reports the words each interconnect link carried during a
+	// network-touching step (1, 3, 4 or 6): ringSegWords is flattened
+	// [layer*BanksPerLayer+seg], tsvVaultWords is indexed by vault. Both
+	// are borrowed.
+	LinkWords(step int, nowNs float64, ringSegWords, tsvVaultWords []int64)
+	// DispatchOccupancy reports per-bank dispatcher-buffer occupancy in
+	// (index,value) pairs: the receive reservation filled during step 3,
+	// the forwarding buffer during step 4. bankPairs is borrowed and
+	// indexed by flat bank id.
+	DispatchOccupancy(step int, nowNs float64, bankPairs []int64)
+	// EndIteration closes the iteration with its output frontier size.
+	EndIteration(nowNs float64, frontierOut int64)
+}
+
+// tee fans every callback out to several sinks in fixed order.
+type tee struct {
+	sinks []Sink
+}
+
+// Tee combines sinks into one; nil entries are dropped. With zero or one
+// live sink it returns nil or the sink itself, so callers can Tee
+// unconditionally and still keep the machine's nil-sink fast path.
+func Tee(sinks ...Sink) Sink {
+	live := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &tee{sinks: live}
+}
+
+//gearbox:steadystate
+func (t *tee) BeginIteration(iter int, nowNs float64, frontierNNZ int64) {
+	for _, s := range t.sinks {
+		s.BeginIteration(iter, nowNs, frontierNNZ)
+	}
+}
+
+//gearbox:steadystate
+func (t *tee) StepSPUBusy(step int, nowNs float64, busyNs []float64) {
+	for _, s := range t.sinks {
+		s.StepSPUBusy(step, nowNs, busyNs)
+	}
+}
+
+//gearbox:steadystate
+func (t *tee) SPUAccums(nowNs float64, local, remote, long []int64) {
+	for _, s := range t.sinks {
+		s.SPUAccums(nowNs, local, remote, long)
+	}
+}
+
+//gearbox:steadystate
+func (t *tee) LinkWords(step int, nowNs float64, ringSegWords, tsvVaultWords []int64) {
+	for _, s := range t.sinks {
+		s.LinkWords(step, nowNs, ringSegWords, tsvVaultWords)
+	}
+}
+
+//gearbox:steadystate
+func (t *tee) DispatchOccupancy(step int, nowNs float64, bankPairs []int64) {
+	for _, s := range t.sinks {
+		s.DispatchOccupancy(step, nowNs, bankPairs)
+	}
+}
+
+//gearbox:steadystate
+func (t *tee) EndIteration(nowNs float64, frontierOut int64) {
+	for _, s := range t.sinks {
+		s.EndIteration(nowNs, frontierOut)
+	}
+}

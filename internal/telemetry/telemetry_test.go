@@ -1,0 +1,236 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gearbox/internal/mem"
+)
+
+func testShape() Shape {
+	return Shape{NumSPUs: 4, Banks: 6, RingSegs: 6, Vaults: 2}
+}
+
+// feed drives a fixed two-iteration callback sequence into a sink, the same
+// order the machine produces: begin, step callbacks, end.
+func feed(s Sink) {
+	s.BeginIteration(0, 0, 10)
+	s.StepSPUBusy(2, 100, []float64{1, 2, 3, 4})
+	s.SPUAccums(200, []int64{5, 0, 1, 2}, []int64{1, 1, 0, 0}, []int64{0, 0, 2, 0})
+	s.LinkWords(3, 200, []int64{7, 0, 0, 1, 0, 0}, []int64{3, 5})
+	s.DispatchOccupancy(3, 200, []int64{2, 0, 4, 0, 0, 1})
+	s.EndIteration(300, 6)
+	s.BeginIteration(1, 300, 6)
+	s.StepSPUBusy(2, 400, []float64{4, 3, 2, 1})
+	s.DispatchOccupancy(4, 500, []int64{0, 3, 1, 0, 0, 0})
+	s.EndIteration(600, 0)
+}
+
+func TestShapeOf(t *testing.T) {
+	g := mem.Geometry{Layers: 4, BanksPerLayer: 16, Vaults: 8}
+	sh := ShapeOf(g, 48)
+	want := Shape{NumSPUs: 48, Banks: 64, RingSegs: 64, Vaults: 8}
+	if sh != want {
+		t.Fatalf("ShapeOf = %+v, want %+v", sh, want)
+	}
+}
+
+func TestSpatialStatsAccumulates(t *testing.T) {
+	sp := NewSpatialStats(testShape())
+	feed(sp)
+
+	if sp.Iterations != 2 {
+		t.Errorf("Iterations = %d, want 2", sp.Iterations)
+	}
+	if sp.FrontierIn != 16 || sp.FrontierOut != 6 || sp.MaxFrontier != 10 {
+		t.Errorf("frontier totals in/out/max = %d/%d/%d, want 16/6/10",
+			sp.FrontierIn, sp.FrontierOut, sp.MaxFrontier)
+	}
+	if want := []float64{5, 5, 5, 5}; !reflect.DeepEqual(sp.SPUBusyNs[1], want) {
+		t.Errorf("step 2 busy = %v, want %v", sp.SPUBusyNs[1], want)
+	}
+	if want := []int64{5, 0, 1, 2}; !reflect.DeepEqual(sp.LocalAccums, want) {
+		t.Errorf("local accums = %v, want %v", sp.LocalAccums, want)
+	}
+	if sp.RingWords[2][0] != 7 || sp.TSVWords[2][1] != 5 {
+		t.Errorf("link words not accumulated: ring=%v tsv=%v", sp.RingWords[2], sp.TSVWords[2])
+	}
+	// High-water is a max across steps and iterations, not a sum.
+	if want := []int64{2, 3, 4, 0, 0, 1}; !reflect.DeepEqual(sp.DispatchHighWater, want) {
+		t.Errorf("dispatch high-water = %v, want %v", sp.DispatchHighWater, want)
+	}
+}
+
+func TestSpatialStatsResetKeepsShape(t *testing.T) {
+	sp := NewSpatialStats(testShape())
+	feed(sp)
+	sp.Reset()
+	if !reflect.DeepEqual(sp, NewSpatialStats(testShape())) {
+		t.Fatalf("Reset did not restore the zero state: %+v", sp)
+	}
+}
+
+func TestSpatialStatsCallbacksDoNotAllocate(t *testing.T) {
+	sp := NewSpatialStats(testShape())
+	// Hoist the borrowed slices so the measurement sees only the callbacks,
+	// exactly like the machine's reused scratch arrays.
+	busy := []float64{1, 2, 3, 4}
+	local, remote, long := []int64{5, 0, 1, 2}, []int64{1, 1, 0, 0}, []int64{0, 0, 2, 0}
+	ring, tsv := []int64{7, 0, 0, 1, 0, 0}, []int64{3, 5}
+	pairs := []int64{2, 0, 4, 0, 0, 1}
+	cycle := func() {
+		sp.BeginIteration(0, 0, 10)
+		sp.StepSPUBusy(2, 100, busy)
+		sp.SPUAccums(200, local, remote, long)
+		sp.LinkWords(3, 200, ring, tsv)
+		sp.DispatchOccupancy(3, 200, pairs)
+		sp.EndIteration(300, 6)
+	}
+	cycle()
+	if avg := testing.AllocsPerRun(20, cycle); avg > 0 {
+		t.Fatalf("SpatialStats callbacks allocate: %.1f allocs/op, want 0", avg)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	sp := NewSpatialStats(testShape())
+	feed(sp)
+	var buf bytes.Buffer
+	if err := sp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := &SpatialStats{}
+	if err := json.Unmarshal(buf.Bytes(), got); err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+	if !reflect.DeepEqual(sp, got) {
+		t.Fatalf("JSON round trip diverges:\nwrote: %+v\nread:  %+v", sp, got)
+	}
+}
+
+func TestWriteCSVLongForm(t *testing.T) {
+	sp := NewSpatialStats(testShape())
+	feed(sp)
+	var buf bytes.Buffer
+	if err := sp.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "metric,step,index,value" {
+		t.Fatalf("missing header, got %q", lines[0])
+	}
+	want := map[string]bool{
+		"spu_busy_ns,2,0,5":         false,
+		"local_accums,3,0,5":        false,
+		"ring_words,3,0,7":          false,
+		"tsv_words,3,1,5":           false,
+		"dispatch_high_water,0,2,4": false,
+		"iterations,0,0,2":          false,
+		"frontier_in,0,0,16":        false,
+	}
+	for _, ln := range lines[1:] {
+		if strings.Count(ln, ",") != 3 {
+			t.Errorf("row %q is not metric,step,index,value", ln)
+		}
+		if strings.HasSuffix(ln, ",0") && !strings.HasPrefix(ln, "frontier_out") {
+			t.Errorf("zero counter row %q should have been skipped", ln)
+		}
+		if _, ok := want[ln]; ok {
+			want[ln] = true
+		}
+	}
+	for row, seen := range want {
+		if !seen {
+			t.Errorf("expected CSV row %q missing", row)
+		}
+	}
+}
+
+// recordingSink logs callback names so Tee's fan-out order is checkable.
+type recordingSink struct {
+	log *[]string
+	id  string
+}
+
+func (r recordingSink) BeginIteration(iter int, nowNs float64, frontierNNZ int64) {
+	*r.log = append(*r.log, r.id+":begin")
+}
+func (r recordingSink) StepSPUBusy(step int, nowNs float64, busyNs []float64) {
+	*r.log = append(*r.log, r.id+":busy")
+}
+func (r recordingSink) SPUAccums(nowNs float64, local, remote, long []int64) {
+	*r.log = append(*r.log, r.id+":accums")
+}
+func (r recordingSink) LinkWords(step int, nowNs float64, ringSegWords, tsvVaultWords []int64) {
+	*r.log = append(*r.log, r.id+":links")
+}
+func (r recordingSink) DispatchOccupancy(step int, nowNs float64, bankPairs []int64) {
+	*r.log = append(*r.log, r.id+":occ")
+}
+func (r recordingSink) EndIteration(nowNs float64, frontierOut int64) {
+	*r.log = append(*r.log, r.id+":end")
+}
+
+func TestTee(t *testing.T) {
+	if Tee() != nil || Tee(nil, nil) != nil {
+		t.Error("Tee of no live sinks must be nil so the machine keeps its fast path")
+	}
+	var log []string
+	a := recordingSink{log: &log, id: "a"}
+	if got := Tee(nil, a); got != Sink(a) {
+		t.Errorf("Tee with one live sink must return it unwrapped, got %T", got)
+	}
+	b := recordingSink{log: &log, id: "b"}
+	tee := Tee(a, nil, b)
+	tee.BeginIteration(0, 0, 1)
+	tee.StepSPUBusy(2, 0, nil)
+	tee.SPUAccums(0, nil, nil, nil)
+	tee.LinkWords(3, 0, nil, nil)
+	tee.DispatchOccupancy(3, 0, nil)
+	tee.EndIteration(0, 0)
+	want := []string{
+		"a:begin", "b:begin", "a:busy", "b:busy", "a:accums", "b:accums",
+		"a:links", "b:links", "a:occ", "b:occ", "a:end", "b:end",
+	}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("tee fan-out order = %v, want %v", log, want)
+	}
+}
+
+// fakeRecorder captures Counter samples for TraceSink tests.
+type fakeRecorder struct {
+	tracks []string
+	at     []float64
+	values []float64
+}
+
+func (f *fakeRecorder) Counter(track string, atNs, value float64) {
+	f.tracks = append(f.tracks, track)
+	f.at = append(f.at, atNs)
+	f.values = append(f.values, value)
+}
+
+func TestTraceSinkCounterTracks(t *testing.T) {
+	rec := &fakeRecorder{}
+	s := NewTraceSink(rec)
+	feed(s)
+	want := []string{
+		"frontier-size", "dispatch-buffer-occupancy-pairs", "frontier-size",
+		"frontier-size", "dispatch-buffer-occupancy-pairs", "frontier-size",
+	}
+	if !reflect.DeepEqual(rec.tracks, want) {
+		t.Fatalf("counter tracks = %v, want %v", rec.tracks, want)
+	}
+	wantVals := []float64{10, 4, 6, 6, 3, 0}
+	if !reflect.DeepEqual(rec.values, wantVals) {
+		t.Fatalf("counter values = %v, want %v", rec.values, wantVals)
+	}
+	for i := 1; i < len(rec.at); i++ {
+		if rec.at[i] < rec.at[i-1] {
+			t.Fatalf("counter timestamps regress: %v", rec.at)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package telemetry
+
+// CounterRecorder is the slice of a trace recorder this package needs:
+// something that can append a Perfetto counter sample to a named track.
+// internal/trace.Recorder satisfies it; keeping the dependency as an
+// interface here leaves trace a leaf package.
+type CounterRecorder interface {
+	Counter(track string, atNs, value float64)
+}
+
+// TraceSink bridges the telemetry stream onto Perfetto counter tracks:
+// frontier size at iteration boundaries and the per-step maximum
+// dispatcher-buffer occupancy over simulated time. It is intentionally
+// NOT steady-state safe — each sample appends an event to the recorder —
+// so attach it for visualization runs, not allocation-audited ones.
+type TraceSink struct {
+	rec CounterRecorder
+}
+
+// NewTraceSink wraps a recorder (typically *trace.Recorder).
+func NewTraceSink(rec CounterRecorder) *TraceSink {
+	return &TraceSink{rec: rec}
+}
+
+func (t *TraceSink) BeginIteration(iter int, nowNs float64, frontierNNZ int64) {
+	t.rec.Counter("frontier-size", nowNs, float64(frontierNNZ))
+}
+
+func (t *TraceSink) StepSPUBusy(step int, nowNs float64, busyNs []float64) {}
+
+func (t *TraceSink) SPUAccums(nowNs float64, local, remote, long []int64) {}
+
+func (t *TraceSink) LinkWords(step int, nowNs float64, ringSegWords, tsvVaultWords []int64) {}
+
+func (t *TraceSink) DispatchOccupancy(step int, nowNs float64, bankPairs []int64) {
+	var max int64
+	for _, v := range bankPairs {
+		if v > max {
+			max = v
+		}
+	}
+	t.rec.Counter("dispatch-buffer-occupancy-pairs", nowNs, float64(max))
+}
+
+func (t *TraceSink) EndIteration(nowNs float64, frontierOut int64) {
+	t.rec.Counter("frontier-size", nowNs, float64(frontierOut))
+}
