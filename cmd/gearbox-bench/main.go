@@ -27,8 +27,9 @@ var cpuProfiling bool
 
 func main() {
 	size := flag.String("size", "small", "dataset size tier: tiny, small, medium")
-	exp := flag.String("exp", "all", "comma-separated experiments (table3,fig5,fig12,fig13,fig14a,fig14b,fig15,table5,fig16a,fig16b,fig17a,fig17b,table6,fig18, plus extensions scaling,utilization,heatmap,poolstats,ablation-overlap,ablation-buffer,ablation-linkwidth,ablation-refresh,ablation-errors) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiments (table3,fig5,fig12,fig13,fig14a,fig14b,fig15,table5,fig16a,fig16b,fig17a,fig17b,table6,fig18, plus extensions perf,scaling,utilization,heatmap,poolstats,ablation-overlap,ablation-buffer,ablation-linkwidth,ablation-refresh,ablation-errors) or 'all'")
 	workers := flag.Int("workers", 0, "parallelism: prewarm fan-out and per-machine worker pool (0: NumCPU)")
+	jsonPath := flag.String("json", "", "write the perf experiment's machine-readable report (BENCH_perf.json) to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -138,6 +139,23 @@ func main() {
 		"poolstats": func() (bench.Table, error) {
 			t, _, err := suite.PoolStats()
 			return t, err
+		},
+		"perf": func() (bench.Table, error) {
+			t, rep, err := suite.Perf()
+			if err != nil {
+				return t, err
+			}
+			if *jsonPath != "" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					return t, err
+				}
+				defer f.Close()
+				if err := rep.WriteJSON(f); err != nil {
+					return t, err
+				}
+			}
+			return t, nil
 		},
 	}
 	for _, name := range strings.Split(*exp, ",") {

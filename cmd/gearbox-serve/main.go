@@ -1,0 +1,46 @@
+// Command gearbox-serve runs the Gearbox simulator as a long-lived
+// multi-tenant HTTP service. Systems are built once per (dataset, size,
+// version, longfrac) key and pooled; every later run on the same key reuses
+// the built machine through the reset-to-pristine path, so a served run
+// skips the preprocess + partition + build cost the batch CLI pays every
+// invocation.
+//
+// Usage:
+//
+//	gearbox-serve [-addr :8642] [-run-workers 1] [-sim-workers 0] [-queue 16]
+//
+// Submit runs with POST /v1/runs (the response streams NDJSON lifecycle
+// events) and inspect the service with GET /v1/stats:
+//
+//	curl -sN localhost:8642/v1/runs -d '{"dataset":"patent","size":"tiny","app":"bfs"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"gearbox/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8642", "listen address")
+	runWorkers := flag.Int("run-workers", 1, "runs executing concurrently (each owns one pooled machine while it runs)")
+	simWorkers := flag.Int("sim-workers", 0, "worker goroutines per simulation (0: GOMAXPROCS, 1: serial; results are identical)")
+	queue := flag.Int("queue", 16, "admission queue depth across all tenants; overflow returns 429")
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		Workers:    *runWorkers,
+		QueueDepth: *queue,
+		SimWorkers: *simWorkers,
+	})
+	defer s.Close()
+
+	fmt.Printf("gearbox-serve: listening on %s (run workers %d, queue depth %d)\n", *addr, *runWorkers, *queue)
+	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "gearbox-serve:", err)
+		os.Exit(1)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"gearbox"
+	"gearbox/internal/cliutil"
 	"gearbox/internal/mtx"
 	"gearbox/internal/sparse"
 )
@@ -57,24 +58,20 @@ func main() {
 	}
 	defer writeMemProfile(*memProfile)
 
-	size, ok := map[string]gearbox.Size{"tiny": gearbox.Tiny, "small": gearbox.Small, "medium": gearbox.Medium}[*sizeFlag]
-	if !ok {
-		fatal(fmt.Errorf("unknown size %q", *sizeFlag))
+	size, err := cliutil.ParseSize(*sizeFlag)
+	if err != nil {
+		fatal(err)
 	}
-	ver, ok := map[string]gearbox.Version{"v1": gearbox.V1, "hypov2": gearbox.HypoV2, "v2": gearbox.V2, "v3": gearbox.V3}[strings.ToLower(*version)]
-	if !ok {
-		fatal(fmt.Errorf("unknown version %q", *version))
+	ver, err := cliutil.ParseVersion(*version)
+	if err != nil {
+		fatal(err)
 	}
-	placement, ok := map[string]gearbox.Placement{
-		"shuffled": gearbox.Shuffled, "samesubarray": gearbox.SameSubarray,
-		"samebank": gearbox.SameBank, "samevault": gearbox.SameVault, "distributed": gearbox.Distributed,
-	}[strings.ToLower(*placementFlag)]
-	if !ok {
-		fatal(fmt.Errorf("unknown placement %q", *placementFlag))
+	placement, err := cliutil.ParsePlacement(*placementFlag)
+	if err != nil {
+		fatal(err)
 	}
 
 	var ds *gearbox.Dataset
-	var err error
 	if *mtxPath != "" {
 		ds, err = loadMTX(*mtxPath, *workers)
 	} else {

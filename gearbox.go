@@ -2,6 +2,9 @@ package gearbox
 
 import (
 	"fmt"
+	"math"
+	"strings"
+	"sync"
 
 	"gearbox/internal/apps"
 	"gearbox/internal/area"
@@ -179,13 +182,38 @@ func resolveLongFrac(f float64) float64 {
 	return f
 }
 
+// validateLongFrac rejects the values resolveLongFrac would otherwise pass
+// straight into the partitioner as a degenerate plan: NaN (every comparison
+// is false, so no column is ever long yet the plan claims a long region) and
+// fractions above 1 (more long columns than columns). Negative values are a
+// valid encoding (exactly zero long columns), so only the upper side errors.
+func validateLongFrac(f float64) error {
+	if math.IsNaN(f) {
+		return fmt.Errorf("gearbox: LongFrac is NaN; use 0 for the paper default or a negative value for no long columns")
+	}
+	if f > 1 {
+		return fmt.Errorf("gearbox: LongFrac %v > 1; the long-column fraction cannot exceed the whole matrix", f)
+	}
+	return nil
+}
+
 // System is a partitioned Gearbox stack ready to run applications on one
-// matrix.
+// matrix. The expensive work — partition plan and machine construction —
+// happens once: the first app run builds the machine, and every later run
+// reuses it through the reset-to-pristine path (Machine.ResetForRun), so
+// results are bit-identical to fresh builds while the build cost is paid a
+// single time. App runs serialize on an internal mutex (one simulated stack
+// runs one app at a time); concurrent callers simply queue.
 type System struct {
 	opts   Options
 	matrix *Matrix // original labeling
 	plan   *partition.Plan
 	run    apps.RunConfig
+
+	// mu serializes app runs on the pooled machine; mach is the machine the
+	// first run built, reset and reused by every later run.
+	mu   sync.Mutex
+	mach *core.Machine
 
 	// Observability subscribers, applied to every machine app runs build.
 	traceRec *TraceRecorder
@@ -197,6 +225,9 @@ type System struct {
 func NewSystem(m *Matrix, opts Options) (*System, error) {
 	if opts.Version == 0 {
 		opts.Version = V3
+	}
+	if err := validateLongFrac(opts.LongFrac); err != nil {
+		return nil, err
 	}
 	opts.LongFrac = resolveLongFrac(opts.LongFrac)
 	geo := mem.DefaultGeometry()
@@ -219,7 +250,7 @@ func NewSystem(m *Matrix, opts Options) (*System, error) {
 	mcfg := core.DefaultConfig()
 	mcfg.Geo, mcfg.Tim = geo, tim
 	mcfg.Workers = opts.Workers
-	return &System{
+	s := &System{
 		opts:   opts,
 		matrix: m,
 		plan:   plan,
@@ -229,7 +260,44 @@ func NewSystem(m *Matrix, opts Options) (*System, error) {
 			MaxIters:  opts.MaxIters,
 			Plan:      plan,
 		},
-	}, nil
+	}
+	// Capture the machine the first run builds (for reuse by later runs) and
+	// attach the current observability subscribers to every run's machine.
+	s.run.OnMachine = s.onMachine
+	return s, nil
+}
+
+// onMachine runs at the start of every app run, after build or reset: it
+// pools the machine for reuse and attaches the current subscribers (a reset
+// machine detaches them, exactly like a fresh build).
+func (s *System) onMachine(m *core.Machine) {
+	s.mach = m
+	if s.traceRec != nil {
+		m.SetTrace(s.traceRec.Hook())
+	}
+	m.SetTelemetry(s.telSink)
+}
+
+// runConfig returns the RunConfig for the next app run, routing it onto the
+// pooled machine once one exists. Callers hold s.mu.
+func (s *System) runConfig() apps.RunConfig {
+	cfg := s.run
+	cfg.Reuse = s.mach
+	return cfg
+}
+
+// Reset returns the system's pooled machine to pristine immediately (clock,
+// output and accumulator state, error streams, iteration numbering), as if
+// no app had run yet. Calling it between runs is optional — every run resets
+// the machine on entry — but it lets a pool manager scrub tenant state
+// eagerly, e.g. before caching the system for a different tenant. A system
+// that has not run anything yet is already pristine; Reset is then a no-op.
+func (s *System) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mach != nil {
+		s.mach.ResetForRun(nil)
+	}
 }
 
 // Matrix returns the matrix the system was built for, in its original
@@ -246,75 +314,191 @@ func (s *System) LongCount() int { return int(s.plan.LastLong + 1) }
 
 // BFS runs breadth-first search from source (original labeling).
 func (s *System) BFS(source int32) (*BFSResult, error) {
-	return apps.BFS(s.matrix, source, s.run)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return apps.BFS(s.matrix, source, s.runConfig())
 }
 
 // PageRank runs the damped power iteration for iters iterations.
 func (s *System) PageRank(damping float32, iters int) (*PRResult, error) {
-	return apps.PageRank(s.matrix, damping, iters, s.run)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return apps.PageRank(s.matrix, damping, iters, s.runConfig())
 }
 
 // SSSP runs single-source shortest paths from source (original labeling).
 func (s *System) SSSP(source int32) (*SSSPResult, error) {
-	return apps.SSSP(s.matrix, source, s.run)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return apps.SSSP(s.matrix, source, s.runConfig())
 }
 
 // SpKNN scores numQueries sparse queries of queryNNZ non-zeros each and
 // returns their top-k neighbors. Queries are generated from seed.
 func (s *System) SpKNN(numQueries, queryNNZ, k int, seed int64) (*KNNResult, error) {
-	return apps.SpKNN(s.matrix, numQueries, queryNNZ, k, seed, s.run)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return apps.SpKNN(s.matrix, numQueries, queryNNZ, k, seed, s.runConfig())
 }
 
 // SVM runs linear-SVM inference over batches weight vectors of weightNNZ
 // non-zeros each, generated from seed.
 func (s *System) SVM(batches, weightNNZ int, bias float32, seed int64) (*SVMResult, error) {
-	return apps.SVM(s.matrix, batches, weightNNZ, bias, seed, s.run)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return apps.SVM(s.matrix, batches, weightNNZ, bias, seed, s.runConfig())
 }
 
 // ConnectedComponents runs min-label propagation (a §9 "other irregular
 // kernels" extension); meaningful on symmetric matrices.
 func (s *System) ConnectedComponents() (*CCResult, error) {
-	return apps.ConnectedComponents(s.matrix, s.run)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return apps.ConnectedComponents(s.matrix, s.runConfig())
 }
 
 // SpMV computes one y = M*x product over plus-times (zeros in x are
 // skipped, so a sparse x is SpMSpV).
 func (s *System) SpMV(x []float32) (*SpMVResult, error) {
-	return apps.SpMV(s.matrix, x, s.run)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return apps.SpMV(s.matrix, x, s.runConfig())
 }
 
 // SpGEMM computes C = M*B column by column, with M resident in the stack.
 func (s *System) SpGEMM(b *Matrix) (*SpGEMMResult, error) {
-	return apps.SpGEMM(s.matrix, b, s.run)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return apps.SpGEMM(s.matrix, b, s.runConfig())
 }
+
+// RunRequest names an application run in the generic dispatch form shared by
+// the CLIs and the serving layer. App selects the kernel; the remaining
+// fields parameterize it, and zero values select the same defaults the
+// gearbox-sim CLI uses, so a zero-filled request for any app is runnable.
+type RunRequest struct {
+	// App is one of "bfs", "pr", "sssp", "spknn", "svm", "cc" (case
+	// insensitive, matching the gearbox-sim -app flag).
+	App string
+	// Source is the bfs/sssp source vertex in the original labeling.
+	Source int32
+	// Damping is the PageRank damping factor (0: 0.85).
+	Damping float32
+	// Iters bounds PageRank (0: 10 iterations).
+	Iters int
+	// Seed drives the spknn/svm input generators (0: seed 1).
+	Seed int64
+}
+
+// RunOutput is the application-independent result of a Run: the hardware
+// statistics and workload summary every app reports, plus a one-line
+// human-readable Detail identical to the gearbox-sim CLI's result line.
+type RunOutput struct {
+	App    string
+	Detail string
+	Stats  RunStats
+	Work   Work
+}
+
+// Run dispatches a generic run request onto the system. It is the engine
+// behind gearbox-serve: every app is reachable through one call with one
+// result shape, on the same pooled machine the typed methods use.
+func (s *System) Run(req RunRequest) (*RunOutput, error) {
+	n := s.matrix.NumRows
+	iters := req.Iters
+	if iters == 0 {
+		iters = 10
+	}
+	damping := req.Damping
+	if damping == 0 {
+		damping = 0.85
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	out := &RunOutput{App: strings.ToLower(req.App)}
+	switch out.App {
+	case "bfs":
+		res, err := s.BFS(req.Source)
+		if err != nil {
+			return nil, err
+		}
+		out.Stats, out.Work = res.Stats, res.Work
+		out.Detail = fmt.Sprintf("visited %d of %d vertices", res.Visited, n)
+	case "pr":
+		res, err := s.PageRank(damping, iters)
+		if err != nil {
+			return nil, err
+		}
+		out.Stats, out.Work = res.Stats, res.Work
+		var sum float32
+		for _, r := range res.Ranks {
+			sum += r
+		}
+		out.Detail = fmt.Sprintf("rank mass %.4f over %d vertices", sum, len(res.Ranks))
+	case "sssp":
+		res, err := s.SSSP(req.Source)
+		if err != nil {
+			return nil, err
+		}
+		out.Stats, out.Work = res.Stats, res.Work
+		reach := 0
+		for _, d := range res.Dist {
+			if d < float32(1e30) {
+				reach++
+			}
+		}
+		out.Detail = fmt.Sprintf("reached %d vertices", reach)
+	case "spknn":
+		res, err := s.SpKNN(4, int(n/16)+1, 10, seed)
+		if err != nil {
+			return nil, err
+		}
+		out.Stats, out.Work = res.Stats, res.Work
+		out.Detail = fmt.Sprintf("%d queries, top-%d each", len(res.Neighbors), 10)
+	case "svm":
+		res, err := s.SVM(4, int(n/16)+1, 0.5, seed)
+		if err != nil {
+			return nil, err
+		}
+		out.Stats, out.Work = res.Stats, res.Work
+		out.Detail = fmt.Sprintf("%d inference batches", len(res.Classes))
+	case "cc":
+		res, err := s.ConnectedComponents()
+		if err != nil {
+			return nil, err
+		}
+		out.Stats, out.Work = res.Stats, res.Work
+		out.Detail = fmt.Sprintf("%d connected components", res.Count)
+	default:
+		return nil, fmt.Errorf("gearbox: unknown app %q (want bfs, pr, sssp, spknn, svm or cc)", req.App)
+	}
+	return out, nil
+}
+
+// Apps lists the App names Run accepts, in gearbox-sim flag order.
+func Apps() []string { return []string{"bfs", "pr", "sssp", "spknn", "svm", "cc"} }
 
 // NewTraceRecorder returns a recorder for the phase timeline.
 func NewTraceRecorder() *TraceRecorder { return trace.New() }
 
-// Trace attaches a recorder to every machine subsequent app runs build.
-// Trace and Telemetry compose: both subscribers see the same machines.
+// Trace attaches a recorder to every subsequent app run (nil detaches).
+// Trace and Telemetry compose: both subscribers see the same runs.
 func (s *System) Trace(r *TraceRecorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.traceRec = r
-	s.bindOnMachine()
 }
 
-// Telemetry attaches a spatial telemetry sink to every machine subsequent
-// app runs build (nil detaches). Use NewSpatialStats for the standard
-// accumulating sink, NewTraceCounterSink to feed Perfetto counter tracks,
-// and TeeTelemetry to combine several sinks.
+// Telemetry attaches a spatial telemetry sink to every subsequent app run
+// (nil detaches). Use NewSpatialStats for the standard accumulating sink,
+// NewTraceCounterSink to feed Perfetto counter tracks, and TeeTelemetry to
+// combine several sinks.
 func (s *System) Telemetry(sink TelemetrySink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.telSink = sink
-	s.bindOnMachine()
-}
-
-func (s *System) bindOnMachine() {
-	tr, tel := s.traceRec, s.telSink
-	s.run.OnMachine = func(m *core.Machine) {
-		if tr != nil {
-			m.SetTrace(tr.Hook())
-		}
-		m.SetTelemetry(tel)
-	}
 }
 
 // NewSpatialStats allocates a telemetry sink sized for this system's
@@ -360,6 +544,9 @@ type FrontierEntry = core.FrontierEntry
 func NewMultiStackDevice(m *Matrix, stacks int, opts Options) (*MultiStackDevice, error) {
 	if opts.Version == 0 {
 		opts.Version = V3
+	}
+	if err := validateLongFrac(opts.LongFrac); err != nil {
+		return nil, err
 	}
 	opts.LongFrac = resolveLongFrac(opts.LongFrac)
 	pcfg, err := opts.Version.PartitionConfig(opts.LongFrac, opts.Placement, opts.Seed)

@@ -1,6 +1,7 @@
 package gearbox_test
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
@@ -222,6 +223,117 @@ func TestConnectedComponentsViaAPI(t *testing.T) {
 	for v := range want {
 		if res.Component[v] != want[v] {
 			t.Fatalf("component[%d] = %d, want %d", v, res.Component[v], want[v])
+		}
+	}
+}
+
+// TestSystemReusesMachineBitExact pins the build-once-run-many contract of
+// System: after the first run the machine is pooled and reset for every later
+// run, and each run (even after a different app dirtied the machine) is
+// bit-identical to the same run on a brand-new System.
+func TestSystemReusesMachineBitExact(t *testing.T) {
+	reused, ds := system(t, gearbox.V3)
+	// Dirty the pooled machine across several apps and semirings.
+	if _, err := reused.PageRank(0.85, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reused.SSSP(1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := reused.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := gearbox.NewSystem(ds.Matrix, gearbox.Options{Version: gearbox.V3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("third run on a reused System differs from the first run on a fresh System")
+	}
+
+	// An explicit Reset between runs must not change anything either.
+	reused.Reset()
+	again, err := reused.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, want) {
+		t.Fatal("run after explicit Reset differs from a fresh System")
+	}
+}
+
+// TestSystemRunDispatch checks the generic Run entry point: every app name
+// dispatches, results match the typed methods, and the detail line is
+// human-readable.
+func TestSystemRunDispatch(t *testing.T) {
+	sys, ds := system(t, gearbox.V3)
+	for _, app := range gearbox.Apps() {
+		out, err := sys.Run(gearbox.RunRequest{App: app})
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if out.App != app {
+			t.Fatalf("out.App = %q, want %q", out.App, app)
+		}
+		if out.Detail == "" {
+			t.Fatalf("%s: empty detail", app)
+		}
+		if out.Stats.TimeNs() <= 0 {
+			t.Fatalf("%s: no simulated time", app)
+		}
+		if out.Work.Iterations == 0 {
+			t.Fatalf("%s: no iterations recorded", app)
+		}
+	}
+
+	// Run must agree with the typed method on a fresh System.
+	out, err := sys.Run(gearbox.RunRequest{App: "BFS", Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := gearbox.NewSystem(ds.Matrix, gearbox.Options{Version: gearbox.V3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Stats, want.Stats) || !reflect.DeepEqual(out.Work, want.Work) {
+		t.Fatal("Run(bfs) stats differ from System.BFS on a fresh build")
+	}
+
+	if _, err := sys.Run(gearbox.RunRequest{App: "nope"}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+// TestLongFracRejectsDegenerate pins the Options.LongFrac validation: NaN and
+// fractions above 1 are rejected by both system constructors before any
+// partitioning work happens.
+func TestLongFracRejectsDegenerate(t *testing.T) {
+	ds, err := gearbox.LoadDataset("patent", gearbox.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{math.NaN(), 1.5, math.Inf(1)} {
+		if _, err := gearbox.NewSystem(ds.Matrix, gearbox.Options{LongFrac: f}); err == nil {
+			t.Fatalf("NewSystem accepted LongFrac=%v", f)
+		}
+		if _, err := gearbox.NewMultiStackDevice(ds.Matrix, 2, gearbox.Options{LongFrac: f}); err == nil {
+			t.Fatalf("NewMultiStackDevice accepted LongFrac=%v", f)
+		}
+	}
+	// The boundary value 1 and negatives stay valid.
+	for _, f := range []float64{1, -1} {
+		if _, err := gearbox.NewSystem(ds.Matrix, gearbox.Options{LongFrac: f}); err != nil {
+			t.Fatalf("NewSystem rejected LongFrac=%v: %v", f, err)
 		}
 	}
 }

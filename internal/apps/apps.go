@@ -30,6 +30,15 @@ type RunConfig struct {
 	// Plan, when non-nil, reuses a prebuilt partition (it must match
 	// Partition and Machine.Geo).
 	Plan *partition.Plan
+	// Reuse, when non-nil, runs the app on this already-built machine
+	// instead of constructing a fresh one: the machine is returned to
+	// pristine with ResetForRun (swapping in the app's semiring), so the
+	// run is bit-identical to one on a fresh build while skipping the
+	// partition and machine construction cost — the build-once-run-many
+	// path. The machine's plan must be the one the run expects (Plan, when
+	// both are set). Partition and Machine are ignored on this path; the
+	// caller must not touch the machine while the run is in flight.
+	Reuse *gearbox.Machine
 	// OnMachine, when non-nil, receives the machine before the run starts
 	// (e.g. to attach a trace recorder).
 	OnMachine func(*gearbox.Machine)
@@ -83,8 +92,22 @@ func (r *Result) finish() {
 	}
 }
 
-// buildMachine assembles plan + machine for a run.
+// buildMachine assembles plan + machine for a run, or re-arms the pooled
+// machine on the Reuse path.
 func buildMachine(m *sparse.CSC, sem semiring.Semiring, cfg RunConfig) (*gearbox.Machine, error) {
+	if mach := cfg.Reuse; mach != nil {
+		if cfg.Plan != nil && mach.Plan() != cfg.Plan {
+			return nil, fmt.Errorf("apps: reused machine was built for a different plan")
+		}
+		if mach.Plan().Matrix.NumRows != m.NumRows {
+			return nil, fmt.Errorf("apps: reused machine was built for a %d-row matrix, run wants %d", mach.Plan().Matrix.NumRows, m.NumRows)
+		}
+		mach.ResetForRun(sem)
+		if cfg.OnMachine != nil {
+			cfg.OnMachine(mach)
+		}
+		return mach, nil
+	}
 	plan := cfg.Plan
 	if plan == nil {
 		var err error

@@ -1,0 +1,104 @@
+package apps
+
+import (
+	"reflect"
+	"testing"
+
+	"gearbox/internal/gearbox"
+	"gearbox/internal/partition"
+	"gearbox/internal/semiring"
+)
+
+func TestReuseMatchesFreshBuild(t *testing.T) {
+	m := graph(t, 11)
+	base := smallRunConfig()
+	plan, err := partition.Build(m, base.Machine.Geo, base.Partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := gearbox.New(plan, semiring.PlusTimes{}, base.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := base
+	fresh.Plan = plan
+	reuse := fresh
+	reuse.Reuse = mach
+
+	// Dirty the pooled machine with a different app and semiring first, so
+	// the comparison exercises cross-app reuse, not just a cold machine.
+	if _, err := PageRank(m, 0.85, 3, reuse); err != nil {
+		t.Fatal(err)
+	}
+
+	gotBFS, err := BFS(m, 0, reuse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBFS, err := BFS(m, 0, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotBFS, wantBFS) {
+		t.Fatal("BFS on a reused machine differs from a fresh build")
+	}
+
+	gotPR, err := PageRank(m, 0.85, 4, reuse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPR, err := PageRank(m, 0.85, 4, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotPR, wantPR) {
+		t.Fatal("PageRank on a reused machine differs from a fresh build")
+	}
+
+	gotSSSP, err := SSSP(m, 1, reuse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSSSP, err := SSSP(m, 1, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotSSSP, wantSSSP) {
+		t.Fatal("SSSP on a reused machine differs from a fresh build")
+	}
+}
+
+func TestReuseRejectsMismatchedMachine(t *testing.T) {
+	m := graph(t, 12)
+	other := roadGraph(t) // different row count than the RMAT graph
+	base := smallRunConfig()
+	plan, err := partition.Build(m, base.Machine.Geo, base.Partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := gearbox.New(plan, semiring.BoolOrAnd{}, base.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	cfg.Reuse = mach
+	if _, err := BFS(other, 0, cfg); err == nil {
+		t.Fatal("machine built for a different matrix accepted")
+	}
+
+	plan2, err := partition.Build(m, base.Machine.Geo, base.Partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Plan = plan2 // same matrix, different plan instance
+	if _, err := BFS(m, 0, cfg); err == nil {
+		t.Fatal("machine built for a different plan accepted")
+	}
+
+	// The matching plan still runs.
+	cfg.Plan = plan
+	if _, err := BFS(m, 0, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

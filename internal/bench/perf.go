@@ -1,0 +1,82 @@
+package bench
+
+// The perf experiment is the repo's performance trajectory anchor: one V3
+// run per (dataset, app) pair, reduced to the headline simulated metrics and
+// written as BENCH_perf.json by CI on every commit. Because the simulator is
+// deterministic, any diff in this file is a real modeling change, not noise —
+// the JSON doubles as a regression fence and as the longitudinal record the
+// ROADMAP's perf-trajectory item asks for.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// PerfEntry is one (dataset, app) cell of the perf report.
+type PerfEntry struct {
+	Dataset      string  `json:"dataset"`
+	App          string  `json:"app"`
+	Version      string  `json:"version"`
+	TimeNs       float64 `json:"time_ns"`
+	EnergyJ      float64 `json:"energy_j"`
+	Iterations   int     `json:"iterations"`
+	ProcessedNNZ int64   `json:"processed_nnz"`
+	// GTEPS is processed matrix entries per simulated second, in billions —
+	// the cross-dataset throughput headline.
+	GTEPS float64 `json:"gteps"`
+}
+
+// PerfReport is the machine-readable result of the perf experiment.
+type PerfReport struct {
+	Size    string      `json:"size"`
+	Entries []PerfEntry `json:"entries"`
+}
+
+// WriteJSON emits the report as one indented JSON object.
+func (r PerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Perf runs every application on every dataset at GearboxV3 and reports the
+// headline simulated metrics per cell.
+func (s *Suite) Perf() (Table, PerfReport, error) {
+	t := Table{
+		Title:  "Perf trajectory (GearboxV3, simulated headline metrics)",
+		Header: []string{"dataset", "app", "time_us", "energy_mJ", "iters", "nnz", "GTEPS"},
+		Notes:  []string{"deterministic: any diff against a prior BENCH_perf.json is a modeling change"},
+	}
+	rep := PerfReport{Size: s.Cfg.Size.String()}
+	em := s.energyModel()
+	for _, d := range s.Datasets() {
+		for _, app := range []string{"BFS", "PR", "SPKNN", "SSSP", "SVM"} {
+			res, err := s.RunVersion(app, d, "V3")
+			if err != nil {
+				return t, rep, err
+			}
+			timeNs := res.Stats.TimeNs()
+			energyJ := em.Breakdown(res.Stats.EventsTotal(), timeNs).Total()
+			gteps := 0.0
+			if timeNs > 0 {
+				gteps = float64(res.Work.ProcessedNNZ) / timeNs // nnz/ns == Gnnz/s
+			}
+			rep.Entries = append(rep.Entries, PerfEntry{
+				Dataset:      d.Name,
+				App:          app,
+				Version:      "V3",
+				TimeNs:       timeNs,
+				EnergyJ:      energyJ,
+				Iterations:   res.Work.Iterations,
+				ProcessedNNZ: res.Work.ProcessedNNZ,
+				GTEPS:        gteps,
+			})
+			t.Rows = append(t.Rows, []string{
+				d.Name, app, f1(timeNs / 1e3), f3(energyJ * 1e3),
+				fmt.Sprintf("%d", res.Work.Iterations), fmt.Sprintf("%d", res.Work.ProcessedNNZ), f3(gteps),
+			})
+		}
+	}
+	return t, rep, nil
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestPerfReport pins the perf experiment: full dataset x app coverage, a
+// valid JSON round trip, and determinism (two runs from independent suites
+// produce byte-identical reports — the property that makes BENCH_perf.json
+// diffable as a regression fence).
+func TestPerfReport(t *testing.T) {
+	run := func() (Table, PerfReport) {
+		s, err := NewSuite(TinyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, rep, err := s.Perf()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb, rep
+	}
+	tb, rep := run()
+	if len(rep.Entries) != 25 { // 5 datasets x 5 apps
+		t.Fatalf("entries = %d, want 25", len(rep.Entries))
+	}
+	if len(tb.Rows) != 25 {
+		t.Fatalf("table rows = %d, want 25", len(tb.Rows))
+	}
+	for _, e := range rep.Entries {
+		if e.TimeNs <= 0 || e.EnergyJ <= 0 || e.Iterations == 0 || e.ProcessedNNZ == 0 || e.GTEPS <= 0 {
+			t.Fatalf("degenerate entry: %+v", e)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back PerfReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, rep) {
+		t.Fatal("JSON round trip lost data")
+	}
+
+	_, rep2 := run()
+	if !reflect.DeepEqual(rep, rep2) {
+		t.Fatal("perf report is not deterministic across suites")
+	}
+}

@@ -1,0 +1,61 @@
+// Package cliutil holds the flag-value parsing shared by the gearbox
+// command-line tools and the serving layer: dataset size tiers, Table 4
+// version names, and placement policies all accept the same spellings in
+// gearbox-sim flags, gearbox-serve requests, and gearbox-bench experiments,
+// so the string-to-value maps live here exactly once.
+package cliutil
+
+import (
+	"fmt"
+	"strings"
+
+	"gearbox"
+)
+
+// ParseSize maps a size-tier name ("tiny", "small", "medium") onto the
+// dataset scale. The empty string selects small, the CLI default.
+func ParseSize(s string) (gearbox.Size, error) {
+	switch strings.ToLower(s) {
+	case "tiny":
+		return gearbox.Tiny, nil
+	case "", "small":
+		return gearbox.Small, nil
+	case "medium":
+		return gearbox.Medium, nil
+	}
+	return 0, fmt.Errorf("unknown size %q (want tiny, small or medium)", s)
+}
+
+// ParseVersion maps a Table 4 version name ("v1", "hypov2", "v2", "v3") onto
+// the variant. The empty string selects V3, the paper's full design.
+func ParseVersion(s string) (gearbox.Version, error) {
+	switch strings.ToLower(s) {
+	case "v1":
+		return gearbox.V1, nil
+	case "hypov2":
+		return gearbox.HypoV2, nil
+	case "v2":
+		return gearbox.V2, nil
+	case "", "v3":
+		return gearbox.V3, nil
+	}
+	return 0, fmt.Errorf("unknown version %q (want v1, hypov2, v2 or v3)", s)
+}
+
+// ParsePlacement maps a placement-policy name onto the Fig. 16b policy. The
+// empty string selects shuffled, the paper's default.
+func ParsePlacement(s string) (gearbox.Placement, error) {
+	switch strings.ToLower(s) {
+	case "", "shuffled":
+		return gearbox.Shuffled, nil
+	case "samesubarray":
+		return gearbox.SameSubarray, nil
+	case "samebank":
+		return gearbox.SameBank, nil
+	case "samevault":
+		return gearbox.SameVault, nil
+	case "distributed":
+		return gearbox.Distributed, nil
+	}
+	return 0, fmt.Errorf("unknown placement %q (want shuffled, samesubarray, samebank, samevault or distributed)", s)
+}

@@ -42,6 +42,11 @@ type Frontier struct {
 	// it guards against double-Recycle handing the same backing arrays to
 	// two callers.
 	pooled bool
+	// epoch is the machine run epoch the frontier was built in. ResetForRun
+	// bumps the machine's epoch, so a frontier that survived from before a
+	// reset can neither be iterated (Iterate errors) nor slipped back into
+	// the recycle pool (Recycle drops it).
+	epoch int32
 }
 
 // NNZ reports the frontier's total entry count.
@@ -162,6 +167,9 @@ type Machine struct {
 	// Frontier recycle pool: frontiers handed back via Recycle, reused by
 	// DistributeFrontier and step 6 instead of fresh allocations.
 	freeFrontiers []*Frontier
+	// runEpoch counts ResetForRun calls; frontiers are stamped with it so
+	// pre-reset stragglers are rejected instead of corrupting the next run.
+	runEpoch int32
 
 	// Current-iteration state published for the pre-bound worker bodies
 	// (created once at New, so Iterate never allocates closures).
@@ -391,6 +399,12 @@ func (m *Machine) Iterate(f *Frontier, opts IterateOptions) (*Frontier, IterStat
 	if len(f.Local) != m.plan.NumSPUs {
 		return nil, IterStats{}, fmt.Errorf("gearbox: frontier built for %d SPUs, machine has %d", len(f.Local), m.plan.NumSPUs) //gearbox:alloc-ok cold path: caller misuse aborts the iteration
 	}
+	if f.pooled {
+		return nil, IterStats{}, fmt.Errorf("gearbox: frontier was recycled; the pool owns its buffers") //gearbox:alloc-ok cold path: caller misuse aborts the iteration
+	}
+	if f.epoch != m.runEpoch {
+		return nil, IterStats{}, fmt.Errorf("gearbox: frontier from run epoch %d, machine was reset to epoch %d (redistribute the entries after ResetForRun)", f.epoch, m.runEpoch) //gearbox:alloc-ok cold path: caller misuse aborts the iteration
+	}
 	if opts.Apply != nil && int32(len(opts.Apply.Y)) != m.plan.Matrix.NumRows {
 		return nil, IterStats{}, fmt.Errorf("gearbox: apply vector length %d, want %d", len(opts.Apply.Y), m.plan.Matrix.NumRows) //gearbox:alloc-ok cold path: caller misuse aborts the iteration
 	}
@@ -468,6 +482,61 @@ func (m *Machine) TelemetryShape() telemetry.Shape {
 // instrumentation (par.Pool.SetInstrumented) on the exact pool the step
 // loops run on.
 func (m *Machine) Pool() *par.Pool { return m.pool }
+
+// ResetForRun returns a used machine to its just-built state, so a pooled
+// machine can run another application without re-partitioning or rebuilding
+// its worker pool. Passing a non-nil semiring also swaps the algebra (the
+// clean value follows it), letting one machine serve apps over different
+// semirings. After the reset the machine is observationally identical to a
+// freshly built one: the engine clock is back at zero, the output vector,
+// long-region accumulator and every replica hold the clean value, the
+// error-injection streams are re-seeded to their initial states and the flip
+// counters are zero, the interconnect counters are clear, iteration
+// numbering restarts, and the trace and telemetry subscribers are detached
+// (reattach them afterwards, as on a fresh build). A fresh-build-vs-reset
+// equivalence suite pins that a run after ResetForRun is bit-identical —
+// results, statistics and telemetry — to the same run on a fresh machine.
+//
+// The frontier recycle pool and all scratch allocations survive, which is
+// the point: the second run reuses the first run's high-water buffers.
+// Frontiers that escaped from before the reset are fenced off by a run
+// epoch: Iterate rejects them and Recycle drops them.
+func (m *Machine) ResetForRun(sem semiring.Semiring) {
+	if sem != nil {
+		m.sem = sem
+	}
+	m.clean = m.sem.Zero()
+
+	m.eng.Reset()
+	m.net.Reset()
+	m.tel = nil
+
+	for i := range m.output {
+		m.output[i] = m.clean
+	}
+	for i := range m.logicAcc {
+		m.logicAcc[i] = m.clean
+	}
+	m.logicDirty = m.logicDirty[:0]
+	for k := range m.replicas {
+		rep := m.replicas[k]
+		for i := range rep {
+			rep[i] = m.clean
+		}
+	}
+	for k := range m.errStates {
+		m.errStates[k] = errStreamSeed(m.cfg.ErrorSeed, k)
+		m.errCounts[k] = 0
+	}
+	for k := range m.telLocal {
+		m.telLocal[k], m.telRemote[k], m.telLng[k] = 0, 0, 0
+	}
+	m.resetScratch()
+	m.iterCount = 0
+	m.iterSt = IterStats{}
+	m.curF, m.curApply, m.curNext = nil, nil, nil
+	m.runEpoch++
+}
 
 // stepTelemetry feeds the sink after step (1-based) has played on the
 // engine clock. It runs between steps, so the per-step state it reads —

@@ -82,14 +82,16 @@ func (m *Machine) initScratch() {
 // Recycle hands a frontier back to the machine's reuse pool. It is the
 // caller's declaration that nothing aliases the frontier's entry slices any
 // more: DistributeFrontier and Iterate will reuse the backing arrays for
-// later frontiers. Recycling nil, a frontier built for another machine, or a
-// frontier already in the pool is a safe no-op (the pooled flag guards
-// double-Recycle, which would otherwise hand the same arrays to two owners).
-// Never recycle a frontier that is an argument of an in-flight Iterate.
+// later frontiers. Recycling nil, a frontier built for another machine, a
+// frontier from before the last ResetForRun, or a frontier already in the
+// pool is a safe no-op (the pooled flag guards double-Recycle, which would
+// otherwise hand the same arrays to two owners; the epoch guard keeps
+// pre-reset stragglers out of the pristine pool). Never recycle a frontier
+// that is an argument of an in-flight Iterate.
 //
 //gearbox:steadystate
 func (m *Machine) Recycle(f *Frontier) {
-	if f == nil || f.pooled || len(f.Local) != m.plan.NumSPUs {
+	if f == nil || f.pooled || f.epoch != m.runEpoch || len(f.Local) != m.plan.NumSPUs {
 		return
 	}
 	f.Long = f.Long[:0]
@@ -104,7 +106,9 @@ func (m *Machine) Recycle(f *Frontier) {
 
 // getFrontier pops a recycled frontier shell, or builds a fresh one. The
 // pooled flag is cleared so frontiers observed outside the machine are never
-// marked (reflect.DeepEqual over frontiers stays meaningful in tests).
+// marked (reflect.DeepEqual over frontiers stays meaningful in tests), and
+// the shell is stamped with the current run epoch so it stays usable until
+// the next ResetForRun.
 //
 //gearbox:steadystate
 func (m *Machine) getFrontier() *Frontier {
@@ -113,9 +117,10 @@ func (m *Machine) getFrontier() *Frontier {
 		m.freeFrontiers[n-1] = nil
 		m.freeFrontiers = m.freeFrontiers[:n-1]
 		f.pooled = false
+		f.epoch = m.runEpoch
 		return f
 	}
-	return &Frontier{Local: make([][]FrontierEntry, m.plan.NumSPUs)} //gearbox:alloc-ok pool miss: only before the recycle pool reaches steady state
+	return &Frontier{Local: make([][]FrontierEntry, m.plan.NumSPUs), epoch: m.runEpoch} //gearbox:alloc-ok pool miss: only before the recycle pool reaches steady state
 }
 
 // bindWorkerFns creates the closures the parallel regions pass to the worker

@@ -1,0 +1,86 @@
+package serve
+
+// The HTTP/JSON front end over the serving core. One POST endpoint submits
+// a run and streams its lifecycle as NDJSON (one Event per line, flushed as
+// it happens), so a client sees queued/started progress before the result;
+// the rest is introspection. Transport concerns stop here — handlers only
+// translate between HTTP and the core's Submit/Stats.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"gearbox"
+)
+
+// Handler returns the gearbox-serve HTTP API:
+//
+//	POST /v1/runs   submit a run (JSON Request body); the response streams
+//	                NDJSON Events and ends with "result" or "error".
+//	                429 when the admission queue is full, 400 on a bad
+//	                request body.
+//	GET  /v1/apps   the app names POST /v1/runs accepts.
+//	GET  /v1/stats  queue, tenant, and pool introspection.
+//	GET  /healthz   liveness.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleRun)
+	mux.HandleFunc("GET /v1/apps", handleApps)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "serve: bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	j, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	fl, _ := w.(http.Flusher)
+	for ev := range j.Events() {
+		if err := enc.Encode(ev); err != nil {
+			// Client went away; the run still completes on the server so the
+			// pooled machine is left in a consistent state.
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+}
+
+func handleApps(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Apps []string `json:"apps"`
+	}{gearbox.Apps()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats())
+}

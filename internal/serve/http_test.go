@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postRun(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestHTTPRunStreamsNDJSON pins the happy path: a POST streams the queued,
+// started, and result events as one JSON object per line.
+func TestHTTPRunStreamsNDJSON(t *testing.T) {
+	s := New(Config{Build: tinySystem(t)})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postRun(t, ts.URL, `{"dataset":"patent","size":"tiny","app":"bfs","telemetry":true}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	var kinds []string
+	var last Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24) // the result line carries telemetry arrays
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		kinds = append(kinds, ev.Event)
+		last = ev
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"queued", "started", "result"}; strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("event kinds = %v, want %v", kinds, want)
+	}
+	if last.Result == nil || !strings.Contains(last.Result.Detail, "visited") {
+		t.Fatalf("result event = %+v, want a BFS detail line", last)
+	}
+	if last.Result.Telemetry == nil || last.Result.Telemetry.Iterations == 0 {
+		t.Fatalf("telemetry snapshot missing: %+v", last.Result)
+	}
+}
+
+// TestHTTPBackpressure429 pins load shedding at the HTTP layer: with the
+// queue full, POST /v1/runs returns 429 with a Retry-After hint.
+func TestHTTPBackpressure429(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s := New(Config{QueueDepth: 1, Build: gatedBuilder(t, entered, release)})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"dataset":"patent","size":"tiny","app":"bfs"}`
+	// First request occupies the worker; read its stream in the background.
+	first := postRun(t, ts.URL, body)
+	defer first.Body.Close()
+	<-entered
+	second := postRun(t, ts.URL, body) // fills the queue
+	defer second.Body.Close()
+
+	third := postRun(t, ts.URL, body)
+	defer third.Body.Close()
+	if third.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", third.StatusCode)
+	}
+	if third.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	close(release)
+}
+
+// TestHTTPBadRequests pins the 400 paths and the introspection endpoints.
+func TestHTTPBadRequests(t *testing.T) {
+	s := New(Config{Build: tinySystem(t)})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{
+		`not json`,
+		`{"dataset":"patent","app":"nope"}`,
+		`{"app":"bfs"}`, // missing dataset
+		`{"dataset":"patent","app":"bfs","bogus":1}`, // unknown field
+	} {
+		resp := postRun(t, ts.URL, body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apps struct {
+		Apps []string `json:"apps"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&apps); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(apps.Apps) != 6 {
+		t.Fatalf("apps = %v", apps.Apps)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,478 @@
+// Package serve is the transport-agnostic core of gearbox-serve: a
+// long-lived, multi-tenant simulation service over the build-once-run-many
+// System API. Three pieces compose it:
+//
+//   - a pool of pre-built Systems keyed by (dataset, size, version,
+//     LongFrac) — the first request for a key pays the preprocess +
+//     partition + machine-build cost, every later request reuses the pooled
+//     machine through the reset-to-pristine path, so serving a run costs
+//     only the run;
+//   - an admission queue with bounded depth and per-tenant round-robin
+//     fairness: tenants dequeue in rotation, one job at a time, so a tenant
+//     submitting a burst cannot starve the others, and Submit sheds load
+//     with ErrQueueFull (HTTP 429) once the queue is full;
+//   - a bounded worker set that executes queued runs on the pooled systems,
+//     streaming per-job lifecycle events (queued, started, result/error) and
+//     an optional per-run telemetry snapshot.
+//
+// The HTTP/JSON front end lives in http.go; tests drive the core directly.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"gearbox"
+	"gearbox/internal/cliutil"
+)
+
+// ErrQueueFull reports that the admission queue is at QueueDepth; the HTTP
+// layer maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("serve: admission queue is full, retry later")
+
+// ErrClosed reports a Submit after Close.
+var ErrClosed = errors.New("serve: server is closed")
+
+// Key identifies one pooled System. Two requests with the same normalized
+// key run on the same built machine; geometry and timing are server-wide
+// (the Table 2 defaults), so they are not part of the key.
+type Key struct {
+	// Dataset names an evaluation matrix ("holly", "orkut", "patent",
+	// "road", "twitter" with the default builder).
+	Dataset string `json:"dataset"`
+	// Size is the dataset scale tier ("tiny", "small", "medium"; empty
+	// selects small, like the CLI default).
+	Size string `json:"size,omitempty"`
+	// Version is the Table 4 variant ("v1", "hypov2", "v2", "v3"; empty
+	// selects v3).
+	Version string `json:"version,omitempty"`
+	// LongFrac is the long-column threshold with the Options.LongFrac
+	// encoding (0: scaled paper default, negative: no long columns).
+	LongFrac float64 `json:"longfrac,omitempty"`
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s/%s/longfrac=%g", k.Dataset, k.Size, k.Version, k.LongFrac)
+}
+
+// normalize validates the key and rewrites it to canonical spelling, so
+// every alias of one configuration ("", "V3", "v3") shares one pool slot.
+func (k Key) normalize() (Key, error) {
+	if k.Dataset == "" {
+		return k, errors.New("serve: dataset is required")
+	}
+	k.Dataset = strings.ToLower(k.Dataset)
+	size, err := cliutil.ParseSize(k.Size)
+	if err != nil {
+		return k, err
+	}
+	switch size {
+	case gearbox.Tiny:
+		k.Size = "tiny"
+	case gearbox.Small:
+		k.Size = "small"
+	case gearbox.Medium:
+		k.Size = "medium"
+	}
+	ver, err := cliutil.ParseVersion(k.Version)
+	if err != nil {
+		return k, err
+	}
+	switch ver {
+	case gearbox.V1:
+		k.Version = "v1"
+	case gearbox.HypoV2:
+		k.Version = "hypov2"
+	case gearbox.V2:
+		k.Version = "v2"
+	case gearbox.V3:
+		k.Version = "v3"
+	}
+	return k, nil
+}
+
+// Request names one application run: which pooled system (Key), which
+// tenant it is accounted to, and the app parameters in the gearbox.RunRequest
+// form (zero values select the CLI defaults).
+type Request struct {
+	// Tenant is the fairness accounting unit; the empty string is a valid
+	// (anonymous) tenant.
+	Tenant string `json:"tenant,omitempty"`
+	Key
+	// App is one of "bfs", "pr", "sssp", "spknn", "svm", "cc".
+	App     string  `json:"app"`
+	Source  int32   `json:"source,omitempty"`
+	Damping float32 `json:"damping,omitempty"`
+	Iters   int     `json:"iters,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+	// Telemetry requests a per-run spatial telemetry snapshot in the result.
+	Telemetry bool `json:"telemetry,omitempty"`
+}
+
+// Result is one completed run: the CLI-identical detail line, the headline
+// simulated metrics, the workload summary, and (when requested) the spatial
+// telemetry snapshot for exactly this run.
+type Result struct {
+	App        string                `json:"app"`
+	Detail     string                `json:"detail"`
+	TimeNs     float64               `json:"time_ns"`
+	Iterations int                   `json:"iterations"`
+	EnergyJ    float64               `json:"energy_j"`
+	PowerW     float64               `json:"power_w"`
+	Work       gearbox.Work          `json:"work"`
+	Telemetry  *gearbox.SpatialStats `json:"telemetry,omitempty"`
+}
+
+// Event is one step of a job's lifecycle, streamed to the submitter:
+// "queued" (with the admission-time queue depth), "started", then exactly
+// one of "result" or "error".
+type Event struct {
+	Event  string  `json:"event"`
+	ID     uint64  `json:"id"`
+	Tenant string  `json:"tenant,omitempty"`
+	Queued int     `json:"queued,omitempty"`
+	Error  string  `json:"error,omitempty"`
+	Result *Result `json:"result,omitempty"`
+}
+
+// Job is a submitted run. Events streams its lifecycle (the channel closes
+// after the terminal event); Wait blocks for the terminal state.
+type Job struct {
+	ID     uint64
+	req    Request
+	events chan Event
+	done   chan struct{}
+	res    *Result
+	err    error
+}
+
+// Events returns the job's lifecycle stream. The channel is buffered for
+// the full lifecycle, so a submitter that never reads cannot stall a worker.
+func (j *Job) Events() <-chan Event { return j.events }
+
+// Wait blocks until the job completes and returns its result or error.
+func (j *Job) Wait() (*Result, error) {
+	<-j.done
+	return j.res, j.err
+}
+
+// Config sizes the server.
+type Config struct {
+	// Workers is the number of runs executing concurrently (default 1).
+	Workers int
+	// QueueDepth bounds admitted-but-not-started jobs across all tenants
+	// (default 16); Submit returns ErrQueueFull beyond it.
+	QueueDepth int
+	// SimWorkers is Options.Workers for every pooled System (0: GOMAXPROCS).
+	// Results are bit-identical at any value.
+	SimWorkers int
+	// Build constructs the System for a pool key. Nil selects the default
+	// builder over the synthetic evaluation datasets.
+	Build func(Key) (*gearbox.System, error)
+}
+
+// DefaultBuilder builds Systems from the synthetic evaluation datasets, the
+// same path the gearbox-sim CLI takes.
+func DefaultBuilder(simWorkers int) func(Key) (*gearbox.System, error) {
+	return func(k Key) (*gearbox.System, error) {
+		size, err := cliutil.ParseSize(k.Size)
+		if err != nil {
+			return nil, err
+		}
+		ver, err := cliutil.ParseVersion(k.Version)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := gearbox.LoadDataset(k.Dataset, size)
+		if err != nil {
+			return nil, err
+		}
+		return gearbox.NewSystem(ds.Matrix, gearbox.Options{
+			Version: ver, LongFrac: k.LongFrac, Workers: simWorkers,
+		})
+	}
+}
+
+// poolEntry is one pooled System and its run bookkeeping. The entry mutex
+// serializes build, telemetry attach, run, and snapshot, so a run's
+// telemetry snapshot can never interleave with another run on the same
+// machine. The counters are atomics so Stats never blocks behind a run in
+// flight.
+type poolEntry struct {
+	mu     sync.Mutex
+	sys    *gearbox.System
+	tel    *gearbox.SpatialStats
+	builds atomic.Int64
+	runs   atomic.Int64
+}
+
+// Server is the serving core. Create with New, submit with Submit, shut
+// down with Close.
+type Server struct {
+	cfg Config
+
+	// mu guards the admission queue. tenants holds each tenant's FIFO of
+	// queued jobs; rr is the round-robin rotation of tenants with work (a
+	// tenant appears exactly once while its FIFO is non-empty).
+	mu        sync.Mutex
+	cond      *sync.Cond
+	tenants   map[string][]*Job
+	rr        []string
+	queued    int
+	closed    bool
+	submitted uint64
+	completed uint64
+	shed      uint64
+
+	poolMu sync.Mutex
+	pool   map[Key]*poolEntry
+
+	wg sync.WaitGroup
+
+	// onStart, when non-nil, observes each job as a worker picks it up;
+	// tests use it to pin the fairness order.
+	onStart func(*Job)
+}
+
+// New starts a server with cfg.Workers executor goroutines.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.Build == nil {
+		cfg.Build = DefaultBuilder(cfg.SimWorkers)
+	}
+	s := &Server{
+		cfg:     cfg,
+		tenants: make(map[string][]*Job),
+		pool:    make(map[Key]*poolEntry),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and admits a run. It returns ErrQueueFull when the
+// admission queue is at depth (the caller should shed load upstream) and
+// never blocks on execution; follow the returned job's Events or Wait.
+func (s *Server) Submit(req Request) (*Job, error) {
+	key, err := req.Key.normalize()
+	if err != nil {
+		return nil, err
+	}
+	req.Key = key
+	req.App = strings.ToLower(req.App)
+	if !validApp(req.App) {
+		return nil, fmt.Errorf("serve: unknown app %q (want %s)", req.App, strings.Join(gearbox.Apps(), ", "))
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		s.shed++
+		return nil, ErrQueueFull
+	}
+	s.submitted++
+	j := &Job{
+		ID:  s.submitted,
+		req: req,
+		// queued + started + terminal: the stream never blocks a worker.
+		events: make(chan Event, 3),
+		done:   make(chan struct{}),
+	}
+	if len(s.tenants[req.Tenant]) == 0 {
+		s.rr = append(s.rr, req.Tenant)
+	}
+	s.tenants[req.Tenant] = append(s.tenants[req.Tenant], j)
+	s.queued++
+	j.events <- Event{Event: "queued", ID: j.ID, Tenant: req.Tenant, Queued: s.queued}
+	s.cond.Signal()
+	return j, nil
+}
+
+func validApp(app string) bool {
+	for _, a := range gearbox.Apps() {
+		if a == app {
+			return true
+		}
+	}
+	return false
+}
+
+// dequeue blocks for the next job in round-robin tenant order; nil means
+// the server is closed and drained.
+func (s *Server) dequeue() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.queued == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if s.queued == 0 {
+		return nil
+	}
+	t := s.rr[0]
+	s.rr = s.rr[1:]
+	q := s.tenants[t]
+	j := q[0]
+	if len(q) > 1 {
+		s.tenants[t] = q[1:]
+		s.rr = append(s.rr, t) // back of the rotation: one job per turn
+	} else {
+		delete(s.tenants, t)
+	}
+	s.queued--
+	return j
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j := s.dequeue()
+		if j == nil {
+			return
+		}
+		if s.onStart != nil {
+			s.onStart(j)
+		}
+		j.events <- Event{Event: "started", ID: j.ID, Tenant: j.req.Tenant}
+		res, err := s.execute(j.req)
+		if err != nil {
+			j.err = err
+			j.events <- Event{Event: "error", ID: j.ID, Tenant: j.req.Tenant, Error: err.Error()}
+		} else {
+			j.res = res
+			j.events <- Event{Event: "result", ID: j.ID, Tenant: j.req.Tenant, Result: res}
+		}
+		close(j.events)
+		close(j.done)
+		s.mu.Lock()
+		s.completed++
+		s.mu.Unlock()
+	}
+}
+
+// entry returns the pool slot for a key, creating an empty one on first use.
+func (s *Server) entry(k Key) *poolEntry {
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	e := s.pool[k]
+	if e == nil {
+		e = &poolEntry{}
+		s.pool[k] = e
+	}
+	return e
+}
+
+// execute runs one request on its pooled system, building the system on the
+// key's first run. Build errors are not cached: a bad key fails every
+// request cheaply, a transient failure heals on retry.
+func (s *Server) execute(req Request) (*Result, error) {
+	e := s.entry(req.Key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sys == nil {
+		sys, err := s.cfg.Build(req.Key)
+		if err != nil {
+			return nil, err
+		}
+		e.sys = sys
+		e.builds.Add(1)
+	}
+	if req.Telemetry {
+		if e.tel == nil {
+			e.tel = e.sys.NewSpatialStats()
+		}
+		e.tel.Reset()
+		e.sys.Telemetry(e.tel)
+	} else {
+		e.sys.Telemetry(nil)
+	}
+	out, err := e.sys.Run(gearbox.RunRequest{
+		App: req.App, Source: req.Source, Damping: req.Damping,
+		Iters: req.Iters, Seed: req.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.runs.Add(1)
+	res := &Result{
+		App:        out.App,
+		Detail:     out.Detail,
+		TimeNs:     out.Stats.TimeNs(),
+		Iterations: out.Work.Iterations,
+		EnergyJ:    gearbox.Energy(out.Stats).Total(),
+		PowerW:     gearbox.PowerWatts(out.Stats),
+		Work:       out.Work,
+	}
+	if req.Telemetry {
+		res.Telemetry = e.tel.Snapshot()
+	}
+	return res, nil
+}
+
+// PoolStats describes one pooled System for introspection.
+type PoolStats struct {
+	Key    Key `json:"key"`
+	Builds int `json:"builds"`
+	Runs   int `json:"runs"`
+}
+
+// Stats is a point-in-time snapshot of the server.
+type Stats struct {
+	Queued    int            `json:"queued"`
+	Tenants   map[string]int `json:"tenants,omitempty"`
+	Submitted uint64         `json:"submitted"`
+	Completed uint64         `json:"completed"`
+	Shed      uint64         `json:"shed"`
+	Pool      []PoolStats    `json:"pool"`
+}
+
+// Stats snapshots queue depths and the pool. Pool entries are sorted by key
+// so the output is stable.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Queued:    s.queued,
+		Submitted: s.submitted,
+		Completed: s.completed,
+		Shed:      s.shed,
+	}
+	if len(s.tenants) > 0 {
+		st.Tenants = make(map[string]int, len(s.tenants))
+		for t, q := range s.tenants { //gearbox:nondet-ok builds a map; JSON encoding sorts keys
+			st.Tenants[t] = len(q)
+		}
+	}
+	s.mu.Unlock()
+
+	s.poolMu.Lock()
+	for k, e := range s.pool { //gearbox:nondet-ok entries are sorted by key below
+		st.Pool = append(st.Pool, PoolStats{Key: k, Builds: int(e.builds.Load()), Runs: int(e.runs.Load())})
+	}
+	s.poolMu.Unlock()
+	sort.Slice(st.Pool, func(i, j int) bool { return st.Pool[i].Key.String() < st.Pool[j].Key.String() })
+	return st
+}
+
+// Close stops admission, drains every queued job, and waits for the workers
+// to exit. Jobs already admitted still complete.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -41,6 +41,24 @@ func New() *Engine { return &Engine{} }
 // Now reports the current simulated time in nanoseconds.
 func (e *Engine) Now() float64 { return e.now }
 
+// Reset re-arms the engine for a fresh run: the clock returns to zero, any
+// pending events are discarded, the sequence counter and executed-event
+// count restart, and the Trace subscriber detaches — exactly the state New
+// returns. The event free-list survives, so a reset engine schedules its
+// next run without reallocating; a fresh engine and a reset one are
+// observationally identical.
+func (e *Engine) Reset() {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		*ev = Event{}
+		e.free = append(e.free, ev)
+	}
+	e.now = 0
+	e.nextSeq = 0
+	e.ran = 0
+	e.Trace = nil
+}
+
 // Ran reports how many events have executed, for tests and diagnostics.
 func (e *Engine) Ran() int { return e.ran }
 

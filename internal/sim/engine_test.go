@@ -178,3 +178,32 @@ func TestQuickRandomSchedulesExecuteSorted(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestResetRearmsEngine: after Reset the engine is observationally a fresh
+// one — clock at zero, pending events discarded, counters restarted, trace
+// detached — and scheduling works again from time zero.
+func TestResetRearmsEngine(t *testing.T) {
+	e := New()
+	traced := 0
+	e.Trace = func(string, float64) { traced++ }
+	e.At(5, "a", nil)
+	e.Run()
+	e.At(9, "pending", nil) // left pending on purpose
+	e.RunUntil(6)
+
+	e.Reset()
+	if e.Now() != 0 || e.Ran() != 0 || e.Pending() != 0 || e.Trace != nil {
+		t.Fatalf("Reset left state: now=%v ran=%d pending=%d trace=%v", e.Now(), e.Ran(), e.Pending(), e.Trace != nil)
+	}
+	tracedBefore := traced
+	// Scheduling before the old clock must be legal again.
+	fired := false
+	e.At(1, "b", func(*Engine) { fired = true })
+	e.Run()
+	if !fired || e.Now() != 1 || e.Ran() != 1 {
+		t.Fatalf("post-reset run wrong: fired=%v now=%v ran=%d", fired, e.Now(), e.Ran())
+	}
+	if traced != tracedBefore {
+		t.Fatal("detached trace subscriber observed the post-reset run")
+	}
+}

@@ -77,6 +77,26 @@ func (s *SpatialStats) Reset() {
 	s.FrontierIn, s.FrontierOut, s.MaxFrontier = 0, 0, 0
 }
 
+// Snapshot returns a deep copy of the current counters: an independent
+// SpatialStats that stays frozen while the original keeps accumulating or is
+// Reset for the next run. The serving layer snapshots per run so results can
+// carry telemetry while the sink itself is pooled with the machine.
+func (s *SpatialStats) Snapshot() *SpatialStats {
+	c := NewSpatialStats(s.Shape)
+	c.Iterations = s.Iterations
+	for i := 0; i < NumSteps; i++ {
+		copy(c.SPUBusyNs[i], s.SPUBusyNs[i])
+		copy(c.RingWords[i], s.RingWords[i])
+		copy(c.TSVWords[i], s.TSVWords[i])
+	}
+	copy(c.LocalAccums, s.LocalAccums)
+	copy(c.RemoteAccums, s.RemoteAccums)
+	copy(c.LongAccums, s.LongAccums)
+	copy(c.DispatchHighWater, s.DispatchHighWater)
+	c.FrontierIn, c.FrontierOut, c.MaxFrontier = s.FrontierIn, s.FrontierOut, s.MaxFrontier
+	return c
+}
+
 //gearbox:steadystate
 func (s *SpatialStats) BeginIteration(iter int, nowNs float64, frontierNNZ int64) {
 	s.Iterations++

@@ -64,6 +64,23 @@ func TestSpatialStatsAccumulates(t *testing.T) {
 	}
 }
 
+func TestSpatialStatsSnapshotIsIndependent(t *testing.T) {
+	sp := NewSpatialStats(testShape())
+	feed(sp)
+	snap := sp.Snapshot()
+	if !reflect.DeepEqual(snap, sp) {
+		t.Fatalf("snapshot differs from source:\n%+v\nvs\n%+v", snap, sp)
+	}
+	// The copy must be deep: resetting the source leaves the snapshot frozen.
+	sp.Reset()
+	if snap.Iterations != 2 || snap.FrontierIn != 16 {
+		t.Fatalf("snapshot mutated by source Reset: %+v", snap)
+	}
+	if reflect.DeepEqual(snap, sp) {
+		t.Fatal("snapshot aliases the source arrays")
+	}
+}
+
 func TestSpatialStatsResetKeepsShape(t *testing.T) {
 	sp := NewSpatialStats(testShape())
 	feed(sp)
