@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether this test binary was built with -race; the
+// full-size smoke opts out there (10x time and memory on a 16M-nnz run).
+const raceEnabled = true

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestFullSizeSmoke drives the CLI end to end at RMAT scale 22 — 4M
+// vertices, past the 16-bit row-index limit, through wide-index CSC
+// generation, partitioning, and a full BFS. This is the one test that
+// exercises the full-size data path (DESIGN.md §7) rather than the tiny
+// tier; it costs about a minute of host time, so -short skips it, and the
+// race detector's 10x time and memory multiplier rules it out there too.
+func TestFullSizeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size smoke skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("full-size smoke skipped under the race detector")
+	}
+	os.Args = []string{"gearbox-sim", "-rmat", "22", "-edgefactor", "4", "-app", "bfs"}
+	main()
+}

@@ -47,7 +47,10 @@ var simulationPkgs = map[string]bool{
 // ingest, sparse builds, generators, partition planning). Their contract is
 // the same bit-identical-at-any-width determinism as the simulator's, so
 // the wallclock ban binds them too: host time can never influence chunking,
-// sorting, or placement.
+// sorting, or placement. The streaming ingest path (mtx/stream.go,
+// sparse/stream.go) lives inside these packages and is bound by the same
+// sets — its segment windowing and two-pass placement must stay
+// time-independent just like the batch paths.
 var preprocessingPkgs = map[string]bool{
 	"gearbox/internal/mtx":       true,
 	"gearbox/internal/sparse":    true,

@@ -450,12 +450,12 @@ func TestSpGEMMMatchesReference(t *testing.T) {
 	for col := int32(0); col < want.NumCols; col++ {
 		gr, gv := res.C.Col(col)
 		wr, wv := want.Col(col)
-		if len(gr) != len(wr) {
-			t.Fatalf("col %d: %d rows, want %d", col, len(gr), len(wr))
+		if gr.Len() != wr.Len() {
+			t.Fatalf("col %d: %d rows, want %d", col, gr.Len(), wr.Len())
 		}
-		for i := range wr {
-			if gr[i] != wr[i] || gv[i] != wv[i] {
-				t.Fatalf("col %d row %d: (%d,%v), want (%d,%v)", col, i, gr[i], gv[i], wr[i], wv[i])
+		for i := 0; i < wr.Len(); i++ {
+			if gr.At(i) != wr.At(i) || gv[i] != wv[i] {
+				t.Fatalf("col %d row %d: (%d,%v), want (%d,%v)", col, i, gr.At(i), gv[i], wr.At(i), wv[i])
 			}
 		}
 	}

@@ -96,7 +96,7 @@ func RefBFS(m *sparse.CSC, source int32) []int32 {
 		var next []int32
 		for _, c := range frontier {
 			rows, _ := m.Col(c)
-			for _, r := range rows {
+			for _, r := range rows.All() {
 				if levels[r] < 0 {
 					levels[r] = depth
 					next = append(next, r)

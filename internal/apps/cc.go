@@ -112,7 +112,7 @@ func RefConnectedComponents(m *sparse.CSC) []int32 {
 	}
 	for c := int32(0); c < m.NumCols; c++ {
 		rows, _ := m.Col(c)
-		for _, r := range rows {
+		for _, r := range rows.All() {
 			union(c, r)
 		}
 	}

@@ -114,7 +114,7 @@ func RefPageRank(m *sparse.CSC, damping float32, iters int) []float32 {
 			}
 			x := damping * pr[c] / colSum[c]
 			rows, vals := m.Col(c)
-			for i, r := range rows {
+			for i, r := range rows.All() {
 				next[r] += vals[i] * x
 			}
 		}

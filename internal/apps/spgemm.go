@@ -36,11 +36,11 @@ func SpGEMM(a *sparse.CSC, b *sparse.CSC, cfg RunConfig) (*SpGEMMResult, error) 
 	var entries, colBuf []gearbox.FrontierEntry // reused per-column buffers
 	for j := int32(0); j < b.NumCols; j++ {
 		rows, vals := b.Col(j)
-		if len(rows) == 0 {
+		if rows.Len() == 0 {
 			continue
 		}
 		entries = entries[:0]
-		for i, r := range rows {
+		for i, r := range rows.All() {
 			entries = append(entries, gearbox.FrontierEntry{Index: plan.Perm.New[r], Value: vals[i]})
 		}
 		f, err := mach.DistributeFrontier(entries)
@@ -73,9 +73,9 @@ func RefSpGEMM(a, b *sparse.CSC) *sparse.CSC {
 	for j := int32(0); j < b.NumCols; j++ {
 		clear(acc)
 		bRows, bVals := b.Col(j)
-		for i, k := range bRows {
+		for i, k := range bRows.All() {
 			aRows, aVals := a.Col(k)
-			for x, r := range aRows {
+			for x, r := range aRows.All() {
 				acc[r] += aVals[x] * bVals[i]
 			}
 		}

@@ -100,7 +100,7 @@ func RefSpKNN(m *sparse.CSC, numQueries, queryNNZ, k int, seed int64) [][]Neighb
 		scores := map[int32]float32{}
 		for i, c := range idx {
 			rows, mv := m.Col(c)
-			for j, r := range rows {
+			for j, r := range rows.All() {
 				scores[r] += mv[j] * vals[i]
 			}
 		}

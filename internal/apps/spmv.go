@@ -64,7 +64,7 @@ func RefSpMV(m *sparse.CSC, x []float32) []float32 {
 			continue
 		}
 		rows, vals := m.Col(c)
-		for i, r := range rows {
+		for i, r := range rows.All() {
 			y[r] += vals[i] * x[c]
 		}
 	}

@@ -91,7 +91,7 @@ func RefSSSP(m *sparse.CSC, source int32) []float32 {
 		seen := map[int32]bool{}
 		for _, c := range frontier {
 			rows, vals := m.Col(c)
-			for i, r := range rows {
+			for i, r := range rows.All() {
 				if d := dist[c] + vals[i]; d < dist[r] {
 					dist[r] = d
 					if !seen[r] {

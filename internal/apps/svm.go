@@ -95,7 +95,7 @@ func RefSVM(m *sparse.CSC, batches, weightNNZ int, bias float32, seed int64) [][
 		scores := make([]float32, n)
 		for i, c := range idx {
 			rows, mv := m.Col(c)
-			for j, r := range rows {
+			for j, r := range rows.All() {
 				scores[r] += mv[j] * vals[i]
 			}
 		}

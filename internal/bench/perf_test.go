@@ -7,10 +7,25 @@ import (
 	"testing"
 )
 
+// scrubHost zeroes the host-measured fields (wall time, allocation volume,
+// the ingest section), which legitimately vary run to run. What remains is
+// the simulated content, which must be bit-identical.
+func scrubHost(r PerfReport) PerfReport {
+	r.Ingest = nil
+	es := make([]PerfEntry, len(r.Entries))
+	copy(es, r.Entries)
+	for i := range es {
+		es[i].HostWallNs, es[i].HostAllocBytes, es[i].HostMallocs = 0, 0, 0
+	}
+	r.Entries = es
+	return r
+}
+
 // TestPerfReport pins the perf experiment: full dataset x app coverage, a
 // valid JSON round trip, and determinism (two runs from independent suites
-// produce byte-identical reports — the property that makes BENCH_perf.json
-// diffable as a regression fence).
+// produce identical simulated columns — the property that makes
+// BENCH_perf.json diffable as a regression fence; host columns are measured,
+// not simulated, and are excluded).
 func TestPerfReport(t *testing.T) {
 	run := func() (Table, PerfReport) {
 		s, err := NewSuite(TinyConfig())
@@ -34,6 +49,16 @@ func TestPerfReport(t *testing.T) {
 		if e.TimeNs <= 0 || e.EnergyJ <= 0 || e.Iterations == 0 || e.ProcessedNNZ == 0 || e.GTEPS <= 0 {
 			t.Fatalf("degenerate entry: %+v", e)
 		}
+		if e.HostWallNs <= 0 || e.HostAllocBytes <= 0 || e.HostMallocs <= 0 {
+			t.Fatalf("host columns unmeasured: %+v", e)
+		}
+	}
+	if rep.Ingest == nil {
+		t.Fatal("report has no ingest section")
+	}
+	if rep.Ingest.NNZ == 0 || rep.Ingest.COO.WallNs <= 0 || rep.Ingest.Stream.WallNs <= 0 ||
+		rep.Ingest.COO.PeakHeapBytes <= 0 || rep.Ingest.Stream.PeakHeapBytes <= 0 {
+		t.Fatalf("ingest section unmeasured: %+v", rep.Ingest)
 	}
 
 	var buf bytes.Buffer
@@ -49,7 +74,7 @@ func TestPerfReport(t *testing.T) {
 	}
 
 	_, rep2 := run()
-	if !reflect.DeepEqual(rep, rep2) {
+	if !reflect.DeepEqual(scrubHost(rep), scrubHost(rep2)) {
 		t.Fatal("perf report is not deterministic across suites")
 	}
 }

@@ -51,7 +51,7 @@ func TestPreprocessingPipelineWorkersEquivalent(t *testing.T) {
 	for _, w := range []int{2, 4, runtime.GOMAXPROCS(0), 0} {
 		got := runAt(w)
 		if !slices.Equal(got.matrix.Offsets, want.matrix.Offsets) ||
-			!slices.Equal(got.matrix.Indexes, want.matrix.Indexes) ||
+			!slices.Equal(got.matrix.IndexesInt32(), want.matrix.IndexesInt32()) ||
 			!slices.Equal(got.matrix.Values, want.matrix.Values) {
 			t.Fatalf("workers=%d: CSC differs from serial pipeline", w)
 		}
@@ -60,7 +60,7 @@ func TestPreprocessingPipelineWorkersEquivalent(t *testing.T) {
 			!slices.Equal(p.Perm.New, q.Perm.New) ||
 			!slices.Equal(p.OwnerOf, q.OwnerOf) ||
 			!slices.Equal(p.Ranges, q.Ranges) ||
-			!slices.Equal(p.Matrix.Indexes, q.Matrix.Indexes) ||
+			!slices.Equal(p.Matrix.IndexesInt32(), q.Matrix.IndexesInt32()) ||
 			!slices.Equal(p.Matrix.Values, q.Matrix.Values) {
 			t.Fatalf("workers=%d: partition plan differs from serial pipeline", w)
 		}

@@ -153,9 +153,19 @@ type Machine struct {
 	busy      []float64
 	dirty     [][]int32 // newly non-clean short indexes per SPU
 	dirtyLong [][]int32 // newly non-clean replica slots per SPU (V3)
-	recvPairs [][]routedPair
-	emit      []spuEmit // step 3 per-SPU out-buckets, merged in SPU order
-	scr       scratch   // pooled per-iteration accounting buffers
+	// Step 4/5 receive buffers, SoA: recvIdx[k] holds encoded row indexes
+	// (enc >= 0 is a remote accumulation of row enc; enc < 0 a local
+	// clean-indicator pair of row ^enc) and recvVal[k] the aligned values —
+	// 8 bytes per routed pair where the old AoS routedPair took 16.
+	recvIdx [][]int32
+	recvVal [][]float32
+	emit    []spuEmit // step 3 per-SPU out-buckets, merged in SPU order
+	// dstBlockOf maps a destination SPU to the merge block that owns it in
+	// fnMergePairs' ForEachBlock partition (stable for a fixed pool width);
+	// step 3 buckets its pairs by it so the merge reads contiguous runs
+	// instead of filtering every pair once per worker.
+	dstBlockOf []int32
+	scr        scratch // pooled per-iteration accounting buffers
 
 	// Plan facts cached at New so the worker bodies read fields instead of
 	// recomputing per call.
@@ -194,37 +204,30 @@ type Machine struct {
 	iterCount                   int
 }
 
-type routedPair struct {
-	srcSPU int32
-	idx    int32
-	val    float32
-	clean  bool
-}
-
 // spuEmit buffers the shared-state effects SPU k's step 3 loop produces, so
 // the loop itself can run on any worker goroutine while the effects are
 // folded after the barrier in fixed SPU order (bit-identical to the serial
-// path).
+// path). The layouts are SoA: packed 8-byte keys plus a parallel value
+// array stream through the merge in cache-line-sized runs, where the old
+// 20-byte dstPair structs wasted half of every line on padding and the
+// srcSPU field (derivable from the bucket being scanned).
 type spuEmit struct {
-	// pairs is dispatcher traffic in emission order: local clean-indicator
-	// pairs (dst == k) and remote accumulations (dst == owner).
-	pairs []dstPair
-	// logic is the contributions bound for shared logic-layer state (V2
-	// long sends; in HypoGearboxV2, every accumulation), in emission order.
-	logic []idxVal
+	// bKey[b]/bVal[b] hold the dispatcher traffic bound for destination
+	// block b — local clean-indicator pairs (dst == k) and remote
+	// accumulations (dst == owner) — in emission order. A key packs
+	// dst<<32 | uint32(enc), where enc is the row index for a remote
+	// accumulation and ^row (negative) for a clean-indicator pair; values
+	// align one-to-one (clean pairs carry 0).
+	bKey [][]uint64
+	bVal [][]float32
+	// logicIdx/logicVal are the contributions bound for shared logic-layer
+	// state (V2 long sends; in HypoGearboxV2, every accumulation), in
+	// emission order.
+	logicIdx []int32
+	logicVal []float32
 	// sentPairs and logicPairs drive the SPU's network sends.
 	sentPairs  int64
 	logicPairs int64
-}
-
-type dstPair struct {
-	dst  int32
-	pair routedPair
-}
-
-type idxVal struct {
-	idx int32
-	val float32
 }
 
 // costs bundles the per-entry instruction counts pinned to the fulcrum
@@ -297,7 +300,8 @@ func New(plan *partition.Plan, sem semiring.Semiring, cfg Config) (*Machine, err
 		busy:       make([]float64, plan.NumSPUs),
 		dirty:      make([][]int32, plan.NumSPUs),
 		dirtyLong:  make([][]int32, plan.NumSPUs),
-		recvPairs:  make([][]routedPair, plan.NumSPUs),
+		recvIdx:    make([][]int32, plan.NumSPUs),
+		recvVal:    make([][]float32, plan.NumSPUs),
 		emit:       make([]spuEmit, plan.NumSPUs),
 		hypo:       plan.Cfg.Scheme == partition.HypoLogicLayer,
 		replicate:  plan.Cfg.Replicate,
@@ -585,11 +589,17 @@ func (m *Machine) resetScratch() {
 		m.busy[k] = 0
 		m.dirty[k] = m.dirty[k][:0]
 		m.dirtyLong[k] = m.dirtyLong[k][:0]
-		m.recvPairs[k] = m.recvPairs[k][:0]
-		m.emit[k].pairs = m.emit[k].pairs[:0]
-		m.emit[k].logic = m.emit[k].logic[:0]
-		m.emit[k].sentPairs = 0
-		m.emit[k].logicPairs = 0
+		m.recvIdx[k] = m.recvIdx[k][:0]
+		m.recvVal[k] = m.recvVal[k][:0]
+		e := &m.emit[k]
+		for b := range e.bKey {
+			e.bKey[b] = e.bKey[b][:0]
+			e.bVal[b] = e.bVal[b][:0]
+		}
+		e.logicIdx = e.logicIdx[:0]
+		e.logicVal = e.logicVal[:0]
+		e.sentPairs = 0
+		e.logicPairs = 0
 	}
 }
 

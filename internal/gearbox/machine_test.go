@@ -53,7 +53,7 @@ func refSpMSpV(m *sparse.CSC, sem semiring.Semiring, entries []FrontierEntry) ma
 	out := map[int32]float32{}
 	for _, e := range entries {
 		rows, vals := m.Col(e.Index)
-		for i, r := range rows {
+		for i, r := range rows.All() {
 			old, ok := out[r]
 			if !ok {
 				old = sem.Zero()

@@ -76,6 +76,22 @@ func (m *Machine) initScratch() {
 	for i := range m.scr.mergePW {
 		m.scr.mergePW[i].perBank = make([]int64, banks)
 	}
+	// Destination-block bucketing for the step-3 emit/merge path: each SPU
+	// emits into one bucket per merge block, and merge worker w drains only
+	// bucket w of every source — contiguous runs, no per-pair filtering. The
+	// block map depends only on (Workers, NumSPUs), both fixed for the life of
+	// the machine, so it is precomputed here once.
+	nb := m.pool.Blocks(m.plan.NumSPUs)
+	m.dstBlockOf = make([]int32, m.plan.NumSPUs)
+	m.pool.ForEachBlock(m.plan.NumSPUs, func(w, lo, hi int) {
+		for d := lo; d < hi; d++ {
+			m.dstBlockOf[d] = int32(w)
+		}
+	})
+	for k := range m.emit {
+		m.emit[k].bKey = make([][]uint64, nb)
+		m.emit[k].bVal = make([][]float32, nb)
+	}
 	m.bindWorkerFns()
 }
 
@@ -152,19 +168,22 @@ func (m *Machine) bindWorkerFns() {
 
 	//gearbox:steadystate
 	m.fnMergePairs = func(w, lo, hi int) {
-		// Worker w owns destinations [lo, hi): it scans every SPU's emit
-		// bucket in ascending SPU order and appends only the pairs routed to
-		// its destinations, reproducing each destination's serial receive
-		// order exactly (ascending source SPU, emission order within one
-		// source).
+		// Worker w owns destinations [lo, hi), which is exactly merge block w
+		// (dstBlockOf is built from the same ForEachBlock geometry). Sources
+		// emitted pairs for those destinations into bucket w, so the worker
+		// drains bucket w of every SPU in ascending SPU order — a contiguous
+		// scan with no filtering — reproducing each destination's serial
+		// receive order exactly (ascending source SPU, emission order within
+		// one source).
 		perBank := m.scr.mergePW[w].perBank
 		for k := 0; k < m.plan.NumSPUs; k++ {
-			for _, dp := range m.emit[k].pairs {
-				if int(dp.dst) < lo || int(dp.dst) >= hi {
-					continue
-				}
-				m.recvPairs[dp.dst] = append(m.recvPairs[dp.dst], dp.pair) //gearbox:alloc-ok recycled receive buffer; grows to its high-water mark
-				perBank[m.bankOf[dp.dst]]++
+			keys := m.emit[k].bKey[w]
+			vals := m.emit[k].bVal[w]
+			for i, key := range keys {
+				d := int32(key >> 32)
+				m.recvIdx[d] = append(m.recvIdx[d], int32(uint32(key))) //gearbox:alloc-ok recycled receive buffer; grows to its high-water mark
+				m.recvVal[d] = append(m.recvVal[d], vals[i])            //gearbox:alloc-ok recycled receive buffer; grows to its high-water mark
+				perBank[m.bankOf[d]]++
 			}
 		}
 	}
@@ -176,18 +195,20 @@ func (m *Machine) bindWorkerFns() {
 		// fold order identical to the serial merge.
 		c := &m.scr.mergePW[w]
 		for k := 0; k < m.plan.NumSPUs; k++ {
-			for _, lp := range m.emit[k].logic {
-				if int(lp.idx) < lo || int(lp.idx) >= hi {
+			idxs := m.emit[k].logicIdx
+			vals := m.emit[k].logicVal
+			for i, idx := range idxs {
+				if int(idx) < lo || int(idx) >= hi {
 					continue
 				}
-				old := m.logicAcc[lp.idx]
+				old := m.logicAcc[idx]
 				if m.sem.IsZero(old) {
-					c.logicDirty = append(c.logicDirty, lp.idx) //gearbox:alloc-ok recycled per-worker dirty list; grows to its high-water mark
+					c.logicDirty = append(c.logicDirty, idx) //gearbox:alloc-ok recycled per-worker dirty list; grows to its high-water mark
 					if m.hypo {
 						c.cleanHits++
 					}
 				}
-				m.logicAcc[lp.idx] = m.sem.Add(old, lp.val)
+				m.logicAcc[idx] = m.sem.Add(old, vals[i])
 			}
 		}
 	}
@@ -200,17 +221,19 @@ func (m *Machine) bindWorkerFns() {
 		// per-owner dirty append order matches the serial merge.
 		c := &m.scr.mergePW[w]
 		for k := 0; k < m.plan.NumSPUs; k++ {
-			for _, lp := range m.emit[k].logic {
-				owner := m.plan.OwnerOf[lp.idx]
+			idxs := m.emit[k].logicIdx
+			vals := m.emit[k].logicVal
+			for i, idx := range idxs {
+				owner := m.plan.OwnerOf[idx]
 				if int(owner) < lo || int(owner) >= hi {
 					continue
 				}
-				old := m.output[lp.idx]
+				old := m.output[idx]
 				if m.sem.IsZero(old) {
-					m.dirty[owner] = append(m.dirty[owner], lp.idx) //gearbox:alloc-ok recycled dirty list; grows to its high-water mark
+					m.dirty[owner] = append(m.dirty[owner], idx) //gearbox:alloc-ok recycled dirty list; grows to its high-water mark
 					c.cleanHits++
 				}
-				m.output[lp.idx] = m.sem.Add(old, lp.val)
+				m.output[idx] = m.sem.Add(old, vals[i])
 			}
 		}
 	}
@@ -218,29 +241,31 @@ func (m *Machine) bindWorkerFns() {
 	//gearbox:steadystate
 	m.fnStep5 = func(w, k int) {
 		c := &m.scr.scatPW[w]
-		pairs := m.recvPairs[k]
-		if len(pairs) == 0 {
+		encs := m.recvIdx[k]
+		if len(encs) == 0 {
 			m.busy[k] = 0
 			return
 		}
+		vals := m.recvVal[k]
 		var instr, randActs int64
 		lastRow := int64(-1)
-		for _, p := range pairs {
-			if p.clean {
-				m.dirty[k] = append(m.dirty[k], p.idx) //gearbox:alloc-ok recycled dirty list; grows to its high-water mark
+		for i, enc := range encs {
+			if enc < 0 {
+				// Clean indicator: the row arrives bit-complemented.
+				m.dirty[k] = append(m.dirty[k], ^enc) //gearbox:alloc-ok recycled dirty list; grows to its high-water mark
 				instr += m.instrCosts.cleanAppend
 				continue
 			}
 			instr += m.instrCosts.scatterLocal
 			c.ev.ALUOps++
-			old := m.output[p.idx]
+			old := m.output[enc]
 			if m.sem.IsZero(old) {
-				m.dirty[k] = append(m.dirty[k], p.idx) //gearbox:alloc-ok recycled dirty list; grows to its high-water mark
+				m.dirty[k] = append(m.dirty[k], enc) //gearbox:alloc-ok recycled dirty list; grows to its high-water mark
 				instr += m.instrCosts.cleanAppend
 				c.cleanHits++
 			}
-			m.output[p.idx] = m.sem.Add(old, p.val)
-			if row := int64(p.idx) >> 6; row != lastRow {
+			m.output[enc] = m.sem.Add(old, vals[i])
+			if row := int64(enc) >> 6; row != lastRow {
 				randActs++
 				lastRow = row
 			}
@@ -248,7 +273,7 @@ func (m *Machine) bindWorkerFns() {
 		m.busy[k] = float64(instr)*m.cyc + float64(randActs)*m.stallNs(m.instrCosts.scatterLocal+m.instrCosts.cleanAppend)
 		c.ev.SPUInstrs += instr
 		c.ev.RandRowActs += randActs
-		c.ev.SeqRowActs += int64(2*len(pairs))/int64(m.cfg.Geo.WordsPerRow()) + 1
+		c.ev.SeqRowActs += int64(2*len(encs))/int64(m.cfg.Geo.WordsPerRow()) + 1
 	}
 
 	//gearbox:steadystate

@@ -113,15 +113,18 @@ func (m *Machine) step3SPUBody(w, k int) {
 			// read-modify-write itself happens in the ordered merge.
 			instr += m.instrCosts.macRemote
 			e.logicPairs++
-			e.logic = append(e.logic, idxVal{idx: r, val: contribution}) //gearbox:alloc-ok recycled emit bucket; grows to its high-water mark
+			e.logicIdx = append(e.logicIdx, r)            //gearbox:alloc-ok recycled emit bucket; grows to its high-water mark
+			e.logicVal = append(e.logicVal, contribution) //gearbox:alloc-ok recycled emit bucket; grows to its high-water mark
 			locA++
 		case owner == int32(k):
 			instr += m.instrCosts.macLocal
 			old := m.output[r]
 			if m.sem.IsZero(old) {
 				// Fig. 11: the clean indicator pair takes the dispatcher
-				// round trip inside the bank.
-				e.pairs = append(e.pairs, dstPair{dst: int32(k), pair: routedPair{srcSPU: int32(k), idx: r, clean: true}}) //gearbox:alloc-ok recycled emit bucket; grows to its high-water mark
+				// round trip inside the bank. enc = ^r marks it clean.
+				b := m.dstBlockOf[k]
+				e.bKey[b] = append(e.bKey[b], uint64(uint32(k))<<32|uint64(uint32(^r))) //gearbox:alloc-ok recycled emit bucket; grows to its high-water mark
+				e.bVal[b] = append(e.bVal[b], 0)                                        //gearbox:alloc-ok recycled emit bucket; grows to its high-water mark
 				e.sentPairs++
 				c.cleanHits++
 			}
@@ -149,12 +152,15 @@ func (m *Machine) step3SPUBody(w, k int) {
 				// V2: send the contribution down to the logic layer.
 				instr += m.instrCosts.macRemote
 				e.logicPairs++
-				e.logic = append(e.logic, idxVal{idx: r, val: contribution}) //gearbox:alloc-ok recycled emit bucket; grows to its high-water mark
+				e.logicIdx = append(e.logicIdx, r)            //gearbox:alloc-ok recycled emit bucket; grows to its high-water mark
+				e.logicVal = append(e.logicVal, contribution) //gearbox:alloc-ok recycled emit bucket; grows to its high-water mark
 			}
 		default:
 			// Remote accumulation: dispatch toward the owner's bank.
 			instr += m.instrCosts.macRemote
-			e.pairs = append(e.pairs, dstPair{dst: owner, pair: routedPair{srcSPU: int32(k), idx: r, val: contribution}}) //gearbox:alloc-ok recycled emit bucket; grows to its high-water mark
+			b := m.dstBlockOf[owner]
+			e.bKey[b] = append(e.bKey[b], uint64(uint32(owner))<<32|uint64(uint32(r))) //gearbox:alloc-ok recycled emit bucket; grows to its high-water mark
+			e.bVal[b] = append(e.bVal[b], contribution)                                //gearbox:alloc-ok recycled emit bucket; grows to its high-water mark
 			e.sentPairs++
 			remA++
 		}
@@ -163,11 +169,20 @@ func (m *Machine) step3SPUBody(w, k int) {
 	for _, fe := range f.Local[k] {
 		rows, vals := m.plan.Matrix.Col(fe.Index)
 		c.activatedColumns++
-		c.processedNNZ += int64(len(rows))
-		for i, r := range rows {
-			accumulate(r, m.sem.Mul(vals[i], fe.Value))
+		n := rows.Len()
+		c.processedNNZ += int64(n)
+		// One width branch per column, not per entry: the two loops are
+		// the 16- and 32-bit specializations of the same stream.
+		if wide := rows.Wide(); wide != nil {
+			for i, r := range wide {
+				accumulate(r, m.sem.Mul(vals[i], fe.Value))
+			}
+		} else {
+			for i, r := range rows.Narrow() {
+				accumulate(int32(r), m.sem.Mul(vals[i], fe.Value))
+			}
 		}
-		seqActs += int64(2*len(rows))/int64(m.cfg.Geo.WordsPerRow()) + 1
+		seqActs += int64(2*n)/int64(m.cfg.Geo.WordsPerRow()) + 1
 	}
 	for _, fe := range f.Long {
 		frag := m.plan.LongFrags[k][fe.Index]
@@ -348,7 +363,7 @@ func (m *Machine) step4Dispatching(st *IterStats) {
 	}
 	var ev Events
 	for k := 0; k < m.plan.NumSPUs; k++ {
-		n := int64(len(m.recvPairs[k]))
+		n := int64(len(m.recvIdx[k]))
 		if n == 0 {
 			continue
 		}

@@ -36,8 +36,9 @@ func TestRMATDeterministic(t *testing.T) {
 	if a.NNZ() != b.NNZ() {
 		t.Fatalf("same seed produced %d vs %d nnz", a.NNZ(), b.NNZ())
 	}
-	for i := range a.Indexes {
-		if a.Indexes[i] != b.Indexes[i] || a.Values[i] != b.Values[i] {
+	ai, bi := a.IndexesInt32(), b.IndexesInt32()
+	for i := range ai {
+		if ai[i] != bi[i] || a.Values[i] != b.Values[i] {
 			t.Fatal("same seed produced different matrices")
 		}
 	}

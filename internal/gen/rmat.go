@@ -9,6 +9,7 @@ package gen
 
 import (
 	"fmt"
+	"math"
 
 	"gearbox/internal/par"
 	"gearbox/internal/sparse"
@@ -64,7 +65,13 @@ func RMAT(cfg RMATConfig) (*sparse.CSC, error) {
 		return nil, err
 	}
 	n := int32(1) << cfg.Scale
-	target := int(float64(n) * cfg.EdgeFactor)
+	// Edge targets beyond int32 cannot index the entry stream downstream
+	// (CSC entry positions are int32-addressed); fail before allocating.
+	t64 := int64(float64(n) * cfg.EdgeFactor)
+	if t64 > math.MaxInt32 {
+		return nil, fmt.Errorf("gen: scale %d with edge factor %v targets %d edges, beyond the int32 entry limit", cfg.Scale, cfg.EdgeFactor, t64)
+	}
+	target := int(t64)
 	entries := make([]sparse.Entry, target)
 	d := clampProb(1 - cfg.A - cfg.B - cfg.C)
 	pool := par.New(cfg.Workers)

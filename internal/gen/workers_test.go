@@ -23,7 +23,7 @@ func TestRMATWorkersEquivalent(t *testing.T) {
 			t.Fatal(err)
 		}
 		if !slices.Equal(got.Offsets, want.Offsets) ||
-			!slices.Equal(got.Indexes, want.Indexes) ||
+			!slices.Equal(got.IndexesInt32(), want.IndexesInt32()) ||
 			!slices.Equal(got.Values, want.Values) {
 			t.Fatalf("workers=%d: RMAT output differs from serial", w)
 		}

@@ -112,6 +112,11 @@ func ReadOpts(r io.Reader, o Options) (*sparse.COO, error) {
 	if seen != nnz {
 		return nil, fmt.Errorf("mtx: read %d entries, header declared %d", seen, nnz)
 	}
+	// Symmetry expansion can double the declared count past what int32 entry
+	// indexes can address downstream; fail here rather than wrap later.
+	if int64(total) > math.MaxInt32 {
+		return nil, fmt.Errorf("mtx: %d entries after symmetry expansion exceed the int32 entry limit", total)
+	}
 
 	m := sparse.NewCOO(int32(rows), int32(cols))
 	m.Entries = make([]sparse.Entry, total)
@@ -185,10 +190,11 @@ func parseSizeLine(data []byte) (rows, cols, nnz int, body []byte, err error) {
 		r, err1 := atoiTok(f[0])
 		c, err2 := atoiTok(f[1])
 		n, err3 := atoiTok(f[2])
-		// Dimensions beyond int32 cannot index a COO; reject them here so a
-		// hostile header errors instead of wrapping into negative dims.
+		// Dimensions beyond int32 cannot index a COO, and entry counts beyond
+		// int32 cannot index any downstream structure; reject both here so a
+		// hostile header errors instead of wrapping into negative sizes.
 		if err1 != nil || err2 != nil || err3 != nil || r < 0 || c < 0 || n < 0 ||
-			r > math.MaxInt32 || c > math.MaxInt32 {
+			r > math.MaxInt32 || c > math.MaxInt32 || n > math.MaxInt32 {
 			return 0, 0, 0, nil, fmt.Errorf("mtx: malformed size line %q", trimmed)
 		}
 		return r, c, n, data, nil
@@ -210,14 +216,19 @@ type chunkOut struct {
 // the serial reader interleaves them, so splicing chunks in order reproduces
 // the serial entry sequence.
 func parseChunk(body []byte, h header, rows, cols int, out *chunkOut) {
-	// Capacity guess: entry lines are rarely shorter than ~12 bytes; mirrors
-	// double symmetric/skew chunks. A miss only costs append growth — the
+	// The streaming placement pass recycles chunk outputs across segments;
+	// keep the grown buffer when one is handed back in. Otherwise guess:
+	// entry lines are rarely shorter than ~12 bytes; mirrors double
+	// symmetric/skew chunks. A miss only costs append growth — ReadOpts'
 	// final splice allocates the exact total.
-	est := len(body)/12 + 4
-	if h.sym != symGeneral {
-		est *= 2
+	entries := out.entries[:0]
+	if cap(entries) == 0 {
+		est := len(body)/12 + 4
+		if h.sym != symGeneral {
+			est *= 2
+		}
+		entries = make([]sparse.Entry, 0, est)
 	}
-	entries := make([]sparse.Entry, 0, est)
 	want := 3
 	if h.pattern {
 		want = 2

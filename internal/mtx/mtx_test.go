@@ -58,8 +58,8 @@ func TestReadSymmetricExpands(t *testing.T) {
 	}
 	c := sparse.CSCFromCOO(m)
 	rows, vals := c.Col(1)
-	if len(rows) != 1 || rows[0] != 0 || vals[0] != 5 {
-		t.Fatalf("mirrored entry missing: %v %v", rows, vals)
+	if rows.Len() != 1 || rows.At(0) != 0 || vals[0] != 5 {
+		t.Fatalf("mirrored entry missing: %v %v", rows.Int32s(nil), vals)
 	}
 }
 
@@ -118,8 +118,9 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	if a.NNZ() != b.NNZ() {
 		t.Fatalf("nnz %d vs %d", a.NNZ(), b.NNZ())
 	}
+	ai, bi := a.IndexesInt32(), b.IndexesInt32()
 	for i := range a.Values {
-		if a.Indexes[i] != b.Indexes[i] || a.Values[i] != b.Values[i] {
+		if ai[i] != bi[i] || a.Values[i] != b.Values[i] {
 			t.Fatalf("mismatch at %d", i)
 		}
 	}
@@ -145,8 +146,9 @@ func TestQuickRoundTrip(t *testing.T) {
 		if a.NNZ() != b.NNZ() {
 			return false
 		}
+		ai, bi := a.IndexesInt32(), b.IndexesInt32()
 		for i := range a.Values {
-			if a.Indexes[i] != b.Indexes[i] || a.Values[i] != b.Values[i] {
+			if ai[i] != bi[i] || a.Values[i] != b.Values[i] {
 				return false
 			}
 		}

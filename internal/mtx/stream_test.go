@@ -1,0 +1,178 @@
+package mtx
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+
+	"gearbox/internal/sparse"
+)
+
+// cscViaCOO is the reference path ReadCSC must reproduce bit for bit.
+func cscViaCOO(t testing.TB, data []byte, workers int) *sparse.CSC {
+	t.Helper()
+	m, err := ReadOpts(bytes.NewReader(data), Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sparse.CSCFromCOOWorkers(m, workers)
+}
+
+func TestReadCSCMatchesCOOPath(t *testing.T) {
+	for _, symmetry := range []string{"general", "symmetric", "skew-symmetric"} {
+		data := bigMTX(t, symmetry, 50_000)
+		want := cscViaCOO(t, data, 1)
+		for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0), 0} {
+			got, err := ReadCSCOpts(bytes.NewReader(data), Options{Workers: w})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", symmetry, w, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("%s workers=%d: streaming CSC differs from COO path", symmetry, w)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("%s workers=%d: %v", symmetry, w, err)
+			}
+		}
+	}
+}
+
+// TestReadCSCSmallSegments forces the body through many tiny scanner windows
+// so segment carry, mid-segment comments, and per-segment chunking all see
+// real traffic on a fixture that fits one window in production.
+func TestReadCSCSmallSegments(t *testing.T) {
+	for _, symmetry := range []string{"general", "symmetric"} {
+		data := bigMTX(t, symmetry, 20_000)
+		want := cscViaCOO(t, data, 1)
+		for _, segBytes := range []int{1 << 10, 7 << 10, 64 << 10} {
+			got, err := readCSC(bytes.NewReader(data), Options{Workers: 4}, segBytes)
+			if err != nil {
+				t.Fatalf("%s seg=%d: %v", symmetry, segBytes, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("%s seg=%d: differs from COO path", symmetry, segBytes)
+			}
+		}
+	}
+}
+
+// TestReadCSCTinySegmentHeader covers the scanner-growth path: a window
+// smaller than the banner line must widen until the header parses.
+func TestReadCSCTinySegmentHeader(t *testing.T) {
+	data := []byte("%%MatrixMarket matrix coordinate real general\n% comment\n3 4 3\n1 1 2.5\n3 2 -1\n2 4 7\n")
+	want := cscViaCOO(t, data, 1)
+	got, err := readCSC(bytes.NewReader(data), Options{Workers: 2}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("tiny-window parse differs from COO path")
+	}
+}
+
+func TestReadCSCErrorsMatchRead(t *testing.T) {
+	data := bigMTX(t, "general", 30_000)
+	lines := bytes.Split(data, []byte("\n"))
+	lines[20_000] = []byte("1 1 not-a-number")
+	data = bytes.Join(lines, []byte("\n"))
+	_, wantErr := ReadOpts(bytes.NewReader(data), Options{Workers: 1})
+	if wantErr == nil {
+		t.Fatal("corrupted input parsed")
+	}
+	for _, w := range []int{1, 4, 0} {
+		_, err := ReadCSCOpts(bytes.NewReader(data), Options{Workers: w})
+		if err == nil || err.Error() != wantErr.Error() {
+			t.Fatalf("workers=%d error %q, Read reports %q", w, err, wantErr)
+		}
+	}
+	// And with small segments, so the failing entry is deep in a later one.
+	if _, err := readCSC(bytes.NewReader(data), Options{Workers: 4}, 16<<10); err == nil || err.Error() != wantErr.Error() {
+		t.Fatalf("segmented error %q, Read reports %q", err, wantErr)
+	}
+}
+
+// nonSeeker hides bytes.Reader's Seek so ReadCSC takes the buffered branch.
+type nonSeeker struct{ r io.Reader }
+
+func (n nonSeeker) Read(p []byte) (int, error) { return n.r.Read(p) }
+
+func TestReadCSCNonSeekableSource(t *testing.T) {
+	data := bigMTX(t, "symmetric", 10_000)
+	want := cscViaCOO(t, data, 1)
+	got, err := ReadCSC(nonSeeker{bytes.NewReader(data)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("non-seekable parse differs from COO path")
+	}
+}
+
+func TestReadCSCDuplicatesAndZeros(t *testing.T) {
+	// Duplicates must fold in file order and exact zeros must drop, exactly
+	// like Coalesce. 1+2-3=0 cancels (1,1); (2,2) keeps the sum 5.
+	in := "%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 1\n1 1 2\n1 1 -3\n2 2 2\n2 2 3\n"
+	want := cscViaCOO(t, []byte(in), 1)
+	got, err := ReadCSC(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("coalesce semantics differ from COO path")
+	}
+	if got.NNZ() != 1 {
+		t.Fatalf("nnz = %d, want 1 (cancelled entry kept?)", got.NNZ())
+	}
+}
+
+func TestReadCSCRejectsOversizedHeader(t *testing.T) {
+	for _, in := range []string{
+		"%%MatrixMarket matrix coordinate real general\n3000000000 3 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n3 3 3000000000\n1 1 1\n",
+	} {
+		if _, err := ReadCSC(strings.NewReader(in)); err == nil {
+			t.Fatalf("oversized header accepted: %q", in[:60])
+		}
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Fatalf("oversized header accepted by Read: %q", in[:60])
+		}
+	}
+}
+
+// FuzzReadCSC asserts the streaming ingest agrees with the COO path on any
+// byte string: both fail, or both succeed with the same matrix. Error texts
+// are not compared — the paths report capacity limits differently — but
+// presence must match so neither path silently accepts what the other
+// rejects.
+func FuzzReadCSC(f *testing.F) {
+	f.Add([]byte("%%MatrixMarket matrix coordinate real general\n3 4 3\n1 1 2.5\n3 2 -1\n2 4 7\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5\n3 3 9\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern skew-symmetric\n2 2 1\n2 1\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate real general\n3 3 4\n1 1 1\n1 1 -1\n2 2 2\n3 3 3\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate real general\n999999 999999 10\n1 1 1\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("%"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Headers declaring millions of columns make any CSC build — either
+		// path — allocate gigabytes of offsets. That is inherent to the
+		// format, not a divergence worth minutes per exec; bound the domain.
+		if _, rest, err := parseBanner(data); err == nil {
+			if _, cols, _, _, err := parseSizeLine(rest); err == nil && cols > 1<<22 {
+				return
+			}
+		}
+		coo, cooErr := ReadOpts(bytes.NewReader(data), Options{Workers: 1})
+		got, err := readCSC(bytes.NewReader(data), Options{Workers: 4}, 1<<10)
+		if (cooErr == nil) != (err == nil) {
+			t.Fatalf("path disagreement: COO err %v, streaming err %v", cooErr, err)
+		}
+		if cooErr != nil {
+			return
+		}
+		if !got.Equal(sparse.CSCFromCOOWorkers(coo, 1)) {
+			t.Fatal("streaming CSC differs from COO path")
+		}
+	})
+}

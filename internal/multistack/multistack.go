@@ -147,7 +147,7 @@ func columnBlock(m *sparse.CSC, r Range) *sparse.CSC {
 	coo := sparse.NewCOO(m.NumRows, m.NumCols)
 	for c := r.First; c <= r.Last; c++ {
 		rows, vals := m.Col(c)
-		for i, row := range rows {
+		for i, row := range rows.All() {
 			coo.Entries = append(coo.Entries, sparse.Entry{Row: row, Col: c, Val: vals[i]})
 		}
 	}

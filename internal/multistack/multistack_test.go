@@ -40,7 +40,7 @@ func refSpMSpV(m *sparse.CSC, sem semiring.Semiring, entries []gearbox.FrontierE
 	out := map[int32]float32{}
 	for _, e := range entries {
 		rows, vals := m.Col(e.Index)
-		for i, r := range rows {
+		for i, r := range rows.All() {
 			old, ok := out[r]
 			if !ok {
 				old = sem.Zero()
@@ -175,7 +175,7 @@ func refSSSP(m *sparse.CSC, src int32) []float32 {
 				continue
 			}
 			rows, vals := m.Col(c)
-			for i, r := range rows {
+			for i, r := range rows.All() {
 				if d := dist[c] + vals[i]; d < dist[r] {
 					dist[r] = d
 					changed = true

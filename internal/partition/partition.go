@@ -492,9 +492,17 @@ func (p *Plan) buildLongFragments(pool *par.Pool) {
 	pool.ForEach(nLong, func(_, ci int) {
 		rows, _ := p.Matrix.Col(int32(ci))
 		n := 0
-		for _, r := range rows {
-			if p.OwnerOf[r] < 0 {
-				n++
+		if wide := rows.Wide(); wide != nil {
+			for _, r := range wide {
+				if p.OwnerOf[r] < 0 {
+					n++
+				}
+			}
+		} else {
+			for _, r := range rows.Narrow() {
+				if p.OwnerOf[r] < 0 {
+					n++
+				}
 			}
 		}
 		spillBase[ci+1] = n
@@ -510,7 +518,7 @@ func (p *Plan) buildLongFragments(pool *par.Pool) {
 		for c := int32(0); c < int32(nLong); c++ {
 			rows, vals := p.Matrix.Col(c)
 			rr := spillBase[c]
-			for i, r := range rows {
+			for i, r := range rows.All() {
 				owner := int(p.OwnerOf[r])
 				if owner < 0 {
 					owner = rr % p.NumSPUs

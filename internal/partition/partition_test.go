@@ -295,7 +295,7 @@ func refSpMV(c *sparse.CSC, x []float32) []float32 {
 	y := make([]float32, c.NumRows)
 	for col := int32(0); col < c.NumCols; col++ {
 		rows, vals := c.Col(col)
-		for i, r := range rows {
+		for i, r := range rows.All() {
 			y[r] += vals[i] * x[col]
 		}
 	}

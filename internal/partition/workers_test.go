@@ -14,7 +14,7 @@ import (
 func planEqual(t *testing.T, a, b *Plan) {
 	t.Helper()
 	if !slices.Equal(a.Matrix.Offsets, b.Matrix.Offsets) ||
-		!slices.Equal(a.Matrix.Indexes, b.Matrix.Indexes) ||
+		!slices.Equal(a.Matrix.IndexesInt32(), b.Matrix.IndexesInt32()) ||
 		!slices.Equal(a.Matrix.Values, b.Matrix.Values) {
 		t.Fatal("relabeled matrices differ")
 	}
@@ -90,7 +90,7 @@ func TestBuildMatchesPreRefactorRoundRobin(t *testing.T) {
 	rr := 0
 	for c := int32(0); c <= p.LastLong; c++ {
 		rows, vals := p.Matrix.Col(c)
-		for i, r := range rows {
+		for i, r := range rows.All() {
 			if p.OwnerOf[r] >= 0 {
 				continue
 			}

@@ -106,17 +106,7 @@ func cscEqual(a, b *CSC) bool {
 	if a.NumRows != b.NumRows || a.NumCols != b.NumCols || a.NNZ() != b.NNZ() {
 		return false
 	}
-	for i := range a.Offsets {
-		if a.Offsets[i] != b.Offsets[i] {
-			return false
-		}
-	}
-	for i := range a.Indexes {
-		if a.Indexes[i] != b.Indexes[i] || a.Values[i] != b.Values[i] {
-			return false
-		}
-	}
-	return true
+	return a.Equal(b)
 }
 
 func TestQuickCoalesceIdempotent(t *testing.T) {

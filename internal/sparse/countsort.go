@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"cmp"
+	"math"
 
 	"gearbox/internal/par"
 )
@@ -44,6 +45,14 @@ func entryColRow(a, b Entry) int {
 // stay on the comparison path.
 func useCountingSort(nnz int, rows, cols int32) bool {
 	if nnz < 1<<12 {
+		return false
+	}
+	// The per-block histograms, starts and scatter cursors are int32 cells;
+	// an entry list beyond MaxInt32 would wrap them. Ingest (mtx, gen) caps
+	// entry counts at MaxInt32 with a clean error, but a programmatically
+	// built COO can exceed it — such inputs take the comparison path, which
+	// is int-width safe end to end.
+	if int64(nnz) > math.MaxInt32 {
 		return false
 	}
 	maxDim := int64(rows)

@@ -44,8 +44,8 @@ func TestCSCMatchesFig4(t *testing.T) {
 	}
 	wantIndexes := []int32{1, 4, 0, 3, 0, 3, 4, 1, 2, 5}
 	for i, w := range wantIndexes {
-		if c.Indexes[i] != w {
-			t.Fatalf("Indexes[%d] = %d, want %d (paper Fig. 4)", i, c.Indexes[i], w)
+		if c.Index(int64(i)) != w {
+			t.Fatalf("Indexes[%d] = %d, want %d (paper Fig. 4)", i, c.Index(int64(i)), w)
 		}
 	}
 	wantValues := []float32{21, 20, 23, 22, 26, 25, 24, 27, 29, 28} // v1,v0,v3,v2,v6,v5,v4,v7,v9,v8
@@ -124,15 +124,19 @@ func TestCSCValidateCatchesCorruption(t *testing.T) {
 		t.Fatal("validate accepted decreasing offsets")
 	}
 
+	// IndexesInt32 aliases the storage of a wide matrix, so corruption
+	// written through it is visible to Validate.
 	c = base()
-	c.Indexes[0] = c.NumRows
+	c.ForceWide()
+	c.IndexesInt32()[0] = c.NumRows
 	if c.Validate() == nil {
 		t.Fatal("validate accepted out-of-range row index")
 	}
 
 	c = base()
+	c.ForceWide()
 	// Column 0 has rows {1,4}; duplicating breaks strict monotonicity.
-	c.Indexes[1] = c.Indexes[0]
+	c.IndexesInt32()[1] = c.IndexesInt32()[0]
 	if c.Validate() == nil {
 		t.Fatal("validate accepted non-increasing rows within a column")
 	}
@@ -164,7 +168,7 @@ func TestQuickCSRTransposeAgreesWithCSC(t *testing.T) {
 			return false
 		}
 		for i := range r.Indexes {
-			if r.Indexes[i] != ct.Indexes[i] || r.Values[i] != ct.Values[i] {
+			if r.Indexes[i] != ct.Index(int64(i)) || r.Values[i] != ct.Values[i] {
 				return false
 			}
 		}

@@ -12,13 +12,15 @@ type CSR struct {
 }
 
 // CSRFromCOO builds a CSR matrix from a coordinate list, coalescing first.
+// CSR always stores 32-bit indexes (it backs baselines and tests, not the
+// simulator's hot path), so narrow CSC storage is widened on conversion.
 func CSRFromCOO(m *COO) *CSR {
 	t := CSCFromCOO(m.Transpose())
 	return &CSR{
 		NumRows: t.NumCols,
 		NumCols: t.NumRows,
 		Offsets: t.Offsets,
-		Indexes: t.Indexes,
+		Indexes: t.IndexesInt32(),
 		Values:  t.Values,
 	}
 }
@@ -37,7 +39,7 @@ func (r *CSR) Row(row int32) ([]int32, []float32) {
 
 // Validate checks the structural invariants of the format.
 func (r *CSR) Validate() error {
-	c := &CSC{NumRows: r.NumCols, NumCols: r.NumRows, Offsets: r.Offsets, Indexes: r.Indexes, Values: r.Values}
+	c := CSCFromParts(r.NumCols, r.NumRows, r.Offsets, r.Indexes, r.Values)
 	if err := c.Validate(); err != nil {
 		return fmt.Errorf("csr (as transposed csc): %w", err)
 	}

@@ -130,19 +130,26 @@ func ApplyPermutationWorkers(c *CSC, perm *Permutation, workers int) *CSC {
 	coo := NewCOO(c.NumRows, c.NumCols)
 	coo.Entries = make([]Entry, nnz)
 	pool := par.New(workers)
+	idx := c.RowIndexes()
 	pool.ForEachBlock(nnz, func(_, lo, hi int) {
 		// Locate the column containing entry lo, then walk forward.
 		col := int32(sort.Search(int(c.NumCols), func(k int) bool {
 			return c.Offsets[k+1] > int64(lo)
 		}))
-		for i := lo; i < hi; i++ {
-			for int64(i) >= c.Offsets[col+1] {
-				col++
+		if wide := idx.Wide(); wide != nil {
+			for i := lo; i < hi; i++ {
+				for int64(i) >= c.Offsets[col+1] {
+					col++
+				}
+				coo.Entries[i] = Entry{Row: perm.New[wide[i]], Col: perm.New[col], Val: c.Values[i]}
 			}
-			coo.Entries[i] = Entry{
-				Row: perm.New[c.Indexes[i]],
-				Col: perm.New[col],
-				Val: c.Values[i],
+		} else {
+			narrow := idx.Narrow()
+			for i := lo; i < hi; i++ {
+				for int64(i) >= c.Offsets[col+1] {
+					col++
+				}
+				coo.Entries[i] = Entry{Row: perm.New[narrow[i]], Col: perm.New[col], Val: c.Values[i]}
 			}
 		}
 	})

@@ -12,7 +12,7 @@ type Stats struct {
 	Rows, Cols int32
 	NNZ        int
 	Density    float64 // NNZ / (Rows*Cols)
-	SizeBytes  int64   // CSC footprint: values + indexes + offsets, 4/4/8 bytes
+	SizeBytes  int64   // CSC footprint: values + width-adaptive indexes + offsets
 	MaxColLen  int
 	MaxRowLen  int
 	AvgColLen  float64
@@ -24,15 +24,11 @@ func ComputeStats(c *CSC) Stats {
 	if c.NumRows > 0 && c.NumCols > 0 {
 		s.Density = float64(s.NNZ) / (float64(c.NumRows) * float64(c.NumCols))
 	}
-	s.SizeBytes = int64(s.NNZ)*8 + int64(len(c.Offsets))*8
-	rowLens := make([]int, c.NumRows)
+	s.SizeBytes = int64(s.NNZ)*int64(4+c.IndexBits()/8) + int64(len(c.Offsets))*8
+	rowLens := RowLengths(c)
 	for col := int32(0); col < c.NumCols; col++ {
-		l := c.ColLen(col)
-		if l > s.MaxColLen {
+		if l := c.ColLen(col); l > s.MaxColLen {
 			s.MaxColLen = l
-		}
-		for i := c.Offsets[col]; i < c.Offsets[col+1]; i++ {
-			rowLens[c.Indexes[i]]++
 		}
 	}
 	for _, l := range rowLens {
@@ -99,8 +95,14 @@ func ColumnLengths(c *CSC) []int {
 // RowLengths returns the per-row non-zero counts.
 func RowLengths(c *CSC) []int {
 	lens := make([]int, c.NumRows)
-	for _, r := range c.Indexes {
-		lens[r]++
+	if w := c.RowIndexes().Wide(); w != nil {
+		for _, r := range w {
+			lens[r]++
+		}
+	} else {
+		for _, r := range c.RowIndexes().Narrow() {
+			lens[r]++
+		}
 	}
 	return lens
 }
@@ -110,18 +112,25 @@ func RowLengths(c *CSC) []int {
 // Counts are order-insensitive integer sums, so the result is identical at
 // every worker count (0 selects GOMAXPROCS, 1 the serial path).
 func RowLengthsWorkers(c *CSC, workers int) []int {
-	nnz := len(c.Indexes)
+	nnz := c.NNZ()
 	pool := sortPool(workers, nnz, c.NumRows, 0)
 	nb := pool.Blocks(nnz)
 	if nb <= 1 {
 		return RowLengths(c)
 	}
 	rows := int(c.NumRows)
+	idx := c.RowIndexes()
 	hist := make([]int32, nb*rows)
 	pool.ForEachBlock(nnz, func(w, lo, hi int) {
 		h := hist[w*rows : (w+1)*rows]
-		for _, r := range c.Indexes[lo:hi] {
-			h[r]++
+		if wide := idx.Wide(); wide != nil {
+			for _, r := range wide[lo:hi] {
+				h[r]++
+			}
+		} else {
+			for _, r := range idx.Narrow()[lo:hi] {
+				h[r]++
+			}
 		}
 	})
 	lens := make([]int, rows)
