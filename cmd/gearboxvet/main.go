@@ -1,18 +1,25 @@
 // Command gearboxvet is the project's static-contract multichecker: it runs
 // the internal/analyzers suite — maprange, globalrand, wallclock, hotalloc,
-// recycleuse — over the module and fails if any determinism, wall-clock,
-// allocation or recycling contract is violated without a justifying
-// //gearbox: annotation (see DESIGN.md §7, "Statically enforced contracts").
+// recycleuse, sharedwrite, borrowretain, lockcheck, narrow32 — over the
+// module and fails if any determinism, wall-clock, allocation, recycling,
+// shared-write, borrowing, locking or narrowing contract is violated without
+// a justifying //gearbox: annotation (see DESIGN.md §7, "Statically enforced
+// contracts").
 //
 // Usage:
 //
-//	go run ./cmd/gearboxvet [-only maprange,hotalloc] [-list] [packages...]
+//	go run ./cmd/gearboxvet [-only maprange,hotalloc] [-list] [-json] [packages...]
 //
 // Packages default to ./... relative to the current directory, which must be
-// inside the module. Exit status: 0 clean, 1 findings, 2 load/internal error.
+// inside the module. With -json, findings are emitted as a JSON array of
+// {analyzer, file, line, column, message} objects (CI archives this and a
+// problem matcher turns the text form into inline annotations); the default
+// text form is one `file:line:col: analyzer: message` line per finding.
+// Exit status: 0 clean, 1 findings, 2 load/internal error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +39,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("gearboxvet", flag.ExitOnError)
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array instead of text lines")
 	fs.Parse(args)
 
 	suite := analyzers.All()
@@ -67,6 +75,10 @@ func run(args []string) int {
 		diag     analysis.Diagnostic
 	}
 	var findings []finding
+	// One fact store for the whole run: load.Packages returns dependency
+	// order, so facts a pass exports about a package's objects (borrowretain's
+	// //gearbox:borrowed marks) are visible to later passes over importers.
+	facts := analysis.NewFacts()
 	for _, pkg := range pkgs {
 		for _, a := range suite {
 			if !analyzers.Applies(a, pkg.Path) {
@@ -78,6 +90,7 @@ func run(args []string) int {
 				Files:    pkg.Files,
 				Pkg:      pkg.Pkg,
 				Info:     pkg.Info,
+				Facts:    facts,
 				Report: func(d analysis.Diagnostic) {
 					findings = append(findings, finding{analyzer: a.Name, diag: d})
 				},
@@ -95,9 +108,37 @@ func run(args []string) int {
 		}
 		return strings.Compare(a.analyzer, b.analyzer)
 	})
-	for _, f := range findings {
-		pos := pkgs[0].Fset.Position(f.diag.Pos)
-		fmt.Printf("%s: %s: %s\n", pos, f.analyzer, f.diag.Message)
+
+	if *asJSON {
+		type jsonFinding struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			pos := pkgs[0].Fset.Position(f.diag.Pos)
+			out = append(out, jsonFinding{
+				Analyzer: f.analyzer,
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Column:   pos.Column,
+				Message:  f.diag.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "gearboxvet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			pos := pkgs[0].Fset.Position(f.diag.Pos)
+			fmt.Printf("%s: %s: %s\n", pos, f.analyzer, f.diag.Message)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "gearboxvet: %d finding(s)\n", len(findings))

@@ -34,9 +34,55 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// Facts is the driver-owned cross-package fact store. The driver runs
+	// packages in dependency order, so facts exported while analyzing a
+	// package are visible to every later pass over its importers.
+	Facts *Facts
+
 	// Report receives every diagnostic; the driver and the test harness
 	// install their own collectors.
 	Report func(Diagnostic)
+}
+
+// Facts is a minimal analogue of x/tools' analysis facts: a set of marks on
+// types.Objects, keyed per analyzer so suites cannot collide. Object
+// identity is pointer identity, which holds across packages because the
+// loader type-checks the module in one shared universe.
+type Facts struct {
+	m map[types.Object]map[string]bool
+}
+
+// NewFacts returns an empty fact store.
+func NewFacts() *Facts { return &Facts{m: make(map[types.Object]map[string]bool)} }
+
+// Mark records fact key on obj.
+func (f *Facts) Mark(obj types.Object, key string) {
+	if obj == nil {
+		return
+	}
+	if f.m[obj] == nil {
+		f.m[obj] = make(map[string]bool)
+	}
+	f.m[obj][key] = true
+}
+
+// Marked reports whether fact key was recorded on obj.
+func (f *Facts) Marked(obj types.Object, key string) bool {
+	return obj != nil && f.m[obj][key]
+}
+
+// Marks returns every object carrying fact key, in unspecified order.
+// Consumers that need determinism (none of the diagnostics do — findings
+// are position-sorted by the driver) must sort themselves.
+func (f *Facts) Marks(key string) []types.Object {
+	var out []types.Object
+	//gearbox:nondet-ok collection order is irrelevant: consumers test membership or sort; diagnostics are position-sorted by the driver
+	for obj, keys := range f.m {
+		if keys[key] {
+			out = append(out, obj)
+		}
+	}
+	return out
 }
 
 // Diagnostic is one finding at a source position.
@@ -55,18 +101,29 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
 // Annotation kinds of the //gearbox: grammar (see DESIGN.md §7):
 //
-//	//gearbox:nondet-ok <reason>   suppress a maprange/globalrand/wallclock
-//	                               finding on this line or the next
+//	//gearbox:nondet-ok <reason>   suppress a maprange/globalrand/wallclock/
+//	                               sharedwrite finding on this line or the next
 //	//gearbox:alloc-ok <reason>    suppress a hotalloc finding likewise
+//	//gearbox:borrow-ok <reason>   suppress a borrowretain finding likewise
+//	//gearbox:lock-ok <reason>     suppress a lockcheck finding likewise
+//	//gearbox:narrow-ok <reason>   suppress a narrow32 finding likewise
 //	//gearbox:steadystate          mark a function or bound func literal as
 //	                               a steady-state hot path for hotalloc
+//	//gearbox:borrowed             mark a declaration (doc comment) as a
+//	                               borrowed-slice API: its results alias
+//	                               state the callee still owns, and its
+//	                               slice parameters are on loan to it
 //
 // The -ok kinds require a non-empty reason: a reasonless annotation does
 // not suppress, and the underlying diagnostic fires with a hint appended.
 const (
 	KindNondetOK = "nondet-ok"
 	KindAllocOK  = "alloc-ok"
+	KindBorrowOK = "borrow-ok"
+	KindLockOK   = "lock-ok"
+	KindNarrowOK = "narrow-ok"
 	KindSteady   = "steadystate"
+	KindBorrowed = "borrowed"
 )
 
 type annotation struct {
@@ -144,15 +201,43 @@ func (a *Annotations) Suppressed(kind string, pos token.Pos) (ok bool, hint stri
 // SteadyFunc reports whether a function declaration is marked
 // //gearbox:steadystate, either in its doc comment or on the line above.
 func (a *Annotations) SteadyFunc(decl *ast.FuncDecl) bool {
-	if decl.Doc != nil {
-		for _, c := range decl.Doc.List {
-			if strings.HasPrefix(c.Text, "//gearbox:"+KindSteady) {
+	return a.MarkedFunc(KindSteady, decl)
+}
+
+// MarkedFunc reports whether a function declaration carries the given
+// annotation kind, either in its doc comment or on the line above (the
+// //gearbox:borrowed producer marking uses this through borrowretain).
+func (a *Annotations) MarkedFunc(kind string, decl *ast.FuncDecl) bool {
+	if docHasKind(decl.Doc, kind) {
+		return true
+	}
+	found, _ := a.At(kind, decl.Pos())
+	return found
+}
+
+// MarkedField reports whether an interface method (or struct field) carries
+// the given annotation kind in its doc comment or on the line above.
+func (a *Annotations) MarkedField(kind string, field *ast.Field) bool {
+	if docHasKind(field.Doc, kind) {
+		return true
+	}
+	found, _ := a.At(kind, field.Pos())
+	return found
+}
+
+func docHasKind(doc *ast.CommentGroup, kind string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, "//gearbox:"); ok {
+			k, _, _ := strings.Cut(rest, " ")
+			if strings.TrimSpace(k) == kind {
 				return true
 			}
 		}
 	}
-	found, _ := a.At(KindSteady, decl.Pos())
-	return found
+	return false
 }
 
 // SteadyLit reports whether a func literal is marked //gearbox:steadystate

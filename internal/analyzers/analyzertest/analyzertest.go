@@ -111,6 +111,7 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 		Files:    files,
 		Pkg:      pkg,
 		Info:     info,
+		Facts:    analysis.NewFacts(),
 		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
 	}
 	if err := a.Run(pass); err != nil {

@@ -1,0 +1,462 @@
+// Package borrowretain enforces the borrowed-slice contract: APIs marked
+// //gearbox:borrowed hand out views into state the callee still owns —
+// telemetry.Sink callback slices, Network.RingSegmentWords/TSVVaultWords
+// counter slices, sparse CSC column views — valid only for the duration of
+// the call. Retaining such a view past the call (storing it into a field or
+// global, appending it as an element, returning it from an unannotated
+// function, sending it on a channel, capturing it in a spawned goroutine)
+// aliases memory the owner will keep mutating, which corrupts results
+// silently once the machine reuses the buffer.
+//
+// The annotation has two faces on a declaration's doc comment:
+//
+//   - on a function or method: its results are borrowed at every call site;
+//   - on an interface method (telemetry.Sink's callbacks): the slice
+//     parameters of every implementation are on loan to the method body.
+//
+// Marks are exported as cross-package facts (the driver loads packages in
+// dependency order), so a machine-package caller of sparse.CSC.Col sees the
+// producer's annotation without re-parsing sparse.
+//
+// Within one function frame the analyzer computes the derived closure of
+// the borrowed seeds (aliases, subslices, views built from them) and flags
+// the escape shapes above. Element copies are allowed: append(dst, vals...)
+// with a scalar element type copies values out of the loan and is the
+// endorsed "fold, never retain" idiom. Justified exceptions carry
+// //gearbox:borrow-ok <reason>.
+package borrowretain
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gearbox/internal/analyzers/analysis"
+)
+
+// borrowedFact is the cross-package fact key marking //gearbox:borrowed
+// declarations.
+const borrowedFact = "borrowretain.borrowed"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "borrowretain",
+	Doc: "flags borrowed slices (//gearbox:borrowed APIs: telemetry sinks, " +
+		"interconnect counters, sparse column views) retained past the call; " +
+		"justify exceptions with //gearbox:borrow-ok <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	ann := analysis.ScanAnnotations(pass.Fset, pass.Files...)
+
+	// Phase A: export this package's //gearbox:borrowed marks so both this
+	// pass and every importer's pass can see them.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if ann.MarkedFunc(analysis.KindBorrowed, n) {
+					pass.Facts.Mark(pass.Info.Defs[n.Name], borrowedFact)
+				}
+			case *ast.InterfaceType:
+				for _, m := range n.Methods.List {
+					if len(m.Names) == 1 && ann.MarkedField(analysis.KindBorrowed, m) {
+						pass.Facts.Mark(pass.Info.Defs[m.Names[0]], borrowedFact)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Phase B: check every function body.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, ann, fd)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc seeds borrowed values in one function frame and flags escapes.
+func checkFunc(pass *analysis.Pass, ann *analysis.Annotations, fd *ast.FuncDecl) {
+	frame := analysis.NewFrame(pass.Info, fd.Body)
+	var seeds []types.Object
+
+	// Seed 1: results of calls to borrowed APIs bound to frame locals.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !borrowedCallee(pass, call) {
+				continue
+			}
+			lhs := as.Lhs
+			if len(as.Lhs) == len(as.Rhs) {
+				lhs = as.Lhs[i : i+1]
+			}
+			for _, l := range lhs {
+				if id, ok := l.(*ast.Ident); ok {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						seeds = append(seeds, obj)
+					} else if obj := pass.Info.Uses[id]; obj != nil {
+						seeds = append(seeds, obj)
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Seed 2: reference-typed parameters of a borrowed method body — the
+	// declaration's own annotation, or an interface method it implements.
+	if bodyIsBorrowed(pass, ann, fd) {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				obj := pass.Info.Defs[name]
+				if obj != nil && containsRef(obj.Type()) {
+					seeds = append(seeds, obj)
+				}
+			}
+		}
+	}
+	if len(seeds) == 0 {
+		return
+	}
+
+	c := &checker{
+		pass:    pass,
+		ann:     ann,
+		frame:   frame,
+		fd:      fd,
+		derived: frame.Derived(seeds...),
+	}
+	c.walk()
+}
+
+// borrowedCallee reports whether call's callee carries the borrowed fact —
+// a marked function, method, or interface method.
+func borrowedCallee(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.Info.Uses[fun.Sel]
+	}
+	return pass.Facts.Marked(obj, borrowedFact)
+}
+
+// bodyIsBorrowed reports whether fd's parameters are on loan: the decl is
+// annotated itself, or it is a method implementing a marked interface
+// method of the same name and signature.
+func bodyIsBorrowed(pass *analysis.Pass, ann *analysis.Annotations, fd *ast.FuncDecl) bool {
+	if ann.MarkedFunc(analysis.KindBorrowed, fd) {
+		return true
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return false
+	}
+	for _, marked := range pass.Facts.Marks(borrowedFact) {
+		im, ok := marked.(*types.Func)
+		if !ok || im.Name() != fd.Name.Name {
+			continue
+		}
+		ir := im.Signature().Recv()
+		if ir == nil || !types.IsInterface(ir.Type()) {
+			continue
+		}
+		iface, ok := ir.Type().Underlying().(*types.Interface)
+		if ok && types.Implements(recv.Type(), iface) {
+			return true
+		}
+	}
+	return false
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	ann     *analysis.Annotations
+	frame   *analysis.Frame
+	fd      *ast.FuncDecl
+	derived map[types.Object]bool
+}
+
+func (c *checker) report(n ast.Node, format string, args ...any) {
+	if ok, hint := c.ann.Suppressed(analysis.KindBorrowOK, n.Pos()); !ok {
+		c.pass.Reportf(n.Pos(), format+"%s", append(args, hint)...)
+	}
+}
+
+func (c *checker) walk() {
+	ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.ReturnStmt:
+			c.checkReturn(n)
+		case *ast.SendStmt:
+			if c.retains(n.Value) {
+				c.report(n, "borrowed slice sent on a channel outlives the call "+
+					"that loaned it: copy it first, or annotate //gearbox:borrow-ok <reason>")
+			}
+		case *ast.GoStmt:
+			c.checkGo(n)
+		}
+		return true
+	})
+}
+
+// checkAssign flags stores of retaining values into locations that outlive
+// the frame: fields of the receiver or of pointer parameters, package-level
+// variables, captured state, map/slice cells rooted outside the frame.
+func (c *checker) checkAssign(as *ast.AssignStmt) {
+	for i, l := range as.Lhs {
+		rhs := as.Rhs[0]
+		if len(as.Lhs) == len(as.Rhs) {
+			rhs = as.Rhs[i]
+		}
+		if !c.retains(rhs) {
+			continue
+		}
+		if !c.escapesFrame(l) {
+			continue
+		}
+		c.report(l, "borrowed slice stored in %s, which outlives the call that "+
+			"loaned it: the owner will keep mutating the backing array; copy it, "+
+			"or annotate //gearbox:borrow-ok <reason>", render(l))
+	}
+}
+
+func (c *checker) checkReturn(ret *ast.ReturnStmt) {
+	// Only the outer function's returns transfer the loan to the caller;
+	// returns inside nested literals stay in the frame.
+	if fn := c.enclosingFunc(ret); fn != c.fd {
+		return
+	}
+	if c.ann.MarkedFunc(analysis.KindBorrowed, c.fd) {
+		return // annotated producers pass the loan on by contract
+	}
+	for _, r := range ret.Results {
+		if c.retains(r) {
+			c.report(r, "returning a borrowed slice from %s re-lends memory the "+
+				"callee does not own: mark %s //gearbox:borrowed, copy the data, "+
+				"or annotate //gearbox:borrow-ok <reason>", c.fd.Name.Name, c.fd.Name.Name)
+		}
+	}
+}
+
+// checkGo flags borrowed values crossing into a spawned goroutine, whether
+// passed as arguments or captured by the literal.
+func (c *checker) checkGo(g *ast.GoStmt) {
+	for _, a := range g.Call.Args {
+		if c.retains(a) {
+			c.report(a, "borrowed slice passed to a spawned goroutine outlives "+
+				"the call that loaned it: copy it first, or annotate //gearbox:borrow-ok <reason>")
+			return
+		}
+	}
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		flagged := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || flagged {
+				return !flagged
+			}
+			if obj := c.pass.Info.Uses[id]; obj != nil && c.derived[obj] &&
+				!analysis.DeclaredWithin(obj, lit) {
+				flagged = true
+				c.report(id, "goroutine captures borrowed slice %s beyond the call "+
+					"that loaned it: copy it first, or annotate //gearbox:borrow-ok <reason>", id.Name)
+			}
+			return true
+		})
+	}
+}
+
+// enclosingFunc returns the nearest FuncDecl/FuncLit ancestor of n.
+func (c *checker) enclosingFunc(n ast.Node) ast.Node {
+	for cur := c.frame.Parents[n]; cur != nil; cur = c.frame.Parents[cur] {
+		switch cur.(type) {
+		case *ast.FuncLit:
+			return cur
+		}
+	}
+	return c.fd
+}
+
+// escapesFrame reports whether storing into target outlives the function
+// frame: a package-level variable, or a field/element path rooted at an
+// object declared outside the body (receiver, pointer parameter, captured
+// variable) or at no identifier at all.
+func (c *checker) escapesFrame(target ast.Expr) bool {
+	switch t := ast.Unparen(target).(type) {
+	case *ast.Ident:
+		obj := c.pass.Info.Uses[t]
+		if obj == nil {
+			return false // := definition of a local
+		}
+		return !analysis.DeclaredWithin(obj, c.fd.Body)
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		root := c.frame.RootObject(target)
+		if root == nil {
+			return true
+		}
+		if !analysis.DeclaredWithin(root, c.fd.Body) {
+			return true
+		}
+		// A local alias of escaping memory (p := &s.field; p.x = v) still
+		// escapes if the local itself holds a borrowed-unrelated pointer; we
+		// cannot track arbitrary aliasing, so locals are trusted.
+		return false
+	}
+	return false
+}
+
+// retains reports whether evaluating e yields a value that aliases borrowed
+// memory. Values of non-reference type never retain (an int32 read out of a
+// borrowed view is a copy); element spreads through append copy values and
+// retain only if the element type itself is a reference.
+func (c *checker) retains(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	t := c.pass.TypeOf(e)
+	if t == nil || !containsRef(t) {
+		return false
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.pass.Info.Uses[e]
+		return obj != nil && c.derived[obj]
+	case *ast.SelectorExpr:
+		if obj := c.pass.Info.Uses[e.Sel]; obj != nil && c.derived[obj] {
+			return true
+		}
+		return c.retains(e.X)
+	case *ast.IndexExpr:
+		return c.retains(e.X)
+	case *ast.SliceExpr:
+		return c.retains(e.X)
+	case *ast.StarExpr:
+		return c.retains(e.X)
+	case *ast.UnaryExpr:
+		return c.retains(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if c.retains(el) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		return c.callRetains(e)
+	}
+	return false
+}
+
+// callRetains handles calls: conversions pass retention through; append
+// retains its base and any reference-typed element argument; other builtins
+// copy; an ordinary call whose receiver or argument retains is assumed to
+// return a view into the same loan (rows.Wide(), rows.All()).
+func (c *checker) callRetains(call *ast.CallExpr) bool {
+	if tv, ok := c.pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return c.retains(call.Args[0])
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := c.pass.Info.Uses[id].(*types.Builtin); ok {
+			if b.Name() != "append" || len(call.Args) == 0 {
+				return false // len, cap, copy, min, max… all copy
+			}
+			if c.retains(call.Args[0]) {
+				return true
+			}
+			for i, a := range call.Args[1:] {
+				last := i == len(call.Args)-2
+				if call.Ellipsis.IsValid() && last {
+					// append(dst, src...) copies elements; it retains only
+					// if the elements themselves are references.
+					if sl, ok := c.pass.TypeOf(a).Underlying().(*types.Slice); ok &&
+						containsRef(sl.Elem()) && c.retains(a) {
+						return true
+					}
+					continue
+				}
+				if c.retains(a) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && c.retains(sel.X) {
+		return true
+	}
+	for _, a := range call.Args {
+		if c.retains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsRef reports whether t can carry a reference to shared memory:
+// slices, pointers, maps, chans, interfaces, funcs, and aggregates holding
+// any of them (the sparse Rows view is a struct of slices).
+func containsRef(t types.Type) bool {
+	return refWalk(t, make(map[types.Type]bool))
+}
+
+func refWalk(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map, *types.Chan,
+		*types.Interface, *types.Signature:
+		return true
+	case *types.Array:
+		return refWalk(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if refWalk(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func render(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return render(e.X) + "[…]"
+	case *ast.StarExpr:
+		return "*" + render(e.X)
+	case *ast.ParenExpr:
+		return render(e.X)
+	}
+	return "a location that outlives this call"
+}

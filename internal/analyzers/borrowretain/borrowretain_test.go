@@ -1,0 +1,12 @@
+package borrowretain_test
+
+import (
+	"testing"
+
+	"gearbox/internal/analyzers/analyzertest"
+	"gearbox/internal/analyzers/borrowretain"
+)
+
+func TestBorrowretain(t *testing.T) {
+	analyzertest.Run(t, borrowretain.Analyzer, "../testdata/src/borrowretain")
+}

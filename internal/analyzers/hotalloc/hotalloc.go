@@ -297,7 +297,7 @@ func (c *checker) captures(lit *ast.FuncLit) bool {
 // call. Everything else (passed as an argument, assigned to a field,
 // returned, sent) is treated as escaping.
 func (c *checker) escapes(lit *ast.FuncLit) bool {
-	parents := parentMap(c.body)
+	parents := analysis.ParentMap(c.body)
 	p := parents[lit]
 	if call, ok := p.(*ast.CallExpr); ok && ast.Unparen(call.Fun) == lit {
 		return false
@@ -329,23 +329,4 @@ func (c *checker) escapes(lit *ast.FuncLit) bool {
 		return true
 	})
 	return !onlyCalled
-}
-
-// parentMap builds a child→parent index for the body (computed on demand;
-// steady-state functions are few).
-func parentMap(root ast.Node) map[ast.Node]ast.Node {
-	parents := make(map[ast.Node]ast.Node)
-	var stack []ast.Node
-	ast.Inspect(root, func(n ast.Node) bool {
-		if n == nil {
-			stack = stack[:len(stack)-1]
-			return true
-		}
-		if len(stack) > 0 {
-			parents[n] = stack[len(stack)-1]
-		}
-		stack = append(stack, n)
-		return true
-	})
-	return parents
 }

@@ -48,8 +48,11 @@ type listedPkg struct {
 
 // Packages loads and type-checks the module packages matched by patterns,
 // resolved relative to dir (which must sit inside the module). The returned
-// slice follows `go list` order. Any parse or type error aborts the load:
-// the analyzers assume well-typed input.
+// slice is in dependency order — every package follows the matched packages
+// it imports — so a driver that runs analyzers in slice order can let a pass
+// export facts about a package's objects and trust that passes over its
+// importers see them. Any parse or type error aborts the load: the
+// analyzers assume well-typed input.
 func Packages(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -71,15 +74,15 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 		ld.meta[p.ImportPath] = p
 	}
 
-	out := make([]*Package, 0, len(listed))
 	for _, p := range listed {
-		pkg, err := ld.load(p.ImportPath)
-		if err != nil {
+		if _, err := ld.load(p.ImportPath); err != nil {
 			return nil, err
 		}
-		out = append(out, pkg)
 	}
-	return out, nil
+	// ld.order is load-completion order: a package is appended only after
+	// every module package it imports has loaded, which is exactly the
+	// dependency order the fact-passing driver needs.
+	return ld.order, nil
 }
 
 func goList(dir string, patterns []string) ([]*listedPkg, error) {
@@ -112,6 +115,7 @@ type loader struct {
 	meta   map[string]*listedPkg // module packages by import path
 	cache  map[string]*types.Package
 	loaded map[string]*Package
+	order  []*Package         // load-completion (dependency) order
 	std    types.ImporterFrom // source importer for non-module (std) packages
 }
 
@@ -185,5 +189,6 @@ func (ld *loader) load(path string) (*Package, error) {
 	p := &Package{Path: path, Dir: m.Dir, Fset: ld.fset, Files: files, Pkg: pkg, Info: info}
 	ld.loaded[path] = p
 	ld.cache[path] = pkg
+	ld.order = append(ld.order, p)
 	return p, nil
 }

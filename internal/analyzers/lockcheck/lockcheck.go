@@ -1,0 +1,452 @@
+// Package lockcheck enforces the lock discipline the serving and worker
+// layers rely on (internal/serve's session registry and queue, internal/par's
+// fork-join). Three shapes are checked:
+//
+//   - sync.Cond.Wait must sit directly inside a for loop re-testing its
+//     condition (`for s.queued == 0 && !s.closed { s.cond.Wait() }`): Wait
+//     releases and reacquires the lock, so a woken waiter must re-check —
+//     an if-guarded Wait admits spurious and stale wakeups.
+//   - a function must not return while a mutex it locked is still held.
+//     The walk is structured and per-path: branch bodies are analyzed with
+//     copies of the locked set, `defer mu.Unlock()` (direct or inside a
+//     deferred literal) releases for every path, and falling off the end of
+//     the function with a lock held is reported at the closing brace.
+//   - sync.WaitGroup.Add must happen before the goroutine it accounts for
+//     is spawned, never inside it: an Add racing the parent's Wait lets
+//     Wait return before the worker runs (par.Pool does wg.Add(w) up
+//     front; serve's drain loop must keep the same shape).
+//
+// Mutexes are tracked by the rendered selector path of the receiver
+// (s.mu, s.reg.mu), which is intra-procedural and alias-blind: helper
+// functions that lock on behalf of a caller are out of scope, matching how
+// serve and par actually structure their critical sections. Justified
+// exceptions carry //gearbox:lock-ok <reason>.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"gearbox/internal/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: "flags Cond.Wait outside a condition loop, returns with a locked " +
+		"mutex held, and WaitGroup.Add inside the spawned goroutine; justify " +
+		"exceptions with //gearbox:lock-ok <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	ann := analysis.ScanAnnotations(pass.Fset, pass.Files...)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
+				c := &checker{pass: pass, ann: ann, parents: analysis.ParentMap(fd)}
+				c.checkWaitShapes(fd.Body)
+				c.checkAddInGoroutine(fd.Body)
+				held := c.walkBlock(fd.Body.List, newLockState())
+				for _, key := range held.heldKeys() {
+					c.report(fd.Body.Rbrace, "%s falls off the end with %s still "+
+						"locked: unlock on every path or defer the unlock", fd.Name.Name, key)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	ann     *analysis.Annotations
+	parents map[ast.Node]ast.Node
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if ok, hint := c.ann.Suppressed(analysis.KindLockOK, pos); !ok {
+		c.pass.Reportf(pos, format+"%s", append(args, hint)...)
+	}
+}
+
+// --- Cond.Wait discipline ---------------------------------------------------
+
+func (c *checker) checkWaitShapes(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isMethodOn(c.pass, call, "Wait", "Cond") {
+			return true
+		}
+		// The canonical shape: ExprStmt directly in the body of a for.
+		stmt := c.parents[call]
+		if es, ok := stmt.(*ast.ExprStmt); ok {
+			if block, ok := c.parents[es].(*ast.BlockStmt); ok {
+				if forStmt, ok := c.parents[block].(*ast.ForStmt); ok && forStmt.Body == block {
+					return true
+				}
+			}
+		}
+		c.report(call.Pos(), "sync.Cond.Wait outside a condition loop: wakeups "+
+			"are spurious and stale; wrap it as `for !cond { c.Wait() }` or "+
+			"annotate //gearbox:lock-ok <reason>")
+		return true
+	})
+}
+
+// --- WaitGroup.Add placement ------------------------------------------------
+
+func (c *checker) checkAddInGoroutine(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok || !isMethodOn(c.pass, call, "Add", "WaitGroup") {
+				return true
+			}
+			// Only captured WaitGroups race the parent's Wait; one created
+			// inside the goroutine is its own synchronization domain.
+			sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if root := rootIdentObj(c.pass, sel.X); root != nil &&
+				analysis.DeclaredWithin(root, lit) {
+				return true
+			}
+			c.report(call.Pos(), "WaitGroup.Add inside the spawned goroutine races "+
+				"the parent's Wait: Add before the go statement, or annotate "+
+				"//gearbox:lock-ok <reason>")
+			return true
+		})
+		return true
+	})
+}
+
+// --- early-return-while-locked ----------------------------------------------
+
+// lockState tracks which mutexes (by rendered receiver path) are held on the
+// current path. deferred marks keys released by a defer, which covers every
+// subsequent exit.
+type lockState struct {
+	held     map[string]bool
+	deferred map[string]bool
+}
+
+func newLockState() *lockState {
+	return &lockState{held: make(map[string]bool), deferred: make(map[string]bool)}
+}
+
+func (s *lockState) clone() *lockState {
+	n := newLockState()
+	//gearbox:nondet-ok set copy: insertion order cannot affect set contents
+	for k := range s.held {
+		n.held[k] = true
+	}
+	//gearbox:nondet-ok set copy: insertion order cannot affect set contents
+	for k := range s.deferred {
+		n.deferred[k] = true
+	}
+	return n
+}
+
+// heldKeys returns the keys locked on this path and not defer-released,
+// sorted for deterministic diagnostics.
+func (s *lockState) heldKeys() []string {
+	var out []string
+	//gearbox:nondet-ok the collected keys are sorted below before any diagnostic uses them
+	for k := range s.held {
+		if !s.deferred[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// walkBlock interprets a statement list, returning the state at its end.
+// A nil return means the path exits (return/panic) and has already been
+// checked.
+func (c *checker) walkBlock(stmts []ast.Stmt, state *lockState) *lockState {
+	for _, s := range stmts {
+		state = c.walkStmt(s, state)
+		if state == nil {
+			return newLockState() // unreachable continuation
+		}
+	}
+	return state
+}
+
+func (c *checker) walkStmt(stmt ast.Stmt, state *lockState) *lockState {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		c.applyCall(s.X, state)
+	case *ast.DeferStmt:
+		c.applyDefer(s, state)
+	case *ast.ReturnStmt:
+		for _, key := range state.heldKeys() {
+			c.report(s.Pos(), "return with %s still locked: unlock before "+
+				"returning or defer the unlock right after Lock", key)
+		}
+		return nil
+	case *ast.BlockStmt:
+		return c.walkBlock(s.List, state)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, state)
+		}
+		thenEnd := c.walkBlock(s.Body.List, state.clone())
+		thenExits := endsInReturn(s.Body)
+		var elseEnd *lockState
+		elseExits := false
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseEnd = c.walkBlock(e.List, state.clone())
+			elseExits = endsInReturn(e)
+		case *ast.IfStmt:
+			elseEnd = c.walkStmt(e, state.clone())
+		case nil:
+			elseEnd = state
+		}
+		switch {
+		case thenExits && elseExits:
+			return newLockState()
+		case thenExits:
+			return elseEnd
+		case elseExits:
+			return thenEnd
+		default:
+			return intersect(thenEnd, elseEnd)
+		}
+	case *ast.ForStmt:
+		// A loop body's lock/unlock must balance within one iteration for
+		// the state to be meaningful; walk with a copy to catch returns
+		// inside, keep the pre-loop state after.
+		if s.Init != nil {
+			c.walkStmt(s.Init, state)
+		}
+		c.walkBlock(s.Body.List, state.clone())
+		return state
+	case *ast.RangeStmt:
+		c.walkBlock(s.Body.List, state.clone())
+		return state
+	case *ast.SwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.walkBlock(cc.Body, state.clone())
+			}
+		}
+		return state
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.walkBlock(cc.Body, state.clone())
+			}
+		}
+		return state
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				c.walkBlock(cc.Body, state.clone())
+			}
+		}
+		return state
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, state)
+	case *ast.GoStmt:
+		// The spawned body runs on its own stack; its locks are its own.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			c.walkBlock(lit.Body.List, newLockState())
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			if lit, ok := ast.Unparen(r).(*ast.FuncLit); ok {
+				c.walkBlock(lit.Body.List, newLockState())
+			}
+		}
+	}
+	return state
+}
+
+// applyCall updates the locked set for a Lock/Unlock/RLock/RUnlock call.
+func (c *checker) applyCall(e ast.Expr, state *lockState) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return
+	}
+	key := renderPath(sel.X) + lockSuffix(sel.Sel.Name)
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		if isLockerCall(c.pass, call) {
+			state.held[key] = true
+		}
+	case "Unlock", "RUnlock":
+		if isLockerCall(c.pass, call) {
+			delete(state.held, key)
+		}
+	}
+}
+
+// applyDefer releases any mutex unlocked by the deferred call, whether
+// directly (`defer s.mu.Unlock()`) or inside a deferred literal.
+func (c *checker) applyDefer(d *ast.DeferStmt, state *lockState) {
+	release := func(call *ast.CallExpr) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Unlock" && sel.Sel.Name != "RUnlock") {
+			return
+		}
+		if isLockerCall(c.pass, call) {
+			state.deferred[renderPath(sel.X)+lockSuffix(sel.Sel.Name)] = true
+		}
+	}
+	release(d.Call)
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				release(call)
+			}
+			return true
+		})
+	}
+}
+
+// lockSuffix separates the read and write sides of an RWMutex so an RLock
+// is not balanced by an Unlock.
+func lockSuffix(method string) string {
+	if method == "RLock" || method == "RUnlock" {
+		return "#r"
+	}
+	return ""
+}
+
+// intersect keeps locks held on both merged paths — optimistic, so a lock
+// released on either branch is treated as released, which only ever
+// under-reports.
+func intersect(a, b *lockState) *lockState {
+	n := newLockState()
+	//gearbox:nondet-ok set intersection: iteration order cannot affect set contents
+	for k := range a.held {
+		if b.held[k] {
+			n.held[k] = true
+		}
+	}
+	//gearbox:nondet-ok set union: iteration order cannot affect set contents
+	for k := range a.deferred {
+		n.deferred[k] = true
+	}
+	//gearbox:nondet-ok set union: iteration order cannot affect set contents
+	for k := range b.deferred {
+		n.deferred[k] = true
+	}
+	return n
+}
+
+func endsInReturn(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BranchStmt:
+		_ = last // break/continue leave the lock question to the loop walk
+	}
+	return false
+}
+
+// --- receiver matching -------------------------------------------------------
+
+// isMethodOn reports whether call invokes method name on a value whose type
+// (or pointee) is a named type called typeName — matching sync.Cond and
+// sync.WaitGroup by name, like the rest of the suite, so fixtures can define
+// their own minimal types.
+func isMethodOn(pass *analysis.Pass, call *ast.CallExpr, name, typeName string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == typeName
+}
+
+// isLockerCall reports whether the receiver of a Lock-family call is a
+// Mutex/RWMutex (by type name, possibly behind a pointer) — keeps unrelated
+// Lock methods (file locks, UI locks) out of the mutex state machine.
+func isLockerCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return true
+	}
+	return false
+}
+
+func rootIdentObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.Info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// renderPath prints the receiver path for lock-state keys and diagnostics.
+func renderPath(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return renderPath(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return renderPath(e.X)
+	case *ast.IndexExpr:
+		return renderPath(e.X) + "[…]"
+	}
+	return "mutex"
+}

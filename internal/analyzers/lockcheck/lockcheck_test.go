@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"gearbox/internal/analyzers/analyzertest"
+	"gearbox/internal/analyzers/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analyzertest.Run(t, lockcheck.Analyzer, "../testdata/src/lockcheck")
+}

@@ -1,0 +1,243 @@
+// Package narrow32 flags conversions that narrow machine-word or 64-bit
+// integers down to int32/int16/uint16 without a visible range guard. The
+// preprocessing pipeline (mtx ingest, CSC assembly, generators, the
+// partition planner) works with nnz- and row-count-sized values that exceed
+// 32 bits on full-size datasets (ogbn-papers100M's edge count does not fit
+// in int32), so an unguarded conversion truncates silently and corrupts the
+// plan or the matrix far from the cast.
+//
+// A conversion is accepted when the analyzer can see the bound:
+//
+//   - the operand is a compile-time constant (the type checker already
+//     range-checks those);
+//   - the operand is built purely from for/range loop variables and
+//     constants, and the target is int32 — ingest caps dimensions at
+//     MaxInt32, so positions within a loaded structure fit (the narrower
+//     int16/uint16 targets get no such pass);
+//   - an earlier comparison in the same function checks the operand (or a
+//     variable it derives from) against a constant in [32767, targetMax+1]
+//     — the shape of the guarded helpers (sparse's width selection against
+//     narrowRowLimit, the ingest dimension caps);
+//   - a //gearbox:narrow-ok <reason> annotation covers the line.
+package narrow32
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"gearbox/internal/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "narrow32",
+	Doc: "flags int32/int16/uint16 conversions of word-sized or 64-bit values " +
+		"with no prior range guard; nnz and row counts overflow 32 bits on " +
+		"full-size datasets; justify exceptions with //gearbox:narrow-ok <reason>",
+	Run: run,
+}
+
+// wide is the set of source kinds that can exceed 32 bits: the conversion
+// int32(x) for x already 32-bit-or-narrower is width bookkeeping, not a
+// truncation risk, and stays out of scope.
+var wide = map[types.BasicKind]bool{
+	types.Int:     true,
+	types.Int64:   true,
+	types.Uint:    true,
+	types.Uint64:  true,
+	types.Uintptr: true,
+}
+
+// targetMax maps a flagged target kind to its maximum value, the upper end
+// of the guard-constant window.
+var targetMax = map[types.BasicKind]int64{
+	types.Int32:  1<<31 - 1,
+	types.Int16:  1<<15 - 1,
+	types.Uint16: 1<<16 - 1,
+}
+
+func run(pass *analysis.Pass) error {
+	ann := analysis.ScanAnnotations(pass.Fset, pass.Files...)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, ann, fd)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, ann *analysis.Annotations, fd *ast.FuncDecl) {
+	frame := analysis.NewFrame(pass.Info, fd.Body)
+	loopVars := collectLoopVars(pass, fd.Body)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		tv, ok := pass.Info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		target := basicKind(tv.Type)
+		maxVal, narrowTarget := targetMax[target]
+		if !narrowTarget {
+			return true
+		}
+		arg := call.Args[0]
+		if !wide[basicKind(pass.TypeOf(arg))] {
+			return true
+		}
+		if av, ok := pass.Info.Types[arg]; ok && av.Value != nil {
+			return true // constant, already range-checked by the compiler
+		}
+		if target == types.Int32 && loopIndexOnly(pass, arg, loopVars) {
+			return true
+		}
+		if guardedBefore(pass, frame, fd.Body, arg, call.Pos(), maxVal) {
+			return true
+		}
+		if ok, hint := ann.Suppressed(analysis.KindNarrowOK, call.Pos()); !ok {
+			pass.Reportf(call.Pos(), "conversion narrows %s to %s with no visible "+
+				"range guard: nnz/row-count-sized values overflow 32 bits on "+
+				"full-size datasets; compare against the target's limit first or "+
+				"annotate //gearbox:narrow-ok <reason>%s",
+				pass.TypeOf(arg), tv.Type, hint)
+		}
+		return true
+	})
+}
+
+func basicKind(t types.Type) types.BasicKind {
+	if t == nil {
+		return types.Invalid
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		return b.Kind()
+	}
+	return types.Invalid
+}
+
+// collectLoopVars gathers every for-range key/value and every for-init
+// variable in the body. Values drawn from iteration over a loaded structure
+// are bounded by its dimensions, which ingest caps at MaxInt32.
+func collectLoopVars(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	bind := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			bind(n.Key)
+			if n.Value != nil {
+				bind(n.Value)
+			}
+		case *ast.ForStmt:
+			if as, ok := n.Init.(*ast.AssignStmt); ok {
+				for _, l := range as.Lhs {
+					bind(l)
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// loopIndexOnly reports whether every identifier in e is a loop variable or
+// a constant — pure positional arithmetic within a loaded structure.
+func loopIndexOnly(pass *analysis.Pass, e ast.Expr, loopVars map[types.Object]bool) bool {
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || !ok {
+			return ok
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isConst := obj.(*types.Const); isConst {
+			return true
+		}
+		if !loopVars[obj] {
+			ok = false
+		}
+		return true
+	})
+	return ok
+}
+
+// guardedBefore reports whether a comparison earlier in the function checks
+// the converted value — or anything its operands derive from it (the
+// derived closure runs from the operand roots) — against a constant in
+// [32767, max+1]: the window that catches `if n > math.MaxInt32`,
+// `if rows >= narrowRowLimit` (65536), and `if v > math.MaxUint16` while
+// ignoring unrelated small-constant comparisons.
+func guardedBefore(pass *analysis.Pass, frame *analysis.Frame, body *ast.BlockStmt, arg ast.Expr, before token.Pos, maxVal int64) bool {
+	roots := identObjs(pass, arg)
+	if len(roots) == 0 {
+		return false
+	}
+	related := frame.Derived(roots...)
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Pos() >= before || !isComparison(be.Op) {
+			return true
+		}
+		for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+			val, cmp := pair[0], pair[1]
+			cv, ok := pass.Info.Types[cmp]
+			if !ok || cv.Value == nil || cv.Value.Kind() != constant.Int {
+				continue
+			}
+			c, exact := constant.Int64Val(cv.Value)
+			if !exact || c < 32767 || c > maxVal+1 {
+				continue
+			}
+			if frame.Mentions(val, related) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func identObjs(pass *analysis.Pass, e ast.Expr) []types.Object {
+	var out []types.Object
+	seen := make(map[types.Object]bool)
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil && !seen[obj] {
+				seen[obj] = true
+				out = append(out, obj)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package narrow32_test
+
+import (
+	"testing"
+
+	"gearbox/internal/analyzers/analyzertest"
+	"gearbox/internal/analyzers/narrow32"
+)
+
+func TestNarrow32(t *testing.T) {
+	analyzertest.Run(t, narrow32.Analyzer, "../testdata/src/narrow32")
+}

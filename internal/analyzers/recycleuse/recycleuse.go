@@ -3,7 +3,8 @@
 // the frontier's entry slices survives — the machine will reuse the backing
 // arrays for later frontiers — so any later read through the same variable
 // observes buffers that a future iteration may be overwriting. The pass is
-// an intra-function, flow-ordered dataflow check:
+// an intra-function, flow-ordered dataflow check over the framework's Frame
+// (analysis/flow.go):
 //
 //   - a call `recv.Recycle(f)` (any method named Recycle taking one
 //     *Frontier argument) taints the variable f from the call onward;
@@ -58,26 +59,19 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 		end token.Pos // taint begins after the call
 	}
 	var recycles []recycleCall
+	frame := analysis.NewFrame(pass.Info, body)
 	deferred := make(map[*ast.CallExpr]bool)
-	exitsAfter := make(map[*ast.CallExpr]bool)
 
 	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.DeferStmt:
+		if d, ok := n.(*ast.DeferStmt); ok {
 			// defer Recycle(f) runs at function exit; it taints nothing.
-			deferred[n.Call] = true
-		case *ast.BlockStmt:
-			markExits(n.List, exitsAfter)
-		case *ast.CaseClause:
-			markExits(n.Body, exitsAfter)
-		case *ast.CommClause:
-			markExits(n.Body, exitsAfter)
+			deferred[d.Call] = true
 		}
 		return true
 	})
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
-		if !ok || deferred[call] || exitsAfter[call] {
+		if !ok || deferred[call] || frame.ExitsAfterCall(call) {
 			return true
 		}
 		if obj := recycledArg(pass, call); obj != nil {
@@ -89,9 +83,7 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 		return
 	}
 
-	// kills[obj] lists positions where obj is reassigned.
-	kills := make(map[types.Object][]token.Pos)
-	// uses[obj] lists read positions (assignment LHS idents excluded).
+	// Assignment LHS idents are definitions, not reads.
 	lhs := make(map[*ast.Ident]bool)
 	ast.Inspect(body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
@@ -101,9 +93,6 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 		for _, l := range as.Lhs {
 			if id, ok := l.(*ast.Ident); ok {
 				lhs[id] = true
-				if obj := pass.Info.Uses[id]; obj != nil {
-					kills[obj] = append(kills[obj], id.Pos())
-				}
 			}
 		}
 		return true
@@ -122,7 +111,7 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 			if rc.obj != obj || id.Pos() < rc.end {
 				continue
 			}
-			if killedBetween(kills[obj], rc.end, id.Pos()) {
+			if frame.KilledBetween(obj, rc.end, id.Pos()) {
 				continue
 			}
 			pass.Reportf(id.Pos(), "use of %s after it was passed to Recycle: "+
@@ -131,35 +120,6 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 		}
 		return true
 	})
-}
-
-// markExits records calls whose statement is immediately followed by a
-// return in the same statement list: `Recycle(f); return …` exits the
-// frame, so syntactically-later uses of f can never execute after it (the
-// pass is otherwise position-ordered and would misread the error-path
-// shape `case bad: m.Recycle(f); return nil, err` inside a loop).
-func markExits(stmts []ast.Stmt, exitsAfter map[*ast.CallExpr]bool) {
-	for i, s := range stmts {
-		es, ok := s.(*ast.ExprStmt)
-		if !ok || i+1 >= len(stmts) {
-			continue
-		}
-		if _, ret := stmts[i+1].(*ast.ReturnStmt); !ret {
-			continue
-		}
-		if call, ok := es.X.(*ast.CallExpr); ok {
-			exitsAfter[call] = true
-		}
-	}
-}
-
-func killedBetween(kills []token.Pos, from, to token.Pos) bool {
-	for _, k := range kills {
-		if k > from && k < to {
-			return true
-		}
-	}
-	return false
 }
 
 // recycledArg returns the object of the plain-identifier argument of a

@@ -8,10 +8,14 @@ import (
 	"strings"
 
 	"gearbox/internal/analyzers/analysis"
+	"gearbox/internal/analyzers/borrowretain"
 	"gearbox/internal/analyzers/globalrand"
 	"gearbox/internal/analyzers/hotalloc"
+	"gearbox/internal/analyzers/lockcheck"
 	"gearbox/internal/analyzers/maprange"
+	"gearbox/internal/analyzers/narrow32"
 	"gearbox/internal/analyzers/recycleuse"
+	"gearbox/internal/analyzers/sharedwrite"
 	"gearbox/internal/analyzers/wallclock"
 )
 
@@ -23,6 +27,10 @@ func All() []*analysis.Analyzer {
 		wallclock.Analyzer,
 		hotalloc.Analyzer,
 		recycleuse.Analyzer,
+		sharedwrite.Analyzer,
+		borrowretain.Analyzer,
+		lockcheck.Analyzer,
+		narrow32.Analyzer,
 	}
 }
 
@@ -58,15 +66,35 @@ var preprocessingPkgs = map[string]bool{
 	"gearbox/internal/partition": true,
 }
 
-// Applies reports whether analyzer a runs over package path. maprange,
-// globalrand, hotalloc and recycleuse sweep the whole module (their
-// findings are either real hazards or justified annotations anywhere,
-// including the preprocessing packages); wallclock binds the simulation and
-// preprocessing packages.
+// concurrencyPkgs are the packages whose lock discipline lockcheck audits:
+// the serving layer's session registry, queue and drain loop, and the
+// fork-join pool those workers run on. Other packages use mutexes only
+// incidentally (telemetry sinks guard counters with defer-unlock) and the
+// whole-tree -race CI job covers them dynamically.
+var concurrencyPkgs = map[string]bool{
+	"gearbox/internal/serve": true,
+	"gearbox/internal/par":   true,
+}
+
+// Applies reports whether analyzer a runs over package path.
+//
+//   - wallclock binds the simulation and preprocessing packages (CLIs and
+//     the bench harness legitimately measure host time);
+//   - lockcheck binds the concurrency packages (serve, par);
+//   - narrow32 binds the preprocessing packages, where nnz/row-count-sized
+//     values live — the simulator proper only sees post-ingest indices that
+//     ingest has already capped;
+//   - everything else — maprange, globalrand, hotalloc, recycleuse,
+//     sharedwrite, borrowretain — sweeps the whole module: their findings
+//     are either real hazards or justified annotations anywhere.
 func Applies(a *analysis.Analyzer, path string) bool {
 	switch a.Name {
 	case wallclock.Analyzer.Name:
 		return simulationPkgs[path] || preprocessingPkgs[path]
+	case lockcheck.Analyzer.Name:
+		return concurrencyPkgs[path]
+	case narrow32.Analyzer.Name:
+		return preprocessingPkgs[path]
 	default:
 		return path == "gearbox" || strings.HasPrefix(path, "gearbox/")
 	}

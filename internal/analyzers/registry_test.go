@@ -44,7 +44,48 @@ func TestAppliesPolicy(t *testing.T) {
 		t.Errorf("wallclock must not bind CLIs, which may measure host time")
 	}
 
-	for _, name := range []string{"maprange", "globalrand", "hotalloc", "recycleuse"} {
+	// All nine analyzers must be registered and bound to some policy.
+	for _, name := range []string{
+		"maprange", "globalrand", "wallclock", "hotalloc", "recycleuse",
+		"sharedwrite", "borrowretain", "lockcheck", "narrow32",
+	} {
+		byName(name) // fatal if missing
+	}
+
+	// lockcheck binds exactly the concurrency layers: serve's session
+	// registry/queue and par's fork-join, not the single-threaded pipeline.
+	lockcheck := byName("lockcheck")
+	for _, path := range []string{"gearbox/internal/serve", "gearbox/internal/par"} {
+		if !analyzers.Applies(lockcheck, path) {
+			t.Errorf("lockcheck must bind %s", path)
+		}
+	}
+	for _, path := range []string{"gearbox/internal/sparse", "gearbox/internal/sim"} {
+		if analyzers.Applies(lockcheck, path) {
+			t.Errorf("lockcheck must not bind %s: no lock discipline to enforce there", path)
+		}
+	}
+
+	// narrow32 binds the preprocessing pipeline, where nnz- and
+	// row-count-sized values live; the simulation core works in fixed widths
+	// validated at plan time.
+	narrow32 := byName("narrow32")
+	for _, path := range []string{
+		"gearbox/internal/mtx", "gearbox/internal/sparse",
+		"gearbox/internal/gen", "gearbox/internal/partition",
+	} {
+		if !analyzers.Applies(narrow32, path) {
+			t.Errorf("narrow32 must bind the preprocessing pipeline; skips %s", path)
+		}
+	}
+	if analyzers.Applies(narrow32, "gearbox/internal/sim") {
+		t.Errorf("narrow32 must not bind the simulation core")
+	}
+
+	for _, name := range []string{
+		"maprange", "globalrand", "hotalloc", "recycleuse",
+		"sharedwrite", "borrowretain",
+	} {
 		a := byName(name)
 		for _, path := range []string{
 			"gearbox", "gearbox/internal/sparse", "gearbox/internal/mtx",

@@ -1,0 +1,12 @@
+package sharedwrite_test
+
+import (
+	"testing"
+
+	"gearbox/internal/analyzers/analyzertest"
+	"gearbox/internal/analyzers/sharedwrite"
+)
+
+func TestSharedwrite(t *testing.T) {
+	analyzertest.Run(t, sharedwrite.Analyzer, "../testdata/src/sharedwrite")
+}

@@ -1,0 +1,83 @@
+// Fixture for the borrowretain analyzer: slices handed out by
+// //gearbox:borrowed APIs are on loan for the duration of the call, and
+// retaining them — storing into a field, returning from an unannotated
+// function, sending on a channel, capturing in a goroutine — is flagged.
+// Element folds copy values out of the loan and stay silent.
+package borrowretain
+
+type Table struct {
+	data []int32
+	kept []int32
+	view []int32
+}
+
+// Window returns a view into the table's backing array, valid only until
+// the next mutation.
+//
+//gearbox:borrowed
+func (t *Table) Window(lo, hi int) []int32 { return t.data[lo:hi] }
+
+func (t *Table) keepView(lo, hi int) {
+	v := t.Window(lo, hi)
+	t.view = v // want "borrowed slice stored in t.view"
+}
+
+func (t *Table) fold(lo, hi int) {
+	v := t.Window(lo, hi)
+	t.kept = append(t.kept, v...)
+}
+
+func (t *Table) leak(lo, hi int) []int32 {
+	v := t.Window(lo, hi)
+	return v // want "returning a borrowed slice from leak"
+}
+
+// Head re-lends the front half of a window; the annotation passes the loan
+// on to Head's own callers instead of flagging the return.
+//
+//gearbox:borrowed
+func (t *Table) Head(n int) []int32 {
+	v := t.Window(0, n)
+	return v[:n/2]
+}
+
+func (t *Table) publish(ch chan []int32, lo, hi int) {
+	v := t.Window(lo, hi)
+	ch <- v // want "borrowed slice sent on a channel"
+}
+
+func (t *Table) fanout(lo, hi int) {
+	v := t.Window(lo, hi)
+	go func() {
+		_ = v[0] // want "goroutine captures borrowed slice v"
+	}()
+}
+
+func (t *Table) pinJustified(lo, hi int) {
+	v := t.Window(lo, hi)
+	//gearbox:borrow-ok the table is frozen for the process lifetime after load
+	t.view = v
+}
+
+// Sink mirrors telemetry.Sink: the row slice is on loan to each callback
+// invocation.
+type Sink interface {
+	// Rows receives one counter row per call.
+	//
+	//gearbox:borrowed
+	Rows(rows []int32)
+}
+
+type collector struct{ last []int32 }
+
+func (c *collector) Rows(rows []int32) {
+	c.last = rows // want "borrowed slice stored in c.last"
+}
+
+type folder struct{ sum int64 }
+
+func (f *folder) Rows(rows []int32) {
+	for _, r := range rows {
+		f.sum += int64(r)
+	}
+}

@@ -1,0 +1,133 @@
+// Fixture for the lockcheck analyzer: Cond.Wait must sit in a condition
+// loop, a function must not return with a mutex it locked still held, and
+// WaitGroup.Add must precede the goroutine it accounts for. The sync types
+// are local: matching is name-based, so the fixture needs no imports.
+package lockcheck
+
+type Mutex struct{}
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{}
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}
+
+type Cond struct{}
+
+func (c *Cond) Wait()      {}
+func (c *Cond) Broadcast() {}
+
+type WaitGroup struct{}
+
+func (w *WaitGroup) Add(delta int) {}
+func (w *WaitGroup) Done()         {}
+func (w *WaitGroup) Wait()         {}
+
+type queue struct {
+	mu     Mutex
+	cond   Cond
+	items  []int
+	closed bool
+}
+
+func (q *queue) pop() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return 0, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+func (q *queue) popStale() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		q.cond.Wait() // want "sync.Cond.Wait outside a condition loop"
+	}
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0], true
+}
+
+func (q *queue) drainOne() bool {
+	q.mu.Lock()
+	if len(q.items) == 0 {
+		return false // want "return with q.mu still locked"
+	}
+	q.items = q.items[1:]
+	q.mu.Unlock()
+	return true
+}
+
+func (q *queue) leak() {
+	q.mu.Lock()
+	q.items = nil
+} // want "leak falls off the end with q.mu still locked"
+
+func (q *queue) transfer() bool {
+	q.mu.Lock()
+	if q.closed {
+		//gearbox:lock-ok ownership transfers to the caller, which must call release
+		return false
+	}
+	q.mu.Unlock()
+	return true
+}
+
+func (q *queue) withCleanup() {
+	q.mu.Lock()
+	defer func() {
+		q.mu.Unlock()
+	}()
+	q.items = nil
+}
+
+type stats struct {
+	rw RWMutex
+	n  int
+}
+
+func (s *stats) read() int {
+	s.rw.RLock()
+	v := s.n
+	s.rw.RUnlock()
+	return v
+}
+
+func spawnBad(wg *WaitGroup, n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want "WaitGroup.Add inside the spawned goroutine"
+			wg.Done()
+		}()
+	}
+}
+
+func spawnGood(wg *WaitGroup, n int) {
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+}
+
+func ownDomain() {
+	go func() {
+		var inner WaitGroup
+		inner.Add(1)
+		inner.Done()
+		inner.Wait()
+	}()
+}

@@ -1,0 +1,60 @@
+// Fixture for the narrow32 analyzer: conversions of word-sized or 64-bit
+// values down to int32/int16/uint16 need a visible range guard, a loop-var
+// operand (int32 only), or a //gearbox:narrow-ok justification.
+package narrow32
+
+const maxInt32 = 1<<31 - 1
+
+const maxUint16 = 1<<16 - 1
+
+func unguarded(nnz int64) int32 {
+	return int32(nnz) // want "narrows int64 to int32 with no visible range guard"
+}
+
+func guarded(nnz int64) (int32, bool) {
+	if nnz > maxInt32 {
+		return 0, false
+	}
+	return int32(nnz), true
+}
+
+func positions(xs []float64) []int32 {
+	out := make([]int32, 0, len(xs))
+	for i := range xs {
+		out = append(out, int32(i))
+	}
+	return out
+}
+
+func tooNarrowForLoopPass(xs []float64) []int16 {
+	out := make([]int16, 0, len(xs))
+	for i := range xs {
+		out = append(out, int16(i)) // want "narrows int to int16"
+	}
+	return out
+}
+
+func packWidth(rows int) (uint16, bool) {
+	if rows > maxUint16 {
+		return 0, false
+	}
+	return uint16(rows), true
+}
+
+func guardOnDerived(total int64) int32 {
+	clamped := total
+	if clamped > maxInt32 {
+		return 0
+	}
+	return int32(total)
+}
+
+func annotated(kept int) int32 {
+	//gearbox:narrow-ok kept counts entries of a structure capped at MaxInt32 by ingest
+	return int32(kept)
+}
+
+func reasonless(n int64) int32 {
+	//gearbox:narrow-ok
+	return int32(n) // want "narrow-ok needs a reason"
+}

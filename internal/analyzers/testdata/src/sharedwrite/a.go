@@ -1,0 +1,72 @@
+// Fixture for the sharedwrite analyzer: writes inside Pool.ForEach and
+// Pool.ForEachBlock worker bodies must be provably worker-private — rooted
+// at a worker-derived index, covered by an ownership guard, or justified
+// with //gearbox:nondet-ok <reason>. The Pool type is local: matching is
+// name-based, like the real par.Pool.
+package sharedwrite
+
+type Pool struct{ workers int }
+
+func (p *Pool) ForEach(n int, fn func(w, i int))           {}
+func (p *Pool) ForEachBlock(n int, fn func(w, lo, hi int)) {}
+
+func capturedScalar(p *Pool, xs []int) int {
+	total := 0
+	p.ForEach(len(xs), func(w, i int) {
+		total += xs[i] // want "write to captured variable total"
+	})
+	return total
+}
+
+func perIndexIsFine(p *Pool, xs []int) []int {
+	out := make([]int, len(xs))
+	p.ForEach(len(xs), func(w, i int) {
+		out[i] = xs[i] * 2
+	})
+	return out
+}
+
+func fixedSlot(p *Pool, xs, dst []int) {
+	p.ForEach(len(xs), func(w, i int) {
+		dst[0] += xs[i] // want "write to shared dst"
+	})
+}
+
+func workerPrivateAlloc(p *Pool, xs []int, sums []int) {
+	p.ForEach(len(xs), func(w, i int) {
+		scratch := make([]int, 4)
+		scratch[0] = xs[i]
+		sums[w] = scratch[0]
+	})
+}
+
+func ownershipGuard(p *Pool, owner, dst []int) {
+	p.ForEachBlock(len(owner), func(w, lo, hi int) {
+		for idx, o := range owner {
+			if idx < lo || idx >= hi {
+				continue
+			}
+			dst[idx] = o
+		}
+	})
+}
+
+func racyMapWrite(p *Pool, m map[string]int, keys []string) {
+	p.ForEach(len(keys), func(w, i int) {
+		m["total"]++ // want "write to shared map m"
+	})
+}
+
+func justifiedMapWrite(p *Pool, m map[string]int, n int) {
+	p.ForEach(n, func(w, i int) {
+		//gearbox:nondet-ok single-writer bucket: this pool is constructed with one worker
+		m["total"]++
+	})
+}
+
+func reasonlessAnnotation(p *Pool, n int, flags []bool) {
+	p.ForEach(n, func(w, i int) {
+		//gearbox:nondet-ok
+		flags[0] = true // want "nondet-ok needs a reason"
+	})
+}

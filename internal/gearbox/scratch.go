@@ -181,8 +181,10 @@ func (m *Machine) bindWorkerFns() {
 			vals := m.emit[k].bVal[w]
 			for i, key := range keys {
 				d := int32(key >> 32)
+				//gearbox:nondet-ok d lies in merge block w: sources bucket pairs by dstBlockOf, and worker w drains only bucket w; cross-checked by the CI -race job
 				m.recvIdx[d] = append(m.recvIdx[d], int32(uint32(key))) //gearbox:alloc-ok recycled receive buffer; grows to its high-water mark
-				m.recvVal[d] = append(m.recvVal[d], vals[i])            //gearbox:alloc-ok recycled receive buffer; grows to its high-water mark
+				//gearbox:nondet-ok d lies in merge block w: same bucket-routing invariant as recvIdx above
+				m.recvVal[d] = append(m.recvVal[d], vals[i]) //gearbox:alloc-ok recycled receive buffer; grows to its high-water mark
 				perBank[m.bankOf[d]]++
 			}
 		}
@@ -264,6 +266,7 @@ func (m *Machine) bindWorkerFns() {
 				instr += m.instrCosts.cleanAppend
 				c.cleanHits++
 			}
+			//gearbox:nondet-ok enc came from recvIdx[k], which the dispatcher fills only with SPU k's own short rows; cross-checked by the CI -race job
 			m.output[enc] = m.sem.Add(old, vals[i])
 			if row := int64(enc) >> 6; row != lastRow {
 				randActs++

@@ -41,10 +41,10 @@ func Grid(cfg GridConfig) (*sparse.CSC, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	n := int32(cfg.Width * cfg.Height)
+	n := int32(cfg.Width * cfg.Height) //gearbox:narrow-ok Validate caps Width*Height at 2^30
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	coo := sparse.NewCOO(n, n)
-	id := func(x, y int) int32 { return int32(y*cfg.Width + x) }
+	id := func(x, y int) int32 { return int32(y*cfg.Width + x) } //gearbox:narrow-ok lattice ids are < Width*Height, capped at 2^30 by Validate
 	addEdge := func(u, v int32) {
 		w := 1 + float32(rng.Intn(9))
 		coo.Add(u, v, w)

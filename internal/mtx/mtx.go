@@ -118,6 +118,7 @@ func ReadOpts(r io.Reader, o Options) (*sparse.COO, error) {
 		return nil, fmt.Errorf("mtx: %d entries after symmetry expansion exceed the int32 entry limit", total)
 	}
 
+	//gearbox:narrow-ok parseSize rejects dimensions beyond MaxInt32
 	m := sparse.NewCOO(int32(rows), int32(cols))
 	m.Entries = make([]sparse.Entry, total)
 	offs := make([]int, nc+1)
@@ -280,12 +281,14 @@ func parseChunk(body []byte, h header, rows, cols int, out *chunkOut) {
 			fail(fmt.Errorf("index (%d,%d) outside %dx%d", i, j, rows, cols))
 			return
 		}
+		//gearbox:narrow-ok the bounds check above pins i,j inside rows x cols, which parseSize capped at MaxInt32
 		entries = append(entries, sparse.Entry{Row: int32(i - 1), Col: int32(j - 1), Val: v})
 		if i != j && h.sym != symGeneral {
 			mv := v
 			if h.sym == symSkew {
 				mv = -v
 			}
+			//gearbox:narrow-ok mirror of the bounds-checked entry above
 			entries = append(entries, sparse.Entry{Row: int32(j - 1), Col: int32(i - 1), Val: mv})
 		}
 		seen++

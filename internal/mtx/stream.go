@@ -102,6 +102,7 @@ func readCSC(r io.Reader, o Options, segBytes int) (*sparse.CSC, error) {
 
 	// The builder makes the single O(nnz) allocation of the whole build and
 	// rejects expanded totals beyond the int32 entry limit.
+	//gearbox:narrow-ok parseSize rejects dimensions beyond MaxInt32
 	b, err := sparse.NewCSCBuilder(int32(rows), int32(cols), colCount, o.Workers)
 	if err != nil {
 		return nil, err

@@ -242,6 +242,7 @@ func Build(m *sparse.CSC, geo mem.Geometry, cfg Config) (*Plan, error) {
 	next := int64(lastLong + 1)
 	for k := 0; k < numSPUs; k++ {
 		size := int64(counts[k])
+		//gearbox:narrow-ok next+size never exceeds NumRows, which is int32 by COO construction
 		p.Ranges[k] = Range{First: int32(next), Last: int32(next + size - 1)}
 		next += size
 	}
@@ -254,7 +255,7 @@ func Build(m *sparse.CSC, geo mem.Geometry, cfg Config) (*Plan, error) {
 	pool.ForEach(numSPUs, func(_, k int) {
 		r := p.Ranges[k]
 		for v := r.First; v <= r.Last; v++ {
-			p.OwnerOf[v] = int32(k)
+			p.OwnerOf[v] = int32(k) //gearbox:narrow-ok k is an SPU ordinal, bounded by cfg.NumSPUs validation
 		}
 	})
 
@@ -338,6 +339,7 @@ func buildPermutation(m *sparse.CSC, geo mem.Geometry, cfg Config, longFrac floa
 	if err := perm.Validate(); err != nil {
 		return nil, 0, nil, fmt.Errorf("partition: %w", err)
 	}
+	//gearbox:narrow-ok longSet holds distinct column ids, so its size is bounded by NumCols, an int32
 	return perm, int32(len(longSet)) - 1, counts, nil
 }
 
@@ -490,7 +492,7 @@ func (p *Plan) buildLongFragments(pool *par.Pool) {
 	// round-robin ordinal of column c's first long-row entry.
 	spillBase := make([]int, nLong+1)
 	pool.ForEach(nLong, func(_, ci int) {
-		rows, _ := p.Matrix.Col(int32(ci))
+		rows, _ := p.Matrix.Col(int32(ci)) //gearbox:narrow-ok ci < nLong <= NumCols, an int32
 		n := 0
 		if wide := rows.Wide(); wide != nil {
 			for _, r := range wide {
@@ -515,6 +517,7 @@ func (p *Plan) buildLongFragments(pool *par.Pool) {
 			p.LongFrags[k] = map[int32][]sparse.Entry{}
 			p.LongRowSpill[k] = map[int32][]sparse.Entry{}
 		}
+		//gearbox:narrow-ok nLong = LastLong+1 comes from an int32 column id
 		for c := int32(0); c < int32(nLong); c++ {
 			rows, vals := p.Matrix.Col(c)
 			rr := spillBase[c]
@@ -542,6 +545,7 @@ func (p *Plan) buildLongFragments(pool *par.Pool) {
 // tests call it after every build.
 func (p *Plan) Validate() error {
 	n := p.Matrix.NumRows
+	//gearbox:narrow-ok equality check against an int32 dimension; a wrapped length would simply fail the comparison
 	if int32(len(p.OwnerOf)) != n {
 		return fmt.Errorf("partition: OwnerOf length %d, want %d", len(p.OwnerOf), n)
 	}

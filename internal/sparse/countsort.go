@@ -208,7 +208,7 @@ func dedupSortedParallel(a, scratch []Entry, colStart []int32, pool *par.Pool) [
 			}
 			i = j
 		}
-		kept[w] = int32(out - lo)
+		kept[w] = int32(out - lo) //gearbox:narrow-ok a block keeps at most nnz entries, capped at MaxInt32 by the sort entry guard
 	})
 	total := 0
 	for _, k := range kept {

@@ -259,7 +259,7 @@ func CSCFromCOOWorkers(m *COO, workers int) *CSC {
 			}
 			i = j
 		}
-		kept[w] = int32(out - lo)
+		kept[w] = int32(out - lo) //gearbox:narrow-ok a block keeps at most nnz entries, capped at MaxInt32 by the builder
 	})
 	for col := 0; col < nCols; col++ {
 		c.Offsets[col+1] += c.Offsets[col]
@@ -318,6 +318,7 @@ func (c *CSC) ToCOO() *COO {
 // Validate checks the structural invariants of the format. It is used by
 // property tests and by the partitioner before accepting a matrix.
 func (c *CSC) Validate() error {
+	//gearbox:narrow-ok equality check against an int32 dimension; a wrapped length would simply fail the comparison
 	if int32(len(c.Offsets)) != c.NumCols+1 {
 		return fmt.Errorf("sparse: offsets length %d, want %d", len(c.Offsets), c.NumCols+1)
 	}

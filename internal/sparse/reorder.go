@@ -105,8 +105,9 @@ func ReorderLongFirst(c *CSC, longFrac float64, seed int64) (*ReorderResult, err
 	}
 
 	return &ReorderResult{
-		Matrix:      ApplyPermutation(c, perm),
-		Perm:        perm,
+		Matrix: ApplyPermutation(c, perm),
+		Perm:   perm,
+		//gearbox:narrow-ok longSet holds distinct column ids, so its size is bounded by NumCols, an int32
 		LastLong:    int32(len(longSet)) - 1,
 		NumLongCols: len(longCols),
 		NumLongRows: len(longRows),
@@ -133,6 +134,7 @@ func ApplyPermutationWorkers(c *CSC, perm *Permutation, workers int) *CSC {
 	idx := c.RowIndexes()
 	pool.ForEachBlock(nnz, func(_, lo, hi int) {
 		// Locate the column containing entry lo, then walk forward.
+		//gearbox:narrow-ok sort.Search result is bounded by NumCols, an int32
 		col := int32(sort.Search(int(c.NumCols), func(k int) bool {
 			return c.Offsets[k+1] > int64(lo)
 		}))

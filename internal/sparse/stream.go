@@ -144,8 +144,10 @@ func (b *CSCBuilder) Finish() (*CSC, error) {
 				}
 				if v != 0 {
 					if c.ix16 != nil {
+						//gearbox:narrow-ok row round-trips through the packed sort key; it originated in this uint16 index array
 						c.ix16[out] = uint16(row)
 					} else {
+						//gearbox:narrow-ok row round-trips through the packed sort key; it originated in this int32 index array
 						c.ix32[out] = int32(row)
 					}
 					c.Values[out] = v
