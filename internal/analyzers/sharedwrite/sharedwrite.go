@@ -1,6 +1,8 @@
 // Package sharedwrite flags writes to shared state inside par.Pool worker
-// bodies — the closures and bound methods passed to Pool.ForEach and
-// Pool.ForEachBlock. The pool's determinism contract (par package doc)
+// bodies — the closures and bound methods passed to Pool.ForEach,
+// Pool.ForEachNamed, Pool.ForEachBlock and the dynamic dispensers
+// Pool.ForEachDynamic/Pool.ForEachBlockDynamic (the worker fn is always the
+// last argument). The pool's determinism contract (par package doc)
 // requires cross-index state to be worker-private and merged after the
 // join; a write that two workers can reach is a data race the equivalence
 // suite only catches if a sweep happens to exercise it, so this analyzer
@@ -85,10 +87,10 @@ func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
-			if !ok || !isPoolForEach(pass, call) || len(call.Args) != 2 {
+			if !ok || !isPoolForEach(pass, call) || len(call.Args) < 2 {
 				return true
 			}
-			for _, body := range resolveWorkerFns(pass, call.Args[1], decls, fieldLits) {
+			for _, body := range resolveWorkerFns(pass, call.Args[len(call.Args)-1], decls, fieldLits) {
 				if !checked[body.node] {
 					checked[body.node] = true
 					checkWorkerBody(pass, ann, body)
@@ -100,12 +102,24 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// isPoolForEach matches method calls named ForEach/ForEachBlock on a
+// poolForEachNames is the set of Pool entry points that run a worker fn —
+// static shards, named variants, and the dynamic chunk/block dispensers. The
+// worker fn is the LAST argument of every one of them (the named and dynamic
+// forms put the region string and chunk width first).
+var poolForEachNames = map[string]bool{
+	"ForEach":             true,
+	"ForEachNamed":        true,
+	"ForEachBlock":        true,
+	"ForEachDynamic":      true,
+	"ForEachBlockDynamic": true,
+}
+
+// isPoolForEach matches method calls with a poolForEachNames name on a
 // (pointer to a) named type Pool — name-based like recycleuse, so fixtures
 // and future pools match without importing internal/par.
 func isPoolForEach(pass *analysis.Pass, call *ast.CallExpr) bool {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok || (sel.Sel.Name != "ForEach" && sel.Sel.Name != "ForEachBlock") {
+	if !ok || !poolForEachNames[sel.Sel.Name] {
 		return false
 	}
 	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)

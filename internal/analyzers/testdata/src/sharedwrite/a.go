@@ -70,3 +70,45 @@ func reasonlessAnnotation(p *Pool, n int, flags []bool) {
 		flags[0] = true // want "nondet-ok needs a reason"
 	})
 }
+
+// The named and dynamic entry points take the worker fn as their LAST
+// argument (region string and chunk width come first); the analyzer must
+// resolve bodies through all of them.
+
+func (p *Pool) ForEachNamed(region string, n int, fn func(w, i int))                {}
+func (p *Pool) ForEachDynamic(region string, n, chunk int, fn func(w, i int))       {}
+func (p *Pool) ForEachBlockDynamic(region string, n int, fn func(w, b, lo, hi int)) {}
+
+func namedCapturedScalar(p *Pool, xs []int) int {
+	total := 0
+	p.ForEachNamed("sum", len(xs), func(w, i int) {
+		total += xs[i] // want "write to captured variable total"
+	})
+	return total
+}
+
+func dynamicSharedSlot(p *Pool, xs, dst []int) {
+	p.ForEachDynamic("scatter", len(xs), 8, func(w, i int) {
+		dst[0] += xs[i] // want "write to shared dst"
+	})
+}
+
+func dynamicPerIndexIsFine(p *Pool, xs []int) []int {
+	out := make([]int, len(xs))
+	p.ForEachDynamic("map", len(xs), 0, func(w, i int) {
+		out[i] = xs[i] * 2
+	})
+	return out
+}
+
+func blockDynamicOwnership(p *Pool, owner, dst []int, leak []int) {
+	p.ForEachBlockDynamic("fold", len(owner), func(w, b, lo, hi int) {
+		for idx, o := range owner {
+			if idx < lo || idx >= hi {
+				continue
+			}
+			dst[idx] = o
+		}
+		leak[0] = b // want "write to shared leak"
+	})
+}

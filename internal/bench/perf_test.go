@@ -15,7 +15,7 @@ func scrubHost(r PerfReport) PerfReport {
 	es := make([]PerfEntry, len(r.Entries))
 	copy(es, r.Entries)
 	for i := range es {
-		es[i].HostWallNs, es[i].HostAllocBytes, es[i].HostMallocs = 0, 0, 0
+		es[i].HostWallNs, es[i].HostWallParNs, es[i].HostAllocBytes, es[i].HostMallocs = 0, 0, 0, 0
 	}
 	r.Entries = es
 	return r
@@ -49,7 +49,7 @@ func TestPerfReport(t *testing.T) {
 		if e.TimeNs <= 0 || e.EnergyJ <= 0 || e.Iterations == 0 || e.ProcessedNNZ == 0 || e.GTEPS <= 0 {
 			t.Fatalf("degenerate entry: %+v", e)
 		}
-		if e.HostWallNs <= 0 || e.HostAllocBytes <= 0 || e.HostMallocs <= 0 {
+		if e.HostWallNs <= 0 || e.HostWallParNs <= 0 || e.HostAllocBytes <= 0 || e.HostMallocs <= 0 {
 			t.Fatalf("host columns unmeasured: %+v", e)
 		}
 	}

@@ -145,7 +145,10 @@ func (s *Suite) versionConfig(version string) (partition.Config, error) {
 var Versions = []string{"V1", "HypoV2", "V2", "V3"}
 
 // Run executes (or fetches) one application on one dataset under one
-// partition config and timing.
+// partition config and timing. The cache key deliberately omits the worker
+// count: simulated results are bit-identical at any width, so a cached run
+// answers for every Workers value. Callers that measure HOST cost per worker
+// count (Perf's serial/parallel columns) must use the uncached execute.
 func (s *Suite) Run(app string, d *gen.Dataset, pcfg partition.Config, tim mem.Timing) (*apps.Result, error) {
 	key := fmt.Sprintf("%s|%s|%v|%v|%v|%v|%v|%d|%g", app, d.Name, pcfg.Scheme, pcfg.Placement, pcfg.LongFrac, pcfg.Replicate, pcfg.Balance, pcfg.Seed, tim.SPUFreqHz)
 	s.mu.Lock()
@@ -154,14 +157,27 @@ func (s *Suite) Run(app string, d *gen.Dataset, pcfg partition.Config, tim mem.T
 	if ok {
 		return r, nil
 	}
+	res, err := s.execute(app, d, pcfg, tim, s.Cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.runs[key] = res
+	s.mu.Unlock()
+	return res, nil
+}
 
+// execute runs one cell uncached with an explicit machine worker count —
+// the primitive behind Run and behind Perf's per-worker-count host timing.
+// Plans are still shared through the plan cache (they are worker-independent).
+func (s *Suite) execute(app string, d *gen.Dataset, pcfg partition.Config, tim mem.Timing, workers int) (*apps.Result, error) {
 	plan, err := s.plan(d, pcfg)
 	if err != nil {
 		return nil, err
 	}
 	mcfg := gearbox.DefaultConfig()
 	mcfg.Geo, mcfg.Tim = s.Cfg.Geo, tim
-	mcfg.Workers = s.Cfg.Workers
+	mcfg.Workers = workers
 	run := apps.RunConfig{Partition: pcfg, Machine: mcfg, Plan: plan}
 
 	var res apps.Result
@@ -200,10 +216,6 @@ func (s *Suite) Run(app string, d *gen.Dataset, pcfg partition.Config, tim mem.T
 	default:
 		return nil, fmt.Errorf("bench: unknown app %q", app)
 	}
-
-	s.mu.Lock()
-	s.runs[key] = &res
-	s.mu.Unlock()
 	return &res, nil
 }
 

@@ -173,7 +173,35 @@ func (s *Suite) PoolStats() (Table, map[string]float64, error) {
 	out["merge_share"] = mergeShare
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d parallel regions + %d merge regions; merges took %.2f ms (%.1f%% of worker busy time)",
-			stats.Regions, stats.MergeRegions, float64(stats.MergeNs)/1e6, mergeShare),
+			stats.Regions, stats.MergeRegions, float64(stats.MergeNs)/1e6, mergeShare))
+
+	// Dynamic-scheduling occupancy: how the chunk dispensers balanced the
+	// skew, and how much of the run two pipeline stages were genuinely
+	// concurrent. Steals are chunks claimed by a worker other than the one a
+	// static partition would have assigned — the work the old engine
+	// serialized on its slowest shard.
+	stealShare := 0.0
+	if stats.DynChunks > 0 {
+		stealShare = 100 * float64(stats.Steals) / float64(stats.DynChunks)
+	}
+	overlapShare := 0.0
+	if total > 0 {
+		overlapShare = 100 * float64(stats.OverlapNs) / float64(total)
+	}
+	out["steal_share"] = stealShare
+	out["overlap_share"] = overlapShare
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"dynamic scheduling: %d chunks over %d dynamic regions, %d stolen (%.1f%%); compute/merge overlap %.2f ms (%.1f%% of busy time)",
+		stats.DynChunks, stats.DynRegions, stats.Steals, stealShare,
+		float64(stats.OverlapNs)/1e6, overlapShare))
+	if ps := mach.PipelineStats(); ps.Runs > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"step-3 pipeline: %d runs, %d chunks of %d SPUs, max %d chunks in flight (double-buffer cap 2)",
+			ps.Runs, ps.Chunks, ps.ChunkSPUs, ps.InFlightMax))
+	} else {
+		t.Notes = append(t.Notes, "step-3 pipeline: not engaged (serial pool or single chunk)")
+	}
+	t.Notes = append(t.Notes,
 		"host wall-time measurements (diagnostic); simulated results are unaffected by worker count")
 	return t, out, nil
 }

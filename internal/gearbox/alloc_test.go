@@ -90,10 +90,45 @@ func TestIterateSteadyStateAllocsTelemetry(t *testing.T) {
 	}
 }
 
+// TestIterateSteadyStateAllocsPipelined covers the double-buffered chunked
+// path at Workers=1 (the pipeline degenerates to chunk-by-chunk serial
+// execution, but the chunk bookkeeping, windowed merges and guided-block
+// geometry all run): it must stay as allocation-free as the unchunked serial
+// path at every chunk width.
+func TestIterateSteadyStateAllocsPipelined(t *testing.T) {
+	m := testMatrix(t, 31)
+	for _, chunk := range []int{1, 7, -1} {
+		cfg := partition.DefaultConfig()
+		mach := machineWithWorkers(t, m, cfg, semiring.PlusTimes{}, 1, nil)
+		mach.chunkSPUs = resolvePipelineChunk(chunk, mach.plan.NumSPUs)
+		entries := randomFrontier(m.NumRows, 60, 7)
+		var buf []FrontierEntry
+		cycle := func() {
+			f, err := mach.DistributeFrontier(entries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			next, _, err := mach.Iterate(f, IterateOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mach.Recycle(f)
+			buf = next.AppendEntries(buf[:0])
+			mach.Recycle(next)
+		}
+		for i := 0; i < 3; i++ {
+			cycle()
+		}
+		if avg := testing.AllocsPerRun(10, cycle); avg > 0.5 {
+			t.Fatalf("chunk %d: steady-state iteration allocates: %.1f allocs/op, want ~0", chunk, avg)
+		}
+	}
+}
+
 // TestIterateSteadyStateAllocsParallel covers the worker-pool path: the
 // fork-join goroutines themselves are the only steady-state cost, so the
-// budget allows the handful of allocations Go makes per spawned goroutine
-// batch but still catches per-entry or per-SPU churn (hundreds of allocs).
+// budget allows the handful of allocations Go makes per spawned region
+// batch but still catches per-entry or per-SPU churn (thousands of allocs).
 func TestIterateSteadyStateAllocsParallel(t *testing.T) {
 	m := testMatrix(t, 32)
 	mach := machineWithWorkers(t, m, partition.DefaultConfig(), semiring.PlusTimes{}, 4, nil)
@@ -115,10 +150,14 @@ func TestIterateSteadyStateAllocsParallel(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		cycle()
 	}
-	// 7 parallel regions × 4 workers ≈ 28 goroutine spawns per iteration;
-	// each costs at most a couple of allocations when the runtime can't
-	// reuse a dead g. Anything structural would blow far past this.
-	if avg := testing.AllocsPerRun(10, cycle); avg > 60 {
+	// The pipelined hot path runs ~3×nc+5 parallel regions per iteration
+	// (nc ≈ 8 chunks: one compute and up to two merge regions per chunk,
+	// plus steps 2/5/6 and the reduce/merge-stage spawns). Each region
+	// costs its wg+dispenser escapes plus up to Workers goroutine spawns —
+	// ≈ 30 regions × 7 ≈ 210 allocations of pure fork-join overhead,
+	// independent of frontier size. Per-entry or per-SPU churn would blow
+	// past this budget by an order of magnitude.
+	if avg := testing.AllocsPerRun(10, cycle); avg > 256 {
 		t.Fatalf("parallel steady-state iteration allocates: %.1f allocs/op", avg)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"sync"
 
 	"gearbox/internal/fulcrum"
 	"gearbox/internal/interconnect"
@@ -111,6 +112,17 @@ type Config struct {
 	// frontiers, outputs) are bit-identical for every value; see DESIGN.md
 	// "Execution model" for the merge-order rules that guarantee it.
 	Workers int
+	// PipelineChunkSPUs is the source-SPU chunk width of the step 3
+	// compute/merge software pipeline (DESIGN.md "Pipelined execution"):
+	// step 3 computes the frontier in chunks of this many SPUs, and the
+	// merge of chunk c overlaps the compute of chunk c+1. 0 selects an
+	// automatic width (about eight chunks per iteration); > 0 pins the
+	// width (clamped to NumSPUs); < 0 forces a single chunk, disabling the
+	// overlap. Simulated results are bit-identical at every setting — the
+	// merge folds chunks in (chunk, ascending source SPU) order, which is
+	// globally ascending source SPU, the serial order — so the knob only
+	// moves host wall time.
+	PipelineChunkSPUs int
 }
 
 // DefaultConfig returns the Table 2 machine: default geometry/timing and a
@@ -160,12 +172,27 @@ type Machine struct {
 	recvIdx [][]int32
 	recvVal [][]float32
 	emit    []spuEmit // step 3 per-SPU out-buckets, merged in SPU order
-	// dstBlockOf maps a destination SPU to the merge block that owns it in
-	// fnMergePairs' ForEachBlock partition (stable for a fixed pool width);
-	// step 3 buckets its pairs by it so the merge reads contiguous runs
-	// instead of filtering every pair once per worker.
+	// dstBlockOf maps a destination SPU to the guided merge block that owns
+	// it in fnMergePairs' ForEachBlockDynamic partition (stable for a fixed
+	// pool width); step 3 buckets its pairs by it so the merge reads
+	// contiguous runs instead of filtering every pair once per worker.
 	dstBlockOf []int32
 	scr        scratch // pooled per-iteration accounting buffers
+
+	// Step 3 software pipeline (pipeline.go): chunkSPUs is the resolved
+	// source-SPU chunk width, chunkBase the base SPU of the chunk the
+	// compute region is currently running (read by fnStep3Chunk), and
+	// mergeLo/mergeHi the source window [lo, hi) the merge stage is
+	// currently draining (read by the fnMerge* bodies). chunkBase is
+	// written only between compute regions on the Iterate goroutine;
+	// mergeLo/mergeHi only between merge passes on the merge-stage
+	// goroutine — both are published to the pool workers by the region
+	// fork.
+	chunkSPUs        int
+	chunkBase        int
+	mergeLo, mergeHi int
+	pipe             pipeline
+	reduceWG         sync.WaitGroup
 
 	// Plan facts cached at New so the worker bodies read fields instead of
 	// recomputing per call.
@@ -188,10 +215,13 @@ type Machine struct {
 	curNext  *Frontier
 	iterSt   IterStats
 
-	fnStep2, fnStep3, fnStep5  func(w, k int)
-	fnApply, fnEmit            func(w, k int)
-	fnMergePairs, fnMergeLogic func(w, lo, hi int)
-	fnMergeHypoShort           func(w, lo, hi int)
+	fnStep2, fnStep3, fnStep5   func(w, k int)
+	fnApply, fnEmit             func(w, k int)
+	fnStep3Chunk                func(w, i int)
+	fnMergePairs, fnMergeLogic  func(w, b, lo, hi int)
+	fnMergeHypoShort            func(w, b, lo, hi int)
+	fnReduceRep                 func(w, b, lo, hi int)
+	fnMergeStage, fnReduceStage func()
 
 	instrCosts costs
 
@@ -329,8 +359,23 @@ func New(plan *partition.Plan, sem semiring.Semiring, cfg Config) (*Machine, err
 			m.replicas = make([][]float32, plan.NumSPUs)
 		}
 	}
+	m.chunkSPUs = resolvePipelineChunk(cfg.PipelineChunkSPUs, plan.NumSPUs)
+	m.pipe.cond = sync.NewCond(&m.pipe.mu)
 	m.initScratch()
 	return m, nil
+}
+
+// resolvePipelineChunk maps the PipelineChunkSPUs knob to an effective chunk
+// width in [1, nSPU]; see the Config field for the encoding.
+func resolvePipelineChunk(cfg, nSPU int) int {
+	switch {
+	case cfg < 0 || cfg >= nSPU:
+		return nSPU
+	case cfg == 0:
+		return (nSPU + 7) / 8
+	default:
+		return cfg
+	}
 }
 
 // Plan exposes the partition plan (read-only by convention).

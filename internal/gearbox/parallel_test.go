@@ -222,10 +222,13 @@ func TestNewRejectsZeroSPUs(t *testing.T) {
 }
 
 // benchmarkIterate drives repeated PageRank-shaped iterations (dense-ish
-// frontier plus dense apply) on the small holly dataset under the Table 2
-// geometry.
+// frontier plus dense apply) on a small dataset under the Table 2 geometry.
 func benchmarkIterate(b *testing.B, workers int) {
-	ds, err := gen.Load("holly", gen.Small)
+	benchmarkIterateDataset(b, "holly", workers)
+}
+
+func benchmarkIterateDataset(b *testing.B, dataset string, workers int) {
+	ds, err := gen.Load(dataset, gen.Small)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -269,3 +272,13 @@ func benchmarkIterate(b *testing.B, workers int) {
 
 func BenchmarkIterateSerial(b *testing.B)   { benchmarkIterate(b, 1) }
 func BenchmarkIterateParallel(b *testing.B) { benchmarkIterate(b, 0) }
+
+// The skewed pair runs the same workload on the twitter stand-in — the most
+// extreme power-law preset (Fig. 5e) — where a few long-fragment-heavy SPUs
+// dominate step 3. This is the dataset the dynamic dispensers and the
+// compute/merge pipeline are judged by: the static-shard engine serialized
+// on the hottest SPU here.
+func BenchmarkIterateSerialSkewed(b *testing.B) { benchmarkIterateDataset(b, "twitter", 1) }
+func BenchmarkIterateParallelSkewed(b *testing.B) {
+	benchmarkIterateDataset(b, "twitter", 0)
+}

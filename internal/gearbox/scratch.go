@@ -40,6 +40,10 @@ type scratch struct {
 	applyPW []Events
 	emitPW  []emitCounters
 	mergePW []mergeCounters
+	// redPW[w][bf] is worker w's share of the step 6 distinct-slot count
+	// for flat bank bf (the slot-sharded replica reduction counts marks
+	// worker-privately; integer sums fold order-insensitively in the tail).
+	redPW [][]int64
 
 	recvPerBank        []int64
 	bankPairs          []int64
@@ -49,7 +53,9 @@ type scratch struct {
 	// bankSlotMark[bf][r] == epoch marks long slot r as already counted for
 	// flat bank bf this iteration; bankSlotCount[bf] is the distinct-slot
 	// count (all the old per-bank map[int32]bool was consulted for). Marks
-	// are lazily allocated per bank that actually reduces replicas.
+	// are allocated eagerly for every bank on replicating machines: the
+	// parallel reduction may touch any bank's marks from any worker, so a
+	// lazy first-touch allocation would race.
 	bankSlotMark  [][]int32
 	bankSlotCount []int64
 	epoch         int32
@@ -73,24 +79,33 @@ func (m *Machine) initScratch() {
 		bankSlotMark:       make([][]int32, banks),
 		bankSlotCount:      make([]int64, banks),
 	}
+	m.scr.redPW = make([][]int64, w)
 	for i := range m.scr.mergePW {
 		m.scr.mergePW[i].perBank = make([]int64, banks)
+		m.scr.redPW[i] = make([]int64, banks)
 	}
 	// Destination-block bucketing for the step-3 emit/merge path: each SPU
-	// emits into one bucket per merge block, and merge worker w drains only
-	// bucket w of every source — contiguous runs, no per-pair filtering. The
-	// block map depends only on (Workers, NumSPUs), both fixed for the life of
-	// the machine, so it is precomputed here once.
-	nb := m.pool.Blocks(m.plan.NumSPUs)
+	// emits into one bucket per guided merge block, and the worker that
+	// claims block b drains only bucket b of every source — contiguous runs,
+	// no per-pair filtering. The block map depends only on (Workers,
+	// NumSPUs), both fixed for the life of the machine, so it is precomputed
+	// here once.
+	nb := m.pool.GuidedBlocks(m.plan.NumSPUs)
 	m.dstBlockOf = make([]int32, m.plan.NumSPUs)
-	m.pool.ForEachBlock(m.plan.NumSPUs, func(w, lo, hi int) {
+	for b := 0; b < nb; b++ {
+		lo, hi := m.pool.GuidedRange(m.plan.NumSPUs, b)
 		for d := lo; d < hi; d++ {
-			m.dstBlockOf[d] = int32(w)
+			m.dstBlockOf[d] = int32(b)
 		}
-	})
+	}
 	for k := range m.emit {
 		m.emit[k].bKey = make([][]uint64, nb)
 		m.emit[k].bVal = make([][]float32, nb)
+	}
+	if m.replicate && m.plan.LastLong >= 0 {
+		for bf := range m.scr.bankSlotMark {
+			m.scr.bankSlotMark[bf] = make([]int32, m.plan.LastLong+1)
+		}
 	}
 	m.bindWorkerFns()
 }
@@ -167,23 +182,31 @@ func (m *Machine) bindWorkerFns() {
 	m.fnStep3 = m.step3SPUBody
 
 	//gearbox:steadystate
-	m.fnMergePairs = func(w, lo, hi int) {
-		// Worker w owns destinations [lo, hi), which is exactly merge block w
-		// (dstBlockOf is built from the same ForEachBlock geometry). Sources
-		// emitted pairs for those destinations into bucket w, so the worker
-		// drains bucket w of every SPU in ascending SPU order — a contiguous
-		// scan with no filtering — reproducing each destination's serial
-		// receive order exactly (ascending source SPU, emission order within
-		// one source).
+	m.fnStep3Chunk = func(w, i int) {
+		// Pipelined step 3 computes one chunk at a time; i is chunk-relative
+		// and chunkBase (set before the region forks) rebases it to the SPU.
+		m.step3SPUBody(w, m.chunkBase+i)
+	}
+
+	//gearbox:steadystate
+	m.fnMergePairs = func(w, b, lo, hi int) {
+		// Guided block b owns destinations [lo, hi), and sources bucketed
+		// their pairs for those destinations into bucket b (dstBlockOf is
+		// built from the same guided geometry), so whichever worker claims
+		// block b drains bucket b of the current source window in ascending
+		// SPU order — a contiguous scan with no filtering. Windows are the
+		// pipeline's chunks, merged in chunk order, so each destination's
+		// receive order is (chunk asc, source SPU asc) = global ascending
+		// source SPU, exactly the serial receive order.
 		perBank := m.scr.mergePW[w].perBank
-		for k := 0; k < m.plan.NumSPUs; k++ {
-			keys := m.emit[k].bKey[w]
-			vals := m.emit[k].bVal[w]
+		for k := m.mergeLo; k < m.mergeHi; k++ {
+			keys := m.emit[k].bKey[b]
+			vals := m.emit[k].bVal[b]
 			for i, key := range keys {
 				d := int32(key >> 32)
-				//gearbox:nondet-ok d lies in merge block w: sources bucket pairs by dstBlockOf, and worker w drains only bucket w; cross-checked by the CI -race job
+				//gearbox:nondet-ok d lies in guided block b: sources bucket pairs by dstBlockOf, and block b is claimed by exactly one worker per merge pass; cross-checked by the CI -race job
 				m.recvIdx[d] = append(m.recvIdx[d], int32(uint32(key))) //gearbox:alloc-ok recycled receive buffer; grows to its high-water mark
-				//gearbox:nondet-ok d lies in merge block w: same bucket-routing invariant as recvIdx above
+				//gearbox:nondet-ok d lies in guided block b: same bucket-routing invariant as recvIdx above
 				m.recvVal[d] = append(m.recvVal[d], vals[i]) //gearbox:alloc-ok recycled receive buffer; grows to its high-water mark
 				perBank[m.bankOf[d]]++
 			}
@@ -191,12 +214,13 @@ func (m *Machine) bindWorkerFns() {
 	}
 
 	//gearbox:steadystate
-	m.fnMergeLogic = func(w, lo, hi int) {
-		// Worker w owns logic-accumulator slots [lo, hi) of the long region.
-		// Scanning sources in ascending SPU order keeps each slot's float
-		// fold order identical to the serial merge.
+	m.fnMergeLogic = func(w, b, lo, hi int) {
+		// Block b owns logic-accumulator slots [lo, hi) of the long region.
+		// Scanning the source window in ascending SPU order, window by
+		// window, keeps each slot's float fold order identical to the
+		// serial merge.
 		c := &m.scr.mergePW[w]
-		for k := 0; k < m.plan.NumSPUs; k++ {
+		for k := m.mergeLo; k < m.mergeHi; k++ {
 			idxs := m.emit[k].logicIdx
 			vals := m.emit[k].logicVal
 			for i, idx := range idxs {
@@ -216,13 +240,13 @@ func (m *Machine) bindWorkerFns() {
 	}
 
 	//gearbox:steadystate
-	m.fnMergeHypoShort = func(w, lo, hi int) {
+	m.fnMergeHypoShort = func(w, b, lo, hi int) {
 		// HypoGearboxV2 routes every short accumulation through the logic
-		// layer too; worker w owns the output shards of SPUs [lo, hi). Each
+		// layer too; block b owns the output shards of SPUs [lo, hi). Each
 		// short index has exactly one owner, so shards are exclusive and the
 		// per-owner dirty append order matches the serial merge.
 		c := &m.scr.mergePW[w]
-		for k := 0; k < m.plan.NumSPUs; k++ {
+		for k := m.mergeLo; k < m.mergeHi; k++ {
 			idxs := m.emit[k].logicIdx
 			vals := m.emit[k].logicVal
 			for i, idx := range idxs {
@@ -238,6 +262,51 @@ func (m *Machine) bindWorkerFns() {
 				m.output[idx] = m.sem.Add(old, vals[i])
 			}
 		}
+	}
+
+	//gearbox:steadystate
+	m.fnReduceRep = func(w, b, lo, hi int) {
+		// V3 replica reduction, sharded by logic-accumulator slot: block b
+		// owns slots [lo, hi). Every block scans all SPUs' dirty replica
+		// lists in ascending SPU order, so each slot's float fold order is
+		// the serial reduction's. Marks are slot-indexed (slot r is touched
+		// only by the block owning r, so concurrent blocks write disjoint
+		// elements) and distinct-slot counts are worker-private.
+		c := &m.scr.mergePW[w]
+		counts := m.scr.redPW[w]
+		epoch := m.scr.epoch
+		for k := 0; k < m.plan.NumSPUs; k++ {
+			dl := m.dirtyLong[k]
+			if len(dl) == 0 {
+				continue
+			}
+			rep := m.replicas[k]
+			bf := m.bankOf[k]
+			marks := m.scr.bankSlotMark[bf]
+			for _, r := range dl {
+				if int(r) < lo || int(r) >= hi {
+					continue
+				}
+				old := m.logicAcc[r]
+				if m.sem.IsZero(old) {
+					c.logicDirty = append(c.logicDirty, r) //gearbox:alloc-ok recycled per-worker dirty list; grows to its high-water mark
+				}
+				m.logicAcc[r] = m.sem.Add(old, rep[r])
+				rep[r] = m.clean
+				if marks[r] != epoch {
+					marks[r] = epoch
+					counts[bf]++
+				}
+			}
+		}
+	}
+
+	m.fnMergeStage = m.step3MergeStage
+
+	//gearbox:steadystate
+	m.fnReduceStage = func() {
+		m.runStep6Reduce()
+		m.reduceWG.Done()
 	}
 
 	//gearbox:steadystate

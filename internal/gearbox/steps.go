@@ -62,7 +62,7 @@ func (m *Machine) step2OffsetPacking(f *Frontier, st *IterStats) {
 	for i := range m.scr.packPW {
 		m.scr.packPW[i] = packCounters{}
 	}
-	m.pool.ForEach(m.plan.NumSPUs, m.fnStep2)
+	m.pool.ForEachNamed("step2-pack", m.plan.NumSPUs, m.fnStep2)
 	var instrs, acts int64
 	for _, c := range m.scr.packPW {
 		instrs += c.instrs
@@ -234,9 +234,53 @@ func (m *Machine) step3LocalAccumulations(f *Frontier, st *IterStats) {
 	for i := range scr.s3PW {
 		scr.s3PW[i] = step3Counters{}
 	}
+	// Merge scratch resets before any compute: in the pipelined path merges
+	// of early chunks run concurrently with later compute regions.
+	for i := range scr.mergePW {
+		c := &scr.mergePW[i]
+		for j := range c.perBank {
+			c.perBank[j] = 0
+		}
+		c.cleanHits = 0
+		c.logicDirty = c.logicDirty[:0]
+	}
 
-	// Parallel phase: shard-private compute.
-	m.pool.ForEach(m.plan.NumSPUs, m.fnStep3)
+	// Software-pipelined compute + ordered merge (pipeline.go). Compute is
+	// shard-private per SPU; the merge is sharded by destination — every
+	// mutable target (a receive buffer, a logic-accumulator slot, an owner's
+	// output shard) belongs to exactly one guided block, and every merge
+	// pass scans its chunk's sources in ascending SPU order, so
+	// per-destination receive order and per-slot float fold order are
+	// exactly the serial merge's at any chunk width. Worker-private counters
+	// (per-bank pair counts, clean hits, newly-dirty logic slots) reduce
+	// after the drain: integers are order-insensitive, and the logic dirty
+	// list is sorted and deduped in step 6 before anything observable reads
+	// it.
+	nSPU := m.plan.NumSPUs
+	nc := (nSPU + m.chunkSPUs - 1) / m.chunkSPUs
+	if m.pool.Workers() == 1 || nc == 1 {
+		// No overlap to win: compute everything, then merge everything.
+		m.pool.ForEachDynamic("step3-compute", nSPU, m.chunkSPUs, m.fnStep3)
+		m.mergeLo, m.mergeHi = 0, nSPU
+		m.runStep3Merge()
+	} else {
+		m.pipe.reset(nc)
+		go m.fnMergeStage() //gearbox:alloc-ok one merge-stage goroutine spawn per iteration; bounded, not per-entry
+		for c := 0; c < nc; c++ {
+			// Double-buffer backpressure: at most two chunks of un-merged
+			// emit data in flight.
+			m.pipe.waitMerged(c - 2)
+			lo := c * m.chunkSPUs
+			hi := lo + m.chunkSPUs
+			if hi > nSPU {
+				hi = nSPU
+			}
+			m.chunkBase = lo
+			m.pool.ForEachDynamic("step3-compute", hi-lo, 1, m.fnStep3Chunk)
+			m.pipe.doneCompute(c)
+		}
+		m.pipe.waitMerged(nc - 1) // drain the merge stage
+	}
 
 	var ev Events
 	for i := range scr.s3PW {
@@ -250,29 +294,6 @@ func (m *Machine) step3LocalAccumulations(f *Frontier, st *IterStats) {
 		st.ProcessedNNZ += c.processedNNZ
 	}
 
-	// Ordered merge, sharded by destination. Every mutable target — a
-	// receive buffer, a logic-accumulator slot, an owner's output shard — is
-	// owned by exactly one worker, and each worker scans the per-SPU emit
-	// buckets in ascending SPU order, so per-destination receive order and
-	// per-slot float fold order are exactly the serial merge's. Worker-
-	// private counters (per-bank pair counts, clean hits, newly-dirty logic
-	// slots) reduce after the barrier: integers are order-insensitive, and
-	// the logic dirty list is sorted and deduped in step 6 before anything
-	// observable reads it.
-	for i := range scr.mergePW {
-		c := &scr.mergePW[i]
-		for j := range c.perBank {
-			c.perBank[j] = 0
-		}
-		c.cleanHits = 0
-		c.logicDirty = c.logicDirty[:0]
-	}
-	m.pool.ForEachBlock(m.plan.NumSPUs, m.fnMergePairs)
-	if m.hypo {
-		m.pool.ForEachBlock(m.plan.NumSPUs, m.fnMergeHypoShort)
-	}
-	m.pool.ForEachBlock(int(m.plan.LastLong)+1, m.fnMergeLogic)
-
 	recvPerBank := scr.recvPerBank
 	for i := range recvPerBank {
 		recvPerBank[i] = 0
@@ -284,6 +305,8 @@ func (m *Machine) step3LocalAccumulations(f *Frontier, st *IterStats) {
 		}
 		st.CleanHits += c.cleanHits
 		m.logicDirty = append(m.logicDirty, c.logicDirty...) //gearbox:alloc-ok recycled dirty list; grows to its high-water mark
+		// Truncate so the step 6 replica reduction can reuse the buffers.
+		c.logicDirty = c.logicDirty[:0]
 	}
 
 	// Serial tail: network sends and logic-layer traffic fold in ascending
@@ -410,7 +433,7 @@ func (m *Machine) step5RemoteAccumulations(st *IterStats) {
 	for i := range m.scr.scatPW {
 		m.scr.scatPW[i] = scatCounters{}
 	}
-	m.pool.ForEach(m.plan.NumSPUs, m.fnStep5)
+	m.pool.ForEachDynamic("step5-scatter", m.plan.NumSPUs, 0, m.fnStep5)
 	var ev Events
 	for i := range m.scr.scatPW {
 		ev.Add(m.scr.scatPW[i].ev)
@@ -459,14 +482,59 @@ func (m *Machine) step6EmitBody(w, k int) {
 	c.frontierOut += n
 }
 
+// step6ReduceTail is the serial fold after the parallel V3 replica
+// reduction: network sends in ascending SPU then ascending bank order
+// (identical to the serial reduction's send sequence), the per-worker
+// newly-dirty logic slots into m.logicDirty, and the per-worker distinct-
+// slot counts into the per-bank totals that drive the Dispatcher/TSV
+// traffic.
+//
+//gearbox:steadystate
+func (m *Machine) step6ReduceTail(ev *Events, logicPerVault []float64) {
+	scr := &m.scr
+	pairsPerRow := int64(m.cfg.Geo.WordsPerRow() / 2)
+	for k := 0; k < m.plan.NumSPUs; k++ {
+		n := int64(len(m.dirtyLong[k]))
+		if n == 0 {
+			continue
+		}
+		// Line traffic SPU -> Dispatcher.
+		m.net.SendSPUToSPU(m.plan.SPUIDOf(k), m.plan.DispatcherOf(k), n)
+		ev.SPUInstrs += n * 2 // read replica slot + send
+	}
+	for i := range scr.mergePW {
+		c := &scr.mergePW[i]
+		m.logicDirty = append(m.logicDirty, c.logicDirty...) //gearbox:alloc-ok recycled dirty list; grows to its high-water mark
+		c.logicDirty = c.logicDirty[:0]
+	}
+	for _, counts := range scr.redPW {
+		for bf, n := range counts {
+			scr.bankSlotCount[bf] += n
+		}
+	}
+	for bf, n := range scr.bankSlotCount {
+		if n == 0 {
+			continue
+		}
+		id := mem.SPUID{Layer: bf / m.cfg.Geo.BanksPerLayer, Bank: bf % m.cfg.Geo.BanksPerLayer, SPU: m.cfg.Geo.SPUsPerBank() - 1}
+		m.net.SendToLogic(id, n)
+		rows := (n + pairsPerRow - 1) / pairsPerRow
+		ev.DispatchInstrs += rows * m.instrCosts.dispatchPerRow
+		logicPerVault[m.cfg.Geo.VaultOf(id.Bank)] += float64(n) * m.instrCosts.logicOpNsPerPair
+		ev.LogicOps += 2 * n
+	}
+}
+
 // step6Applying performs the optional Applying op, reduces the replicated
 // long regions in the logic layer (V3), emits the next frontier from the
 // newly non-clean slots, and resets the output vector to clean indicators
 // (§5 Step 6). The dense apply and the frontier emission shard across the
 // worker pool (each SPU owns its output range and dirty list); the V3
-// replica reduction folds into the shared logic accumulator and therefore
-// runs serially in SPU order, which is also what keeps its float sums
-// bit-stable.
+// replica reduction shards by logic-accumulator slot (runStep6Reduce), each
+// slot folding SPUs in ascending order so its float sums stay bit-stable,
+// and — when no dense apply is pending — overlaps the frontier emission,
+// whose state (short output shards, dirty lists, frontier buckets) is
+// disjoint from the long region the reduction touches.
 //
 //gearbox:steadystate
 func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
@@ -490,8 +558,8 @@ func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
 	// by slot and walked in index order, not maps: map iteration order is
 	// randomized per run, and the marks recycle across iterations with a
 	// single epoch bump instead of a clear.
-	if m.replicate && m.plan.LastLong >= 0 {
-		pairsPerRow := int64(m.cfg.Geo.WordsPerRow() / 2)
+	reduce := m.replicate && m.plan.LastLong >= 0
+	if reduce {
 		scr.epoch++
 		if scr.epoch <= 0 { // int32 wrap: reset marks, restart epochs
 			for _, marks := range scr.bankSlotMark {
@@ -501,51 +569,22 @@ func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
 			}
 			scr.epoch = 1
 		}
-		epoch := scr.epoch
 		for i := range scr.bankSlotCount {
 			scr.bankSlotCount[i] = 0
 		}
-		for k := 0; k < m.plan.NumSPUs; k++ {
-			dl := m.dirtyLong[k]
-			if len(dl) == 0 {
-				continue
+		for _, counts := range scr.redPW {
+			for i := range counts {
+				counts[i] = 0
 			}
-			rep := m.replicas[k]
-			id := m.plan.SPUIDOf(k)
-			bf := m.bankOf[k]
-			marks := scr.bankSlotMark[bf]
-			if marks == nil {
-				marks = make([]int32, m.plan.LastLong+1) //gearbox:alloc-ok lazy one-time per-bank mark allocation, first reduction only
-				scr.bankSlotMark[bf] = marks
-			}
-			for _, r := range dl {
-				old := m.logicAcc[r]
-				if m.sem.IsZero(old) {
-					m.logicDirtyAdd(r)
-				}
-				m.logicAcc[r] = m.sem.Add(old, rep[r])
-				rep[r] = m.clean
-				if marks[r] != epoch {
-					marks[r] = epoch
-					scr.bankSlotCount[bf]++
-				}
-			}
-			n := int64(len(dl))
-			// Line traffic SPU -> Dispatcher.
-			m.net.SendSPUToSPU(id, m.plan.DispatcherOf(k), n)
-			ev.SPUInstrs += n * 2 // read replica slot + send
 		}
-		for bf, n := range scr.bankSlotCount {
-			if n == 0 {
-				continue
-			}
-			id := mem.SPUID{Layer: bf / m.cfg.Geo.BanksPerLayer, Bank: bf % m.cfg.Geo.BanksPerLayer, SPU: m.cfg.Geo.SPUsPerBank() - 1}
-			m.net.SendToLogic(id, n)
-			rows := (n + pairsPerRow - 1) / pairsPerRow
-			ev.DispatchInstrs += rows * m.instrCosts.dispatchPerRow
-			logicPerVault[m.cfg.Geo.VaultOf(id.Bank)] += float64(n) * m.instrCosts.logicOpNsPerPair
-			ev.LogicOps += 2 * n
-		}
+	}
+	// With no dense apply pending the reduction can overlap the frontier
+	// emission below (disjoint state); with an apply it must retire first,
+	// because the apply folds into the same logic accumulator.
+	overlap := reduce && opts.Apply == nil && m.pool.Workers() > 1
+	if reduce && !overlap {
+		m.runStep6Reduce()
+		m.step6ReduceTail(&ev, logicPerVault)
 	}
 
 	// Optional Applying op over the whole vector, sharded by output range.
@@ -554,7 +593,7 @@ func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
 		for i := range scr.applyPW {
 			scr.applyPW[i] = Events{}
 		}
-		m.pool.ForEach(m.plan.NumSPUs, m.fnApply)
+		m.pool.ForEachNamed("step6-apply", m.plan.NumSPUs, m.fnApply)
 		for i := range scr.applyPW {
 			ev.Add(scr.applyPW[i])
 		}
@@ -572,13 +611,23 @@ func (m *Machine) step6Applying(opts IterateOptions, st *IterStats) *Frontier {
 	}
 
 	// Emit the next frontier and reset output slots to clean. Each SPU
-	// sorts its own dirty list and writes its own frontier bucket.
+	// sorts its own dirty list and writes its own frontier bucket; in the
+	// overlapped path the V3 replica reduction runs concurrently on its own
+	// stage goroutine.
 	m.curNext = m.getFrontier()
 	next := m.curNext
 	for i := range scr.emitPW {
 		scr.emitPW[i] = emitCounters{}
 	}
-	m.pool.ForEach(m.plan.NumSPUs, m.fnEmit)
+	if overlap {
+		m.reduceWG.Add(1)
+		go m.fnReduceStage() //gearbox:alloc-ok one reduce-stage goroutine spawn per iteration; bounded, not per-entry
+	}
+	m.pool.ForEachDynamic("step6-emit", m.plan.NumSPUs, 0, m.fnEmit)
+	if overlap {
+		m.reduceWG.Wait()
+		m.step6ReduceTail(&ev, logicPerVault)
+	}
 	for i := range scr.emitPW {
 		ev.Add(scr.emitPW[i].ev)
 		st.FrontierOut += scr.emitPW[i].frontierOut

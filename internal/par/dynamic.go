@@ -1,0 +1,268 @@
+package par
+
+// Dynamic scheduling: atomic-counter chunk dispensers. The static ForEach
+// partition is perfectly fair only when every index costs the same; the
+// gearbox hot path is exactly the opposite (a few long-fragment-heavy SPUs
+// dominate step 3), so a static shard leaves most workers idle at each
+// barrier. The dispensers below let workers steal chunks as they drain their
+// own — and stay inside the pool's determinism contract because WHERE a
+// chunk's effects land never depends on WHO executes it: per-index outputs
+// go to per-index slots, cross-index state is worker-private and merged in
+// fixed order after the join, and destination-sharded folds own their
+// destinations by block id, not by worker id.
+//
+// Two dispensers:
+//
+//   - ForEachDynamic hands out fixed-width index chunks — the dynamic
+//     counterpart of ForEach for skewed per-index bodies.
+//   - ForEachBlockDynamic hands out the guided block partition (GuidedBlocks/
+//     GuidedRange) — the dynamic counterpart of ForEachBlock for
+//     destination-sharded folds. Blocks are identified by their block id,
+//     which is stable for a fixed (Workers, n), so callers can pre-bucket
+//     per-block scratch exactly as they did for static blocks.
+
+import (
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ForEachDynamic runs fn(worker, i) for every i in [0, n) like ForEach, but
+// hands out contiguous chunks of the given width through an atomic counter
+// instead of pre-assigning static ranges: a worker that finishes early claims
+// the next unclaimed chunk, so skewed bodies no longer serialize on the
+// slowest static shard. chunk <= 0 selects a width that yields roughly eight
+// chunks per worker. Chunks are executed in claim order, each chunk's indexes
+// in ascending order on one goroutine; every index is visited exactly once.
+// The pool's determinism contract is unchanged — cross-index state must be
+// worker-private (keyed by the worker id) and merged in fixed order after the
+// join, which makes results independent of the chunk-to-worker assignment.
+//
+// region names the parallel region for pprof goroutine labels and
+// instrumentation.
+func (p *Pool) ForEachDynamic(region string, n, chunk int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = n/(8*p.workers) + 1
+	}
+	nchunks := (n + chunk - 1) / chunk
+	ins := p.ins
+	if ins != nil {
+		ins.regions.Add(1)
+		ins.dynRegions.Add(1)
+		ins.dynChunks.Add(int64(nchunks))
+		ins.regionEnter()
+		defer ins.regionExit()
+	}
+	g := p.workers
+	if g > nchunks {
+		g = nchunks
+	}
+	if g == 1 {
+		var start time.Time
+		if ins != nil {
+			start = ins.workerEnter()
+		}
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		if ins != nil {
+			ins.workerExit(0, start, false)
+		}
+		return
+	}
+	p.runDynamic(region, n, chunk, nchunks, g, fn)
+}
+
+// runDynamic is ForEachDynamic's spawn path. It is a separate function so
+// the goroutine closure captures only parameters that are never reassigned —
+// captured variables that mutate after declaration are heap-allocated at
+// declaration, which would charge the inline (one-worker) fast path too.
+func (p *Pool) runDynamic(region string, n, chunk, nchunks, g int, fn func(worker, i int)) {
+	ins := p.ins
+	ctxs := p.labelCtxs(region)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(g)
+	for worker := 0; worker < g; worker++ {
+		go func(worker int) {
+			defer wg.Done()
+			pprof.SetGoroutineLabels(ctxs[worker])
+			var start time.Time
+			if ins != nil {
+				start = ins.workerEnter()
+			}
+			var steals int64
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nchunks {
+					break
+				}
+				// A chunk executed by a worker other than the one a static
+				// partition would assign counts as a steal.
+				if ins != nil && worker != c*g/nchunks {
+					steals++
+				}
+				hi := (c + 1) * chunk
+				if hi > n {
+					hi = n
+				}
+				for i := c * chunk; i < hi; i++ {
+					fn(worker, i)
+				}
+			}
+			if ins != nil {
+				ins.steals.Add(steals)
+				ins.workerExit(worker, start, false)
+			}
+		}(worker)
+	}
+	wg.Wait()
+}
+
+// GuidedBlocks reports how many blocks the guided partition splits [0, n)
+// into — the block count ForEachBlockDynamic dispenses and the size callers
+// use for per-block scratch (e.g. the gearbox emit buckets). The partition
+// is guided self-scheduling in closed form: three rounds covering one half,
+// one quarter and the final quarter of the index space, each round split
+// into Workers() equal blocks, so early blocks are large (low dispatch
+// overhead) and the tail blocks are small (fine-grained rebalancing when
+// some destinations are hot). The geometry depends only on (Workers(), n) —
+// never on execution order — so block b always covers the same range.
+//
+// Degenerate shapes fall back: one worker gets one block; n < 4*Workers()
+// gets the static min(Workers(), n) equal blocks (guided rounds would create
+// empty blocks).
+func (p *Pool) GuidedBlocks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	w := p.workers
+	if w == 1 {
+		return 1
+	}
+	if n < 4*w {
+		if w > n {
+			return n
+		}
+		return w
+	}
+	return 3 * w
+}
+
+// GuidedRange reports the half-open index range [lo, hi) of guided block b,
+// for b in [0, GuidedBlocks(n)). Blocks partition [0, n) exactly: round
+// boundaries sit at n/2 and n/2+n/4, and block b = round*Workers() + i takes
+// the i-th equal slice of its round.
+func (p *Pool) GuidedRange(n, b int) (lo, hi int) {
+	nb := p.GuidedBlocks(n)
+	if nb <= 1 {
+		return 0, n
+	}
+	w := p.workers
+	if nb != 3*w {
+		// Static fallback: same boundaries as ForEachBlock over nb blocks.
+		return b * n / nb, (b + 1) * n / nb
+	}
+	bound := func(j int) int {
+		switch j {
+		case 0:
+			return 0
+		case 1:
+			return n / 2
+		case 2:
+			return n/2 + n/4
+		default:
+			return n
+		}
+	}
+	j, i := b/w, b%w
+	rlo, rhi := bound(j), bound(j+1)
+	span := rhi - rlo
+	return rlo + i*span/w, rlo + (i+1)*span/w
+}
+
+// ForEachBlockDynamic runs fn(worker, b, lo, hi) once per guided block of
+// [0, n), dispensing block ids through an atomic counter — the dynamic,
+// guided counterpart of ForEachBlock for destination-sharded folds. Every
+// block is executed exactly once and block geometry is fixed by
+// (Workers(), n), so a fold that owns its destinations per block stays
+// bit-identical no matter which worker claims which block; the worker id
+// exists only to key worker-private scratch. With one available worker the
+// blocks run in ascending id order inline on the calling goroutine.
+//
+// region names the parallel region for pprof goroutine labels and
+// instrumentation.
+func (p *Pool) ForEachBlockDynamic(region string, n int, fn func(worker, b, lo, hi int)) {
+	nb := p.GuidedBlocks(n)
+	if nb == 0 {
+		return
+	}
+	ins := p.ins
+	if ins != nil {
+		ins.mergeRegions.Add(1)
+		ins.dynRegions.Add(1)
+		ins.dynChunks.Add(int64(nb))
+		ins.regionEnter()
+		defer ins.regionExit()
+	}
+	g := p.workers
+	if g > nb {
+		g = nb
+	}
+	if g == 1 {
+		var start time.Time
+		if ins != nil {
+			start = ins.workerEnter()
+		}
+		for b := 0; b < nb; b++ {
+			lo, hi := p.GuidedRange(n, b)
+			fn(0, b, lo, hi)
+		}
+		if ins != nil {
+			ins.workerExit(0, start, true)
+		}
+		return
+	}
+	p.runBlockDynamic(region, n, nb, g, fn)
+}
+
+// runBlockDynamic is ForEachBlockDynamic's spawn path; separate for the same
+// escape-analysis reason as runDynamic.
+func (p *Pool) runBlockDynamic(region string, n, nb, g int, fn func(worker, b, lo, hi int)) {
+	ins := p.ins
+	ctxs := p.labelCtxs(region)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(g)
+	for worker := 0; worker < g; worker++ {
+		go func(worker int) {
+			defer wg.Done()
+			pprof.SetGoroutineLabels(ctxs[worker])
+			var start time.Time
+			if ins != nil {
+				start = ins.workerEnter()
+			}
+			var steals int64
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nb {
+					break
+				}
+				if ins != nil && worker != b*g/nb {
+					steals++
+				}
+				lo, hi := p.GuidedRange(n, b)
+				fn(worker, b, lo, hi)
+			}
+			if ins != nil {
+				ins.steals.Add(steals)
+				ins.workerExit(worker, start, true)
+			}
+		}(worker)
+	}
+	wg.Wait()
+}

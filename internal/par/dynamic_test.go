@@ -1,0 +1,190 @@
+package par
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForEachDynamicExactlyOnce: the chunk dispenser visits every index
+// exactly once, with in-range worker ids, across chunk widths that divide
+// n, don't, exceed n, and the auto width.
+func TestForEachDynamicExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := New(workers)
+		for _, chunk := range []int{0, 1, 7, 64, 1000} {
+			const n = 237
+			visits := make([]atomic.Int32, n)
+			p.ForEachDynamic("test", n, chunk, func(worker, i int) {
+				if worker < 0 || worker >= workers {
+					t.Errorf("worker id %d out of range [0,%d)", worker, workers)
+				}
+				visits[i].Add(1)
+			})
+			for i := range visits {
+				if got := visits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d chunk=%d: index %d visited %d times", workers, chunk, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestGuidedPartition: for any (workers, n), the guided blocks exactly
+// partition [0, n) — contiguous, in order, no gaps or overlaps — and the
+// geometry is a pure function of (workers, n).
+func TestGuidedPartition(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 5, 8, 16} {
+		p := New(workers)
+		for _, n := range []int{0, 1, 2, 3, 7, 4 * workers, 4*workers - 1, 100, 1023} {
+			nb := p.GuidedBlocks(n)
+			if n == 0 {
+				if nb != 0 {
+					t.Fatalf("workers=%d: GuidedBlocks(0) = %d", workers, nb)
+				}
+				continue
+			}
+			if nb < 1 {
+				t.Fatalf("workers=%d n=%d: GuidedBlocks = %d", workers, n, nb)
+			}
+			pos := 0
+			for b := 0; b < nb; b++ {
+				lo, hi := p.GuidedRange(n, b)
+				if lo != pos || hi < lo {
+					t.Fatalf("workers=%d n=%d block %d: range [%d,%d), expected lo=%d", workers, n, b, lo, hi, pos)
+				}
+				pos = hi
+			}
+			if pos != n {
+				t.Fatalf("workers=%d n=%d: blocks cover [0,%d), want [0,%d)", workers, n, pos, n)
+			}
+		}
+	}
+}
+
+// TestForEachBlockDynamicExactlyOnce: every guided block is dispensed
+// exactly once with its own geometry, at any worker count.
+func TestForEachBlockDynamicExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		p := New(workers)
+		const n = 517
+		nb := p.GuidedBlocks(n)
+		visits := make([]atomic.Int32, nb)
+		var covered atomic.Int64
+		p.ForEachBlockDynamic("test", n, func(worker, b, lo, hi int) {
+			wantLo, wantHi := p.GuidedRange(n, b)
+			if lo != wantLo || hi != wantHi {
+				t.Errorf("block %d: got [%d,%d), want [%d,%d)", b, lo, hi, wantLo, wantHi)
+			}
+			visits[b].Add(1)
+			covered.Add(int64(hi - lo))
+		})
+		for b := range visits {
+			if got := visits[b].Load(); got != 1 {
+				t.Fatalf("workers=%d: block %d dispensed %d times", workers, b, got)
+			}
+		}
+		if covered.Load() != n {
+			t.Fatalf("workers=%d: blocks covered %d indexes, want %d", workers, covered.Load(), n)
+		}
+	}
+}
+
+// TestDynamicStats: instrumented dynamic regions count regions and dispensed
+// chunks, and a skewed body on a multi-worker pool records steals (workers
+// that drain their share early claim chunks a static partition would have
+// assigned elsewhere). Steal counts are scheduling-dependent, so the test
+// only asserts they appear under forced skew, not an exact number.
+func TestDynamicStats(t *testing.T) {
+	p := New(4)
+	p.SetInstrumented(true)
+
+	const n, chunk = 64, 1
+	p.ForEachDynamic("skewed", n, chunk, func(worker, i int) {
+		if i == 0 {
+			// One pathologically slow index: whoever claims chunk 0 is stuck
+			// while the other workers steal the rest of the range.
+			time.Sleep(20 * time.Millisecond) //gearbox:nondet-ok test-only skew injection; nothing simulated depends on it
+		}
+	})
+	p.ForEachBlockDynamic("blocks", n, func(worker, b, lo, hi int) {})
+
+	s, ok := p.Stats()
+	if !ok {
+		t.Fatal("instrumented pool reports no stats")
+	}
+	if s.DynRegions != 2 {
+		t.Fatalf("DynRegions = %d, want 2", s.DynRegions)
+	}
+	wantChunks := int64(n + p.GuidedBlocks(n))
+	if s.DynChunks != wantChunks {
+		t.Fatalf("DynChunks = %d, want %d", s.DynChunks, wantChunks)
+	}
+	if testing.Short() {
+		return // steal observation needs real parallelism
+	}
+	if s.Steals == 0 {
+		t.Log("no steals observed (single-CPU host?); skipping steal assertion")
+	}
+	p.ResetStats()
+	if s, _ := p.Stats(); s.DynRegions != 0 || s.DynChunks != 0 || s.Steals != 0 || s.OverlapNs != 0 {
+		t.Fatalf("ResetStats left dynamic counters: %+v", s)
+	}
+}
+
+// TestOverlapAccounting: two regions in flight on one pool register overlap
+// time; sequential regions register none.
+func TestOverlapAccounting(t *testing.T) {
+	p := New(2)
+	p.SetInstrumented(true)
+	p.ForEach(100, func(worker, i int) {})
+	if s, _ := p.Stats(); s.OverlapNs != 0 {
+		t.Fatalf("sequential regions recorded %dns overlap", s.OverlapNs)
+	}
+	done := make(chan struct{})
+	go func() {
+		p.ForEachNamed("bg", 2, func(worker, i int) {
+			time.Sleep(30 * time.Millisecond) //gearbox:nondet-ok test-only overlap window; nothing simulated depends on it
+		})
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond) //gearbox:nondet-ok test-only: let the background region enter before the foreground one
+	p.ForEachNamed("fg", 2, func(worker, i int) {
+		time.Sleep(10 * time.Millisecond) //gearbox:nondet-ok test-only overlap window; nothing simulated depends on it
+	})
+	<-done
+	if s, _ := p.Stats(); s.OverlapNs <= 0 {
+		t.Fatalf("concurrent regions recorded no overlap: %+v", s)
+	}
+}
+
+// TestWorkerLabels: the cached label contexts carry the region name and
+// worker id, and the cache returns the same backing slice on reuse (the
+// steady-state no-allocation property).
+func TestWorkerLabels(t *testing.T) {
+	p := New(3)
+	ctxs := p.labelCtxs("step3-compute")
+	if len(ctxs) != 3 {
+		t.Fatalf("got %d label contexts, want 3", len(ctxs))
+	}
+	for w, ctx := range ctxs {
+		labels := map[string]string{}
+		pprof.ForLabels(ctx, func(key, value string) bool {
+			labels[key] = value
+			return true
+		})
+		if labels["par_region"] != "step3-compute" {
+			t.Fatalf("worker %d: par_region = %q", w, labels["par_region"])
+		}
+		if want := map[int]string{0: "0", 1: "1", 2: "2"}[w]; labels["par_worker"] != want {
+			t.Fatalf("worker %d: par_worker = %q, want %q", w, labels["par_worker"], want)
+		}
+	}
+	again := p.labelCtxs("step3-compute")
+	if &again[0] != &ctxs[0] {
+		t.Fatal("labelCtxs rebuilt the context slice instead of caching it")
+	}
+	var _ context.Context = ctxs[0]
+}

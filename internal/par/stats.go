@@ -28,6 +28,22 @@ type Stats struct {
 	// MergeNs is the wall time spent inside ForEachBlock regions, summed
 	// across workers — the host cost of the ordered merges.
 	MergeNs int64
+	// DynRegions counts dynamically scheduled regions (ForEachDynamic and
+	// ForEachBlockDynamic) and DynChunks the chunks/blocks those regions
+	// dispensed; DynChunks/DynRegions is the average granularity the
+	// work-stealing loop ran at.
+	DynRegions int64
+	DynChunks  int64
+	// Steals counts chunks executed by a worker other than the one a static
+	// partition would have assigned — the load-balancing work the dynamic
+	// dispensers actually did. Zero steals on a skewed dataset means the
+	// chunk width is too coarse.
+	Steals int64
+	// OverlapNs is the wall time during which two or more regions were in
+	// flight on this pool simultaneously — the pipeline overlap the
+	// compute/merge double-buffering buys. Compare against total region
+	// time for an overlap ratio.
+	OverlapNs int64
 }
 
 // instr holds the live counters; a nil *instr means instrumentation is off.
@@ -35,6 +51,16 @@ type instr struct {
 	regions      atomic.Int64
 	mergeRegions atomic.Int64
 	mergeNs      atomic.Int64
+	dynRegions   atomic.Int64
+	dynChunks    atomic.Int64
+	steals       atomic.Int64
+	overlapNs    atomic.Int64
+	// active tracks how many regions are currently in flight; the 1->2
+	// transition stamps overlapStart and the 2->1 transition books the
+	// elapsed overlap. The pipeline runs at most two concurrent regions
+	// (compute + merge), so pairwise tracking is exact.
+	active       atomic.Int32
+	overlapStart atomic.Int64
 	busyNs       []atomic.Int64
 	blocks       []atomic.Int64
 }
@@ -70,6 +96,10 @@ func (p *Pool) Stats() (s Stats, ok bool) {
 		Regions:      ins.regions.Load(),
 		MergeRegions: ins.mergeRegions.Load(),
 		MergeNs:      ins.mergeNs.Load(),
+		DynRegions:   ins.dynRegions.Load(),
+		DynChunks:    ins.dynChunks.Load(),
+		Steals:       ins.steals.Load(),
+		OverlapNs:    ins.overlapNs.Load(),
 		WorkerBusyNs: make([]int64, p.workers),
 		WorkerBlocks: make([]int64, p.workers),
 	}
@@ -89,9 +119,28 @@ func (p *Pool) ResetStats() {
 	ins.regions.Store(0)
 	ins.mergeRegions.Store(0)
 	ins.mergeNs.Store(0)
+	ins.dynRegions.Store(0)
+	ins.dynChunks.Store(0)
+	ins.steals.Store(0)
+	ins.overlapNs.Store(0)
 	for w := range ins.busyNs {
 		ins.busyNs[w].Store(0)
 		ins.blocks[w].Store(0)
+	}
+}
+
+// regionEnter/regionExit bracket a whole parallel region for overlap
+// accounting: time during which >=2 regions are concurrently in flight is
+// pipeline overlap.
+func (ins *instr) regionEnter() {
+	if ins.active.Add(1) == 2 {
+		ins.overlapStart.Store(time.Now().UnixNano()) //gearbox:nondet-ok host-side pool introspection; wall time never reaches simulated state
+	}
+}
+
+func (ins *instr) regionExit() {
+	if ins.active.Add(-1) == 1 {
+		ins.overlapNs.Add(time.Now().UnixNano() - ins.overlapStart.Load()) //gearbox:nondet-ok host-side pool introspection; wall time never reaches simulated state
 	}
 }
 

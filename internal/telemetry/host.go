@@ -1,0 +1,24 @@
+package telemetry
+
+// Host-side observability types. Everything flowing through Sink is
+// simulated state and must be bit-identical at any worker count; the types
+// here are the opposite — measurements of how the host executed the
+// simulation (scheduling, overlap, occupancy), which legitimately vary run
+// to run. Keeping them out of the Sink interface keeps that contract sharp.
+
+// PipelineStats is a snapshot of the gearbox machine's step 3 compute/merge
+// software pipeline, accumulated since the machine was built (see
+// gearbox.Machine.PipelineStats).
+type PipelineStats struct {
+	// Runs counts pipelined step 3 executions (iterations where the overlap
+	// engaged: more than one worker and more than one chunk); Chunks the
+	// total chunks those runs dispensed.
+	Runs   int64
+	Chunks int64
+	// ChunkSPUs is the resolved chunk width in source SPUs.
+	ChunkSPUs int
+	// InFlightMax is the high-water mark of computed-but-unmerged chunks —
+	// 2 means the double-buffered overlap actually filled; 1 means merges
+	// always finished before the next compute (compute-bound).
+	InFlightMax int
+}
