@@ -66,6 +66,16 @@ var preprocessingPkgs = map[string]bool{
 	"gearbox/internal/partition": true,
 }
 
+// observabilityPkgs are host-side measurement packages: they may read the
+// wall clock, but only through one annotated chokepoint (obs.Now), so the
+// wallclock analyzer binds them too — a stray time.Now call anywhere else
+// in the package is a finding. Keeping the clock behind one audited helper
+// is what lets the serving layer measure real latency without the
+// simulation contracts ever seeing host time.
+var observabilityPkgs = map[string]bool{
+	"gearbox/internal/obs": true,
+}
+
 // concurrencyPkgs are the packages whose lock discipline lockcheck audits:
 // the serving layer's session registry, queue and drain loop, and the
 // fork-join pool those workers run on. Other packages use mutexes only
@@ -79,7 +89,9 @@ var concurrencyPkgs = map[string]bool{
 // Applies reports whether analyzer a runs over package path.
 //
 //   - wallclock binds the simulation and preprocessing packages (CLIs and
-//     the bench harness legitimately measure host time);
+//     the bench harness legitimately measure host time) plus the
+//     observability package, whose single annotated obs.Now helper is the
+//     only sanctioned clock read;
 //   - lockcheck binds the concurrency packages (serve, par);
 //   - narrow32 binds the preprocessing packages, where nnz/row-count-sized
 //     values live — the simulator proper only sees post-ingest indices that
@@ -90,7 +102,7 @@ var concurrencyPkgs = map[string]bool{
 func Applies(a *analysis.Analyzer, path string) bool {
 	switch a.Name {
 	case wallclock.Analyzer.Name:
-		return simulationPkgs[path] || preprocessingPkgs[path]
+		return simulationPkgs[path] || preprocessingPkgs[path] || observabilityPkgs[path]
 	case lockcheck.Analyzer.Name:
 		return concurrencyPkgs[path]
 	case narrow32.Analyzer.Name:

@@ -43,6 +43,16 @@ func TestAppliesPolicy(t *testing.T) {
 	if analyzers.Applies(wallclock, "gearbox/cmd/gearbox-bench") {
 		t.Errorf("wallclock must not bind CLIs, which may measure host time")
 	}
+	// The metrics layer reads host time only through the annotated obs.Now
+	// chokepoint; binding wallclock keeps any other clock read a finding.
+	if !analyzers.Applies(wallclock, "gearbox/internal/obs") {
+		t.Errorf("wallclock must bind gearbox/internal/obs (one annotated Now helper)")
+	}
+	// The metrics record path runs inside steady-state simulation code, so
+	// hotalloc's //gearbox:steadystate audit must sweep it.
+	if !analyzers.Applies(byName("hotalloc"), "gearbox/internal/obs") {
+		t.Errorf("hotalloc must bind gearbox/internal/obs")
+	}
 
 	// All nine analyzers must be registered and bound to some policy.
 	for _, name := range []string{

@@ -9,6 +9,7 @@ package gearbox
 import (
 	"testing"
 
+	"gearbox/internal/obs"
 	"gearbox/internal/partition"
 	"gearbox/internal/semiring"
 	"gearbox/internal/telemetry"
@@ -85,6 +86,44 @@ func TestIterateSteadyStateAllocsTelemetry(t *testing.T) {
 			}
 			if avg := testing.AllocsPerRun(10, cycle); avg > 0.5 {
 				t.Fatalf("steady-state iteration with telemetry allocates: %.1f allocs/op, want ~0", avg)
+			}
+		})
+	}
+}
+
+// TestIterateSteadyStateAllocsObsSink is the observability tentpole's
+// overhead contract: a registry-backed metrics sink (the bridge gearbox-serve
+// leaves attached to every pooled machine) keeps the steady-state cycle
+// allocation-free. Every handle is resolved at sink construction, so the
+// callbacks fold borrowed slices into locals and finish with plain atomic
+// adds — nothing boxes, grows, or touches the registry maps.
+func TestIterateSteadyStateAllocsObsSink(t *testing.T) {
+	m := testMatrix(t, 33)
+	sink := telemetry.NewObsSink(obs.NewRegistry())
+	for _, vc := range versionConfigs() {
+		t.Run(vc.name, func(t *testing.T) {
+			mach := machineWithWorkers(t, m, vc.cfg, semiring.PlusTimes{}, 1, nil)
+			mach.SetTelemetry(sink)
+			entries := randomFrontier(m.NumRows, 60, 7)
+			var buf []FrontierEntry
+			cycle := func() {
+				f, err := mach.DistributeFrontier(entries)
+				if err != nil {
+					t.Fatal(err)
+				}
+				next, _, err := mach.Iterate(f, IterateOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				mach.Recycle(f)
+				buf = next.AppendEntries(buf[:0])
+				mach.Recycle(next)
+			}
+			for i := 0; i < 3; i++ {
+				cycle()
+			}
+			if avg := testing.AllocsPerRun(10, cycle); avg > 0.5 {
+				t.Fatalf("steady-state iteration with obs sink allocates: %.1f allocs/op, want ~0", avg)
 			}
 		})
 	}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type, for the
+// /metrics handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format: one # HELP and # TYPE line per family, then its series
+// in sorted label order. Families are sorted by name, so two scrapes of
+// identical state are byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind)
+		bw.WriteByte('\n')
+		writeFamily(bw, f)
+	}
+	return bw.Flush()
+}
+
+// writeFamily renders one family's series.
+func writeFamily(bw *bufio.Writer, f *family) {
+	switch {
+	case f.counter != nil:
+		writeSample(bw, f.name, "", "", f.counter.Value())
+	case f.gaugeFn != nil:
+		writeSample(bw, f.name, "", "", f.gaugeFn())
+	case f.gauge != nil:
+		writeSample(bw, f.name, "", "", f.gauge.Value())
+	case f.hist != nil:
+		writeHistogram(bw, f.name, "", f.hist)
+	case f.vec != nil:
+		f.vec.mu.RLock()
+		keys := append([]string(nil), f.vec.keys...)
+		f.vec.mu.RUnlock()
+		sort.Strings(keys)
+		for _, key := range keys {
+			f.vec.mu.RLock()
+			h := f.vec.series[key]
+			f.vec.mu.RUnlock()
+			labels := renderLabels(f.labels, strings.Split(key, "\xff"))
+			switch m := h.(type) {
+			case *Counter:
+				writeSample(bw, f.name, labels, "", m.Value())
+			case *Gauge:
+				writeSample(bw, f.name, labels, "", m.Value())
+			case *Histogram:
+				writeHistogram(bw, f.name, labels, m)
+			}
+		}
+	}
+}
+
+// writeHistogram renders the cumulative _bucket series plus _sum and _count.
+// labels is the pre-rendered `a="b",c="d"` core (may be empty).
+func writeHistogram(bw *bufio.Writer, name, labels string, h *Histogram) {
+	upper, cum := h.Buckets()
+	for i, ub := range upper {
+		writeSample(bw, name+"_bucket", labels, `le="`+formatFloat(ub)+`"`, float64(cum[i]))
+	}
+	writeSample(bw, name+"_bucket", labels, `le="+Inf"`, float64(cum[len(cum)-1]))
+	writeSample(bw, name+"_sum", labels, "", h.Sum())
+	writeSample(bw, name+"_count", labels, "", float64(h.Count()))
+}
+
+// writeSample renders one `name{labels,extra} value` line; labels and extra
+// are pre-rendered and either may be empty.
+func writeSample(bw *bufio.Writer, name, labels, extra string, v float64) {
+	bw.WriteString(name)
+	if labels != "" || extra != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		if labels != "" && extra != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+// renderLabels joins label names and values as `a="x",b="y"` with values
+// escaped per the exposition format.
+func renderLabels(names, values []string) string {
+	var sb strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+// escapeLabel escapes a label value: backslash, double quote, newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a sample value: integral values print without an
+// exponent (counter totals stay human-readable), everything else uses Go's
+// shortest round-trip form.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) && v > -1e15 && v < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

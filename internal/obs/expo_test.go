@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact text format: family and series order,
+// HELP/TYPE lines, label rendering and escaping, histogram expansion, and
+// number formatting. Byte-identical output is part of the contract (scrape
+// diffs and golden tests depend on it).
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_requests_total", "Requests served.").Add(3)
+	g := r.Gauge("a_queue_depth", "Queued jobs.")
+	g.Set(2)
+	cv := r.CounterVec("c_runs_total", "Runs by tenant.", "tenant", "app")
+	cv.With("zed", "bfs").Add(2)
+	cv.With("ann", "pr").Inc()
+	cv.With(`e"s\c`+"\n", "cc").Inc() // escaping: quote, backslash, newline
+	h := r.Histogram("d_wait_seconds", "Queue wait.", []float64{0.1, 0.5})
+	h.Observe(0.05)
+	h.Observe(0.25)
+	h.Observe(2)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_queue_depth Queued jobs.
+# TYPE a_queue_depth gauge
+a_queue_depth 2
+# HELP b_requests_total Requests served.
+# TYPE b_requests_total counter
+b_requests_total 3
+# HELP c_runs_total Runs by tenant.
+# TYPE c_runs_total counter
+c_runs_total{tenant="ann",app="pr"} 1
+c_runs_total{tenant="e\"s\\c\n",app="cc"} 1
+c_runs_total{tenant="zed",app="bfs"} 2
+# HELP d_wait_seconds Queue wait.
+# TYPE d_wait_seconds histogram
+d_wait_seconds_bucket{le="0.1"} 1
+d_wait_seconds_bucket{le="0.5"} 2
+d_wait_seconds_bucket{le="+Inf"} 3
+d_wait_seconds_sum 2.3
+d_wait_seconds_count 3
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Two scrapes of identical state are byte-identical.
+	var sb2 strings.Builder
+	if err := r.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != sb.String() {
+		t.Fatal("second scrape differs from the first")
+	}
+}
+
+// sampleLine matches one exposition sample: name, optional {labels}, value.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*(\{[^{}]*\})? (NaN|[-+0-9.eE infINF]+)$`)
+
+// TestExpositionParses runs a line-level grammar check over a registry with
+// every metric kind — the same check the CI metrics smoke applies to a live
+// /metrics scrape.
+func TestExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "c").Inc()
+	r.Gauge("y", "g").Set(-1.5)
+	r.GaugeFunc("z", "f", func() float64 { return 7 })
+	r.HistogramVec("w_seconds", "h", DefLatencyBuckets(), "app").With("bfs").Observe(0.42)
+	r.CounterVec("v_total", "cv", "tenant").With("t0").Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("unparseable exposition line: %q", line)
+		}
+	}
+}
+
+// TestFormatFloat pins the value rendering: integral totals stay plain
+// integers, fractional values round-trip.
+func TestFormatFloat(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{3, "3"},
+		{-2, "-2"},
+		{1e6, "1000000"},
+		{2.5, "2.5"},
+		{0.0001, "0.0001"},
+		{1e30, "1e+30"},
+	} {
+		if got := formatFloat(tc.v); got != tc.want {
+			t.Fatalf("formatFloat(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets chosen at registration.
+// Buckets are upper bounds (inclusive, Prometheus "le" semantics), strictly
+// ascending; an implicit +Inf bucket catches everything above the last
+// bound, so no observation is ever dropped. Observe is an atomic increment
+// plus an atomic float add — allocation-free and safe from any goroutine.
+//
+// The bucket layout is fixed for the histogram's lifetime: latency SLOs
+// want stable boundaries across scrapes, and a fixed layout is what keeps
+// Observe allocation-free.
+type Histogram struct {
+	upper []float64       // ascending upper bounds, +Inf excluded
+	count []atomic.Uint64 // len(upper)+1; last is the +Inf bucket
+	sum   atomic.Uint64   // float64 bits
+	total atomic.Uint64   // observation count
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("obs: histogram buckets must be strictly ascending")
+		}
+	}
+	if len(buckets) > 0 && math.IsInf(buckets[len(buckets)-1], +1) {
+		buckets = buckets[:len(buckets)-1] // +Inf is implicit
+	}
+	h := &Histogram{upper: append([]float64(nil), buckets...)}
+	h.count = make([]atomic.Uint64, len(h.upper)+1)
+	return h
+}
+
+// Observe records one value. Values at a bucket boundary count into that
+// bucket (le is inclusive); values above the last bound land in +Inf.
+//
+//gearbox:steadystate
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.count[i].Add(1)
+	addFloat(&h.sum, v)
+	h.total.Add(1)
+}
+
+// ObserveSeconds records a duration in seconds, the Prometheus base unit.
+//
+//gearbox:steadystate
+func (h *Histogram) ObserveSeconds(d float64) { h.Observe(d) }
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Buckets returns the upper bounds (without +Inf) and the cumulative count
+// at each bound plus the final +Inf count — the exposition shape. The two
+// slices are freshly allocated; intended for tests and exposition, not hot
+// paths.
+func (h *Histogram) Buckets() (upper []float64, cumulative []uint64) {
+	upper = append([]float64(nil), h.upper...)
+	cumulative = make([]uint64, len(h.count))
+	var c uint64
+	for i := range h.count {
+		c += h.count[i].Load()
+		cumulative[i] = c
+	}
+	return upper, cumulative
+}
+
+// ExponentialBuckets returns n upper bounds starting at start (> 0), each
+// factor (> 1) times the previous — the standard latency layout.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExponentialBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+// LinearBuckets returns n upper bounds starting at start, stepping by width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n < 1 {
+		panic("obs: LinearBuckets wants width > 0, n >= 1")
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start += width
+	}
+	return b
+}
+
+// DefLatencyBuckets is the default layout for host-side latency histograms,
+// in seconds: 100µs to ~26s, quadrupling. Queue waits and run wall times on
+// the tiny-to-medium datasets span exactly this range.
+func DefLatencyBuckets() []float64 {
+	return ExponentialBuckets(100e-6, 4, 10)
+}

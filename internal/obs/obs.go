@@ -1,0 +1,414 @@
+// Package obs is the host-side metrics layer behind gearbox-serve's
+// /metrics endpoint: a dependency-free registry of counters, gauges and
+// fixed-bucket histograms with Prometheus text-format exposition.
+//
+// It is the deliberate host-side complement of internal/telemetry: telemetry
+// observes the *simulated* machine and is bound by the determinism contract
+// (bit-identical at any worker count), while obs observes how the *host*
+// served traffic — request rates, queue waits, run wall times — which
+// legitimately vary run to run. The two meet at telemetry.ObsSink, which
+// folds simulated aggregates into an obs.Registry so one scrape sees both.
+//
+// Three contracts bind the package:
+//
+//   - Alloc-free on the record path. Inc/Add/Set/Observe on a resolved
+//     handle are atomic operations on pre-allocated state: safe to call from
+//     //gearbox:steadystate code (telemetry bridge callbacks run inside
+//     Iterate) and from every request on the serving hot path. Handle
+//     resolution (Registry.Counter, Vec.With) may allocate; resolve once and
+//     cache.
+//   - Bounded label cardinality. A Vec folds series past its limit into a
+//     single overflow series (label values "_other"), so a hostile or buggy
+//     client cannot grow the registry without bound. The fold is visible in
+//     the exposition rather than silently dropped.
+//   - Deterministic exposition. WritePrometheus emits families and series in
+//     sorted order, so two scrapes of identical state are byte-identical and
+//     golden tests can pin the format.
+//
+// Wall-clock reads funnel through the one annotated helper (Now/Since);
+// gearboxvet's wallclock analyzer binds this package so stray time.Now calls
+// cannot scatter (see internal/analyzers.Applies).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Now is the package's single wall-clock read; every host-side latency
+// measurement in the serving stack goes through it (or Since), keeping the
+// wallclock-analyzer exemption to one justified site.
+func Now() time.Time {
+	return time.Now() //gearbox:nondet-ok host-side observability measures real latency and never feeds simulated state
+}
+
+// Since reports the wall time elapsed since t0.
+func Since(t0 time.Time) time.Duration { return Now().Sub(t0) }
+
+// addFloat atomically adds v to the float64 stored as bits in b.
+//
+//gearbox:steadystate
+func addFloat(b *atomic.Uint64, v float64) {
+	for {
+		old := b.Load()
+		if b.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// maxFloat atomically raises the float64 stored as bits in b to v if larger.
+//
+//gearbox:steadystate
+func maxFloat(b *atomic.Uint64, v float64) {
+	for {
+		old := b.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if b.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically non-decreasing metric. The zero value is ready;
+// obtain registered counters from Registry.Counter or CounterVec.With.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds one.
+//
+//gearbox:steadystate
+func (c *Counter) Inc() { addFloat(&c.bits, 1) }
+
+// Add adds v. Negative deltas are ignored: a counter only moves forward.
+//
+//gearbox:steadystate
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	addFloat(&c.bits, v)
+}
+
+// Value reads the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a metric that can move both ways (queue depth, in-flight runs).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+//
+//gearbox:steadystate
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (negative deltas decrease the gauge).
+//
+//gearbox:steadystate
+func (g *Gauge) Add(v float64) { addFloat(&g.bits, v) }
+
+// Max raises the gauge to v if v is larger (high-water marks).
+//
+//gearbox:steadystate
+func (g *Gauge) Max(v float64) { maxFloat(&g.bits, v) }
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// metric kinds, for registration-conflict errors and TYPE lines.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// family is one registered metric name: a single unlabeled handle or a
+// labeled vec, never both.
+type family struct {
+	name   string
+	help   string
+	kind   string
+	labels []string // empty for unlabeled families
+
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+
+	vec *vec
+}
+
+// Registry holds metric families and renders them in Prometheus text format.
+// Registration methods are get-or-create: asking for an existing name with
+// the same kind and label names returns the existing handle, so independent
+// subsystems (the serve layer, the telemetry bridge) can share one registry
+// without coordinating; a kind or label mismatch panics, because two
+// meanings for one name is a programming error worth failing loudly on.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// validName reports whether s is a legal metric or label name:
+// [a-zA-Z_][a-zA-Z0-9_]* (the colon forms are reserved for recording rules).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the family for name, creating it with mk on first use and
+// panicking on a kind/label mismatch with an existing registration.
+func (r *Registry) lookup(name, help, kind string, labels []string, mk func(*family)) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %s", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, labels: append([]string(nil), labels...)}
+		mk(f)
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind || !equalStrings(f.labels, labels) {
+		panic(fmt.Sprintf("obs: metric %s re-registered as %s%v, was %s%v",
+			name, kind, labels, f.kind, f.labels))
+	}
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter returns the registered counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.lookup(name, help, kindCounter, nil, func(f *family) { f.counter = &Counter{} })
+	if f.counter == nil {
+		panic(fmt.Sprintf("obs: metric %s is a labeled counter; use CounterVec", name))
+	}
+	return f.counter
+}
+
+// Gauge returns the registered gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.lookup(name, help, kindGauge, nil, func(f *family) { f.gauge = &Gauge{} })
+	if f.gauge == nil {
+		panic(fmt.Sprintf("obs: metric %s is not a plain gauge", name))
+	}
+	return f.gauge
+}
+
+// GaugeFunc registers a gauge whose value is pulled from fn at scrape time
+// (pool sizes, uptime). Re-registering the same name replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.lookup(name, help, kindGauge, nil, func(f *family) {})
+	r.mu.Lock()
+	f.gaugeFn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the registered histogram, creating it with the given
+// bucket upper bounds on first use (see Histogram for the bucket contract).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.lookup(name, help, kindHistogram, nil, func(f *family) { f.hist = newHistogram(buckets) })
+	if f.hist == nil {
+		panic(fmt.Sprintf("obs: metric %s is a labeled histogram; use HistogramVec", name))
+	}
+	return f.hist
+}
+
+// CounterVec returns the labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	f := r.lookup(name, help, kindCounter, labels, func(f *family) {
+		f.vec = newVec(labels, func() any { return &Counter{} })
+	})
+	if f.vec == nil {
+		panic(fmt.Sprintf("obs: metric %s is an unlabeled counter", name))
+	}
+	return &CounterVec{f.vec}
+}
+
+// GaugeVec returns the labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	f := r.lookup(name, help, kindGauge, labels, func(f *family) {
+		f.vec = newVec(labels, func() any { return &Gauge{} })
+	})
+	if f.vec == nil {
+		panic(fmt.Sprintf("obs: metric %s is an unlabeled gauge", name))
+	}
+	return &GaugeVec{f.vec}
+}
+
+// HistogramVec returns the labeled histogram family; every series shares the
+// bucket layout.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	bs := append([]float64(nil), buckets...)
+	f := r.lookup(name, help, kindHistogram, labels, func(f *family) {
+		f.vec = newVec(labels, func() any { return newHistogram(bs) })
+	})
+	if f.vec == nil {
+		panic(fmt.Sprintf("obs: metric %s is an unlabeled histogram", name))
+	}
+	return &HistogramVec{f.vec}
+}
+
+// DefaultMaxSeries bounds the distinct label combinations of one Vec before
+// new combinations fold into the overflow series.
+const DefaultMaxSeries = 128
+
+// vec is the shared labeled-series core: a bounded map from joined label
+// values to one metric handle.
+type vec struct {
+	labels []string
+	mk     func() any
+
+	mu       sync.RWMutex
+	series   map[string]any
+	keys     []string // registration order; exposition sorts
+	limit    int
+	overflow any // created at first fold; all label values "_other"
+}
+
+func newVec(labels []string, mk func() any) *vec {
+	return &vec{
+		labels: append([]string(nil), labels...),
+		mk:     mk,
+		series: make(map[string]any),
+		limit:  DefaultMaxSeries,
+	}
+}
+
+// seriesKey joins label values with \xff, which validName excludes from
+// label names and escapeLabel round-trips in values.
+func seriesKey(values []string) string { return strings.Join(values, "\xff") }
+
+// with resolves the handle for one label-value combination, creating it on
+// first use and folding into the overflow series once the limit is reached.
+func (v *vec) with(values []string) any {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %d label values for labels %v", len(values), v.labels))
+	}
+	key := seriesKey(values)
+	v.mu.RLock()
+	h, ok := v.series[key]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.series[key]; ok {
+		return h
+	}
+	if len(v.series) >= v.limit {
+		if v.overflow == nil {
+			vals := make([]string, len(v.labels))
+			for i := range vals {
+				vals[i] = "_other"
+			}
+			v.overflow = v.mk()
+			v.series[seriesKey(vals)] = v.overflow
+			v.keys = append(v.keys, seriesKey(vals))
+		}
+		return v.overflow
+	}
+	h = v.mk()
+	v.series[key] = h
+	v.keys = append(v.keys, key)
+	return h
+}
+
+// setLimit bounds the series count; existing series are kept even if over
+// the new limit.
+func (v *vec) setLimit(n int) {
+	if n <= 0 {
+		return
+	}
+	v.mu.Lock()
+	v.limit = n
+	v.mu.Unlock()
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ v *vec }
+
+// With resolves the counter for the given label values (in the label order
+// passed at registration). Resolution may allocate; cache the handle on hot
+// paths. Past the cardinality limit, every new combination shares the
+// "_other" overflow series.
+func (cv *CounterVec) With(values ...string) *Counter { return cv.v.with(values).(*Counter) }
+
+// Limit bounds the vec's distinct series and returns the vec for chaining.
+func (cv *CounterVec) Limit(n int) *CounterVec { cv.v.setLimit(n); return cv }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ v *vec }
+
+// With resolves the gauge for the given label values.
+func (gv *GaugeVec) With(values ...string) *Gauge { return gv.v.with(values).(*Gauge) }
+
+// Limit bounds the vec's distinct series and returns the vec for chaining.
+func (gv *GaugeVec) Limit(n int) *GaugeVec { gv.v.setLimit(n); return gv }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ v *vec }
+
+// With resolves the histogram for the given label values.
+func (hv *HistogramVec) With(values ...string) *Histogram { return hv.v.with(values).(*Histogram) }
+
+// Limit bounds the vec's distinct series and returns the vec for chaining.
+func (hv *HistogramVec) Limit(n int) *HistogramVec { hv.v.setLimit(n); return hv }
+
+// sortedFamilies snapshots the family list in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fs := make([]*family, 0, len(r.families))
+	for _, f := range r.families { //gearbox:nondet-ok exposition sorts the families by name below
+		fs = append(fs, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fs, func(i, j int) bool { return fs[i].name < fs[j].name })
+	return fs
+}

@@ -3,35 +3,52 @@ package serve
 // The HTTP/JSON front end over the serving core. One POST endpoint submits
 // a run and streams its lifecycle as NDJSON (one Event per line, flushed as
 // it happens), so a client sees queued/started progress before the result;
-// the rest is introspection. Transport concerns stop here — handlers only
-// translate between HTTP and the core's Submit/Stats.
+// the rest is introspection and observability. Transport concerns stop here
+// — handlers only translate between HTTP and the core's Submit/Stats.
 
 import (
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
 
 	"gearbox"
+	"gearbox/internal/obs"
 )
 
 // Handler returns the gearbox-serve HTTP API:
 //
 //	POST /v1/runs   submit a run (JSON Request body); the response streams
-//	                NDJSON Events and ends with "result" or "error".
-//	                429 when the admission queue is full, 400 on a bad
-//	                request body.
+//	                NDJSON Events and ends with "result" or "error" (or
+//	                "canceled" if the client left while queued). The run's
+//	                correlation ID is echoed as X-Request-ID; clients may
+//	                supply their own via that header or the run_id body
+//	                field. 429 when the admission queue is full, 400 on a
+//	                bad request body.
 //	GET  /v1/apps   the app names POST /v1/runs accepts.
-//	GET  /v1/stats  queue, tenant, and pool introspection.
+//	GET  /v1/stats  queue, tenant, recent-run and pool introspection.
+//	GET  /metrics   Prometheus text exposition of the server's registry.
 //	GET  /healthz   liveness.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleRun)
 	mux.HandleFunc("GET /v1/apps", handleApps)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("GET /metrics", s.MetricsHandler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
 	return mux
+}
+
+// MetricsHandler serves the server's registry in Prometheus text format —
+// host-side serving metrics and the bridged simulated aggregates in one
+// scrape. Mount it on a separate mux to keep /metrics off the public API.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentType)
+		s.reg.WritePrometheus(w)
+	})
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -42,7 +59,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "serve: bad request body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	j, err := s.Submit(req)
+	if req.RunID == "" {
+		req.RunID = r.Header.Get("X-Request-ID")
+	}
+	// The request context covers the queued phase: a client that disconnects
+	// before a worker picks the job up cancels it instead of wasting a run.
+	j, err := s.SubmitCtx(r.Context(), req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -57,6 +79,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Request-ID", j.RunID)
 	enc := json.NewEncoder(w)
 	fl, _ := w.(http.Flusher)
 	for ev := range j.Events() {
@@ -65,6 +88,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			// pooled machine is left in a consistent state.
 			return
 		}
+		// Flush after every lifecycle event so queued/started reach the
+		// client as they happen, not when the result fills a buffer.
 		if fl != nil {
 			fl.Flush()
 		}
@@ -83,4 +108,50 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(s.Stats())
+}
+
+// statusWriter captures the response status for access logging while
+// passing Flush through, so NDJSON streaming keeps working behind the
+// middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if fl, ok := sw.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// AccessLog wraps a handler with one structured log line per request:
+// method, path, status, wall time, and — when the handler set one — the
+// run's correlation ID, so access logs join against lifecycle logs and
+// telemetry on run_id.
+func AccessLog(h http.Handler, log *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := obs.Now()
+		h.ServeHTTP(sw, r)
+		attrs := []any{
+			"method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "wall_ms", float64(obs.Since(t0).Nanoseconds()) / 1e6,
+		}
+		if rid := sw.Header().Get("X-Request-ID"); rid != "" {
+			attrs = append(attrs, "run_id", rid)
+		}
+		log.Info("http request", attrs...)
+	})
 }

@@ -1,0 +1,73 @@
+package serve
+
+// The serving layer's host-side metrics, resolved once at server creation
+// so every record on the request path is a plain atomic on a cached handle.
+// Naming follows Prometheus conventions: seconds for durations, _total for
+// counters, bounded label sets (tenant is capped by the vec's cardinality
+// limit — a tenant flood folds into the "_other" series instead of growing
+// the registry).
+
+import "gearbox/internal/obs"
+
+// metrics holds the resolved handles for one Server.
+type metrics struct {
+	// requests counts every Submit that passed validation, by tenant and
+	// app, shed requests included (they were demand, just unserved).
+	requests *obs.CounterVec
+	// queueDepth mirrors the admission queue (set under s.mu, so it always
+	// matches Stats().Queued); inflight counts runs inside execute.
+	queueDepth *obs.Gauge
+	inflight   *obs.Gauge
+	// queueWait observes admission-to-start wait per started job; runSeconds
+	// observes execute wall time by (dataset, version, app).
+	queueWait  *obs.Histogram
+	runSeconds *obs.HistogramVec
+	// shed counts ErrQueueFull rejections (HTTP 429); canceled counts
+	// queued jobs dropped because their client left before start; runErrors
+	// counts runs that reached a worker and failed.
+	shed      *obs.Counter
+	canceled  *obs.Counter
+	runErrors *obs.Counter
+	// Pool traffic: hits run on an already-built System, misses pay a build
+	// (poolBuild observes its wall time), poolSystems gauges live entries.
+	poolHits    *obs.Counter
+	poolMisses  *obs.Counter
+	poolBuild   *obs.Histogram
+	poolSystems *obs.Gauge
+}
+
+// maxTenantSeries bounds the per-tenant request counter's cardinality; the
+// fairness queue itself stays exact, only the metric folds past this.
+const maxTenantSeries = 256
+
+func newMetrics(r *obs.Registry) *metrics {
+	return &metrics{
+		requests: r.CounterVec("gearbox_serve_requests_total",
+			"Validated run submissions by tenant and app (shed included).",
+			"tenant", "app").Limit(maxTenantSeries),
+		queueDepth: r.Gauge("gearbox_serve_queue_depth",
+			"Jobs admitted but not yet started."),
+		inflight: r.Gauge("gearbox_serve_inflight_runs",
+			"Runs currently executing on pooled systems."),
+		queueWait: r.Histogram("gearbox_serve_queue_wait_seconds",
+			"Wall time from admission to worker pickup.", obs.DefLatencyBuckets()),
+		runSeconds: r.HistogramVec("gearbox_serve_run_seconds",
+			"Run wall time (build excluded) by dataset, version and app.",
+			obs.DefLatencyBuckets(), "dataset", "version", "app"),
+		shed: r.Counter("gearbox_serve_shed_total",
+			"Submissions rejected with ErrQueueFull (HTTP 429)."),
+		canceled: r.Counter("gearbox_serve_canceled_total",
+			"Queued jobs dropped because the client left before start."),
+		runErrors: r.Counter("gearbox_serve_run_errors_total",
+			"Runs that reached a worker and failed."),
+		poolHits: r.Counter("gearbox_serve_pool_hits_total",
+			"Runs served on an already-built pooled System."),
+		poolMisses: r.Counter("gearbox_serve_pool_misses_total",
+			"Runs that paid a System build (first run on a key, or rebuild after a failed build)."),
+		poolBuild: r.Histogram("gearbox_serve_pool_build_seconds",
+			"System build wall time (preprocess + partition + machine).",
+			obs.DefLatencyBuckets()),
+		poolSystems: r.Gauge("gearbox_serve_pool_systems",
+			"Built Systems resident in the pool."),
+	}
+}

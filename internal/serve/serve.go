@@ -12,22 +12,41 @@
 //     submitting a burst cannot starve the others, and Submit sheds load
 //     with ErrQueueFull (HTTP 429) once the queue is full;
 //   - a bounded worker set that executes queued runs on the pooled systems,
-//     streaming per-job lifecycle events (queued, started, result/error) and
-//     an optional per-run telemetry snapshot.
+//     streaming per-job lifecycle events (queued, started, result/error —
+//     or canceled, when the client left before start) and an optional
+//     per-run telemetry snapshot.
+//
+// Every job carries a correlation ID (client-supplied or generated at
+// admission) that threads through the whole observability surface: the
+// lifecycle events, the X-Request-ID response header, the structured logs,
+// the /v1/stats recent-run ring, and the run's telemetry and Perfetto trace
+// snapshots — one ID links a client request to everything the run left
+// behind. Host-side metrics (internal/obs) record the rest: request counts,
+// queue depth and waits, run latencies, shed/cancel counts, pool traffic;
+// scrape them at /metrics.
 //
 // The HTTP/JSON front end lives in http.go; tests drive the core directly.
 package serve
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gearbox"
 	"gearbox/internal/cliutil"
+	"gearbox/internal/obs"
+	"gearbox/internal/telemetry"
+	"gearbox/internal/trace"
 )
 
 // ErrQueueFull reports that the admission queue is at QueueDepth; the HTTP
@@ -36,6 +55,10 @@ var ErrQueueFull = errors.New("serve: admission queue is full, retry later")
 
 // ErrClosed reports a Submit after Close.
 var ErrClosed = errors.New("serve: server is closed")
+
+// ErrCanceled reports a job dropped at the queue head because its context
+// was canceled (the client disconnected) before a worker started it.
+var ErrCanceled = errors.New("serve: canceled before start")
 
 // Key identifies one pooled System. Two requests with the same normalized
 // key run on the same built machine; geometry and timing are server-wide
@@ -111,12 +134,30 @@ type Request struct {
 	Seed    int64   `json:"seed,omitempty"`
 	// Telemetry requests a per-run spatial telemetry snapshot in the result.
 	Telemetry bool `json:"telemetry,omitempty"`
+	// Trace requests the run's Perfetto phase timeline in the result; the
+	// trace is labeled with the run's correlation ID.
+	Trace bool `json:"trace,omitempty"`
+	// RunID is the client-supplied correlation ID ([0-9A-Za-z._-], at most
+	// 64 chars; the HTTP layer also accepts it as X-Request-ID). Empty means
+	// the server generates one. The ID is echoed in every lifecycle event,
+	// the result, the logs, and the telemetry/trace snapshots.
+	RunID string `json:"run_id,omitempty"`
+}
+
+// TraceDoc is a chrome://tracing document (the top-level object Perfetto
+// opens directly), carried inline in a Result when the request asked for a
+// trace.
+type TraceDoc struct {
+	TraceEvents []trace.Event `json:"traceEvents"`
 }
 
 // Result is one completed run: the CLI-identical detail line, the headline
 // simulated metrics, the workload summary, and (when requested) the spatial
-// telemetry snapshot for exactly this run.
+// telemetry snapshot and Perfetto trace for exactly this run. RunID is the
+// job's correlation ID; everything else is bit-identical across identical
+// requests.
 type Result struct {
+	RunID      string                `json:"run_id"`
 	App        string                `json:"app"`
 	Detail     string                `json:"detail"`
 	TimeNs     float64               `json:"time_ns"`
@@ -125,14 +166,18 @@ type Result struct {
 	PowerW     float64               `json:"power_w"`
 	Work       gearbox.Work          `json:"work"`
 	Telemetry  *gearbox.SpatialStats `json:"telemetry,omitempty"`
+	Trace      *TraceDoc             `json:"trace,omitempty"`
 }
 
 // Event is one step of a job's lifecycle, streamed to the submitter:
-// "queued" (with the admission-time queue depth), "started", then exactly
-// one of "result" or "error".
+// "queued" (with the admission-time queue depth), then either "started"
+// followed by exactly one of "result" or "error", or "canceled" when the
+// client left before a worker picked the job up. Every event carries the
+// job's correlation ID.
 type Event struct {
 	Event  string  `json:"event"`
 	ID     uint64  `json:"id"`
+	RunID  string  `json:"run_id,omitempty"`
 	Tenant string  `json:"tenant,omitempty"`
 	Queued int     `json:"queued,omitempty"`
 	Error  string  `json:"error,omitempty"`
@@ -142,12 +187,18 @@ type Event struct {
 // Job is a submitted run. Events streams its lifecycle (the channel closes
 // after the terminal event); Wait blocks for the terminal state.
 type Job struct {
-	ID     uint64
-	req    Request
-	events chan Event
-	done   chan struct{}
-	res    *Result
-	err    error
+	ID uint64
+	// RunID is the correlation ID: client-supplied or generated at
+	// admission, unique within the process either way.
+	RunID string
+
+	req      Request
+	ctx      context.Context
+	queuedAt time.Time
+	events   chan Event
+	done     chan struct{}
+	res      *Result
+	err      error
 }
 
 // Events returns the job's lifecycle stream. The channel is buffered for
@@ -173,6 +224,14 @@ type Config struct {
 	// Build constructs the System for a pool key. Nil selects the default
 	// builder over the synthetic evaluation datasets.
 	Build func(Key) (*gearbox.System, error)
+	// Registry receives the server's host-side metrics and the simulated
+	// aggregates bridged from every run's telemetry. Nil creates a private
+	// registry (Registry() exposes it either way).
+	Registry *obs.Registry
+	// Logger receives structured lifecycle logs (job started/finished/
+	// canceled, pool builds), each carrying the run's correlation ID. Nil
+	// disables logging.
+	Logger *slog.Logger
 }
 
 // DefaultBuilder builds Systems from the synthetic evaluation datasets, the
@@ -210,10 +269,34 @@ type poolEntry struct {
 	runs   atomic.Int64
 }
 
+// RunRecord is one completed (or canceled) run in the /v1/stats recent-run
+// ring: enough to pivot from a correlation ID to what happened, without
+// retaining results.
+type RunRecord struct {
+	RunID  string  `json:"run_id"`
+	Tenant string  `json:"tenant,omitempty"`
+	App    string  `json:"app"`
+	Key    Key     `json:"key"`
+	Status string  `json:"status"` // "ok", "error", "canceled"
+	WallMs float64 `json:"wall_ms"`
+}
+
+// maxRecent bounds the recent-run ring in Stats.
+const maxRecent = 32
+
 // Server is the serving core. Create with New, submit with Submit, shut
 // down with Close.
 type Server struct {
 	cfg Config
+
+	reg     *obs.Registry
+	met     *metrics
+	log     *slog.Logger
+	simSink *telemetry.ObsSink
+
+	// ridPrefix + the job ID make the generated correlation IDs: the prefix
+	// is random per process, so IDs from restarts do not collide in logs.
+	ridPrefix string
 
 	// mu guards the admission queue. tenants holds each tenant's FIFO of
 	// queued jobs; rr is the round-robin rotation of tenants with work (a
@@ -227,6 +310,8 @@ type Server struct {
 	submitted uint64
 	completed uint64
 	shed      uint64
+	canceled  uint64
+	recent    []RunRecord // newest last; bounded by maxRecent
 
 	poolMu sync.Mutex
 	pool   map[Key]*poolEntry
@@ -249,10 +334,21 @@ func New(cfg Config) *Server {
 	if cfg.Build == nil {
 		cfg.Build = DefaultBuilder(cfg.SimWorkers)
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
-		cfg:     cfg,
-		tenants: make(map[string][]*Job),
-		pool:    make(map[Key]*poolEntry),
+		cfg:       cfg,
+		reg:       cfg.Registry,
+		met:       newMetrics(cfg.Registry),
+		log:       cfg.Logger,
+		simSink:   telemetry.NewObsSink(cfg.Registry),
+		ridPrefix: ridPrefix(),
+		tenants:   make(map[string][]*Job),
+		pool:      make(map[Key]*poolEntry),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.Workers; i++ {
@@ -262,10 +358,52 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Submit validates and admits a run. It returns ErrQueueFull when the
+// Registry returns the server's metrics registry, for /metrics exposition
+// or for folding further subsystems into the same scrape.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// ridPrefix draws the process-unique correlation-ID prefix.
+func ridPrefix() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "r0"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validRunID accepts client-supplied correlation IDs: 1–64 chars from
+// [0-9A-Za-z._-] (log-, header- and label-safe).
+func validRunID(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9', r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r == '.' || r == '_' || r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Submit admits a run with a background context (it can never be canceled
+// while queued); see SubmitCtx.
+func (s *Server) Submit(req Request) (*Job, error) {
+	return s.SubmitCtx(context.Background(), req)
+}
+
+// SubmitCtx validates and admits a run. It returns ErrQueueFull when the
 // admission queue is at depth (the caller should shed load upstream) and
 // never blocks on execution; follow the returned job's Events or Wait.
-func (s *Server) Submit(req Request) (*Job, error) {
+//
+// ctx covers the queued phase: a job whose context is canceled before a
+// worker starts it is dropped at the queue head with a "canceled" event
+// (and counted in the canceled metric) instead of running. Cancellation
+// does not interrupt a run already started — the pooled machine always
+// finishes in a consistent state.
+func (s *Server) SubmitCtx(ctx context.Context, req Request) (*Job, error) {
 	key, err := req.Key.normalize()
 	if err != nil {
 		return nil, err
@@ -275,30 +413,46 @@ func (s *Server) Submit(req Request) (*Job, error) {
 	if !validApp(req.App) {
 		return nil, fmt.Errorf("serve: unknown app %q (want %s)", req.App, strings.Join(gearbox.Apps(), ", "))
 	}
+	if req.RunID != "" && !validRunID(req.RunID) {
+		return nil, fmt.Errorf("serve: invalid run_id %q (want 1-64 chars of [0-9A-Za-z._-])", req.RunID)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrClosed
 	}
+	// Count demand before the shed decision: shed requests were real load.
+	s.met.requests.With(req.Tenant, req.App).Inc()
 	if s.queued >= s.cfg.QueueDepth {
 		s.shed++
+		s.met.shed.Inc()
 		return nil, ErrQueueFull
 	}
 	s.submitted++
 	j := &Job{
-		ID:  s.submitted,
-		req: req,
+		ID:       s.submitted,
+		RunID:    req.RunID,
+		req:      req,
+		ctx:      ctx,
+		queuedAt: obs.Now(),
 		// queued + started + terminal: the stream never blocks a worker.
 		events: make(chan Event, 3),
 		done:   make(chan struct{}),
+	}
+	if j.RunID == "" {
+		j.RunID = fmt.Sprintf("%s-%06x", s.ridPrefix, j.ID)
 	}
 	if len(s.tenants[req.Tenant]) == 0 {
 		s.rr = append(s.rr, req.Tenant)
 	}
 	s.tenants[req.Tenant] = append(s.tenants[req.Tenant], j)
 	s.queued++
-	j.events <- Event{Event: "queued", ID: j.ID, Tenant: req.Tenant, Queued: s.queued}
+	s.met.queueDepth.Set(float64(s.queued))
+	j.events <- Event{Event: "queued", ID: j.ID, RunID: j.RunID, Tenant: req.Tenant, Queued: s.queued}
 	s.cond.Signal()
 	return j, nil
 }
@@ -334,7 +488,36 @@ func (s *Server) dequeue() *Job {
 		delete(s.tenants, t)
 	}
 	s.queued--
+	s.met.queueDepth.Set(float64(s.queued))
 	return j
+}
+
+// finish records a job's terminal state: the completion counters, the
+// recent-run ring, and the structured log line.
+func (s *Server) finish(j *Job, status string, wall time.Duration) {
+	rec := RunRecord{
+		RunID: j.RunID, Tenant: j.req.Tenant, App: j.req.App, Key: j.req.Key,
+		Status: status, WallMs: float64(wall.Nanoseconds()) / 1e6,
+	}
+	s.mu.Lock()
+	s.completed++
+	if status == "canceled" {
+		s.canceled++
+	}
+	s.recent = append(s.recent, rec)
+	if len(s.recent) > maxRecent {
+		s.recent = s.recent[len(s.recent)-maxRecent:]
+	}
+	s.mu.Unlock()
+
+	logAttrs := []any{
+		"run_id", j.RunID, "tenant", j.req.Tenant, "app", j.req.App,
+		"key", j.req.Key.String(), "status", status, "wall_ms", rec.WallMs,
+	}
+	if j.err != nil {
+		logAttrs = append(logAttrs, "error", j.err.Error())
+	}
+	s.log.Info("run finished", logAttrs...)
 }
 
 func (s *Server) worker() {
@@ -344,23 +527,47 @@ func (s *Server) worker() {
 		if j == nil {
 			return
 		}
+		wait := obs.Since(j.queuedAt)
+		// A client that left while its job was queued: drop the job here,
+		// before it occupies a machine. Started runs are never interrupted.
+		if err := j.ctx.Err(); err != nil {
+			s.met.canceled.Inc()
+			j.err = fmt.Errorf("%w: %v", ErrCanceled, err)
+			j.events <- Event{Event: "canceled", ID: j.ID, RunID: j.RunID, Tenant: j.req.Tenant, Error: j.err.Error()}
+			close(j.events)
+			close(j.done)
+			s.finish(j, "canceled", 0)
+			continue
+		}
+		s.met.queueWait.Observe(wait.Seconds())
 		if s.onStart != nil {
 			s.onStart(j)
 		}
-		j.events <- Event{Event: "started", ID: j.ID, Tenant: j.req.Tenant}
-		res, err := s.execute(j.req)
+		j.events <- Event{Event: "started", ID: j.ID, RunID: j.RunID, Tenant: j.req.Tenant}
+		s.log.Info("run started",
+			"run_id", j.RunID, "tenant", j.req.Tenant, "app", j.req.App,
+			"key", j.req.Key.String(), "queue_wait_ms", float64(wait.Nanoseconds())/1e6)
+
+		s.met.inflight.Add(1)
+		t0 := obs.Now()
+		res, err := s.execute(j)
+		wall := obs.Since(t0)
+		s.met.inflight.Add(-1)
+		s.met.runSeconds.With(j.req.Dataset, j.req.Version, j.req.App).Observe(wall.Seconds())
+
+		status := "ok"
 		if err != nil {
+			status = "error"
+			s.met.runErrors.Inc()
 			j.err = err
-			j.events <- Event{Event: "error", ID: j.ID, Tenant: j.req.Tenant, Error: err.Error()}
+			j.events <- Event{Event: "error", ID: j.ID, RunID: j.RunID, Tenant: j.req.Tenant, Error: err.Error()}
 		} else {
 			j.res = res
-			j.events <- Event{Event: "result", ID: j.ID, Tenant: j.req.Tenant, Result: res}
+			j.events <- Event{Event: "result", ID: j.ID, RunID: j.RunID, Tenant: j.req.Tenant, Result: res}
 		}
 		close(j.events)
 		close(j.done)
-		s.mu.Lock()
-		s.completed++
-		s.mu.Unlock()
+		s.finish(j, status, wall)
 	}
 }
 
@@ -376,30 +583,51 @@ func (s *Server) entry(k Key) *poolEntry {
 	return e
 }
 
-// execute runs one request on its pooled system, building the system on the
+// execute runs one job on its pooled system, building the system on the
 // key's first run. Build errors are not cached: a bad key fails every
 // request cheaply, a transient failure heals on retry.
-func (s *Server) execute(req Request) (*Result, error) {
+func (s *Server) execute(j *Job) (*Result, error) {
+	req := j.req
 	e := s.entry(req.Key)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.sys == nil {
+		s.met.poolMisses.Inc()
+		t0 := obs.Now()
 		sys, err := s.cfg.Build(req.Key)
 		if err != nil {
 			return nil, err
 		}
+		build := obs.Since(t0)
+		s.met.poolBuild.Observe(build.Seconds())
+		s.met.poolSystems.Add(1)
+		s.log.Info("system built",
+			"run_id", j.RunID, "key", req.Key.String(),
+			"build_ms", float64(build.Nanoseconds())/1e6)
 		e.sys = sys
 		e.builds.Add(1)
+	} else {
+		s.met.poolHits.Inc()
 	}
+
+	// Every run feeds the simulated-side aggregates (the obs bridge); a
+	// per-run SpatialStats snapshot rides along only when requested.
+	sink := telemetry.Sink(s.simSink)
 	if req.Telemetry {
 		if e.tel == nil {
 			e.tel = e.sys.NewSpatialStats()
 		}
 		e.tel.Reset()
-		e.sys.Telemetry(e.tel)
-	} else {
-		e.sys.Telemetry(nil)
+		sink = telemetry.Tee(sink, e.tel)
 	}
+	e.sys.Telemetry(sink)
+	var rec *gearbox.TraceRecorder
+	if req.Trace {
+		rec = gearbox.NewTraceRecorder()
+		rec.Label("run_id", j.RunID)
+	}
+	e.sys.Trace(rec) // nil detaches any previous run's recorder
+
 	out, err := e.sys.Run(gearbox.RunRequest{
 		App: req.App, Source: req.Source, Damping: req.Damping,
 		Iters: req.Iters, Seed: req.Seed,
@@ -409,6 +637,7 @@ func (s *Server) execute(req Request) (*Result, error) {
 	}
 	e.runs.Add(1)
 	res := &Result{
+		RunID:      j.RunID,
 		App:        out.App,
 		Detail:     out.Detail,
 		TimeNs:     out.Stats.TimeNs(),
@@ -418,7 +647,12 @@ func (s *Server) execute(req Request) (*Result, error) {
 		Work:       out.Work,
 	}
 	if req.Telemetry {
-		res.Telemetry = e.tel.Snapshot()
+		snap := e.tel.Snapshot()
+		snap.RunID = j.RunID
+		res.Telemetry = snap
+	}
+	if rec != nil {
+		res.Trace = &TraceDoc{TraceEvents: rec.Events()}
 	}
 	return res, nil
 }
@@ -437,11 +671,16 @@ type Stats struct {
 	Submitted uint64         `json:"submitted"`
 	Completed uint64         `json:"completed"`
 	Shed      uint64         `json:"shed"`
-	Pool      []PoolStats    `json:"pool"`
+	Canceled  uint64         `json:"canceled"`
+	// Recent is the last-completed-runs ring, newest first; each record
+	// carries the run's correlation ID for cross-referencing logs, metrics
+	// and traces.
+	Recent []RunRecord `json:"recent,omitempty"`
+	Pool   []PoolStats `json:"pool"`
 }
 
-// Stats snapshots queue depths and the pool. Pool entries are sorted by key
-// so the output is stable.
+// Stats snapshots queue depths, completion counters, the recent-run ring
+// and the pool. Pool entries are sorted by key so the output is stable.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	st := Stats{
@@ -449,11 +688,18 @@ func (s *Server) Stats() Stats {
 		Submitted: s.submitted,
 		Completed: s.completed,
 		Shed:      s.shed,
+		Canceled:  s.canceled,
 	}
 	if len(s.tenants) > 0 {
 		st.Tenants = make(map[string]int, len(s.tenants))
 		for t, q := range s.tenants { //gearbox:nondet-ok builds a map; JSON encoding sorts keys
 			st.Tenants[t] = len(q)
+		}
+	}
+	if len(s.recent) > 0 {
+		st.Recent = make([]RunRecord, len(s.recent))
+		for i, r := range s.recent {
+			st.Recent[len(s.recent)-1-i] = r // newest first
 		}
 	}
 	s.mu.Unlock()

@@ -1,8 +1,11 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"gearbox"
@@ -87,8 +90,17 @@ func TestServeBuildsOnceRunsMany(t *testing.T) {
 		results = append(results, res)
 	}
 	// Identical requests on a reused machine return identical results,
-	// telemetry snapshot included.
-	if !reflect.DeepEqual(results[0], results[3]) {
+	// telemetry snapshot included — only the correlation IDs (unique per
+	// job, stamped host-side) may differ.
+	a, b := *results[0], *results[3]
+	if a.RunID == b.RunID || a.RunID == "" {
+		t.Fatalf("run IDs not unique: %q vs %q", a.RunID, b.RunID)
+	}
+	a.RunID, b.RunID = "", ""
+	at, bt := *a.Telemetry, *b.Telemetry
+	at.RunID, bt.RunID = "", ""
+	a.Telemetry, b.Telemetry = &at, &bt
+	if !reflect.DeepEqual(&a, &b) {
 		t.Fatal("two identical BFS runs on the pooled machine differ")
 	}
 
@@ -246,6 +258,141 @@ func TestCloseDrains(t *testing.T) {
 	}
 	if _, err := s.Submit(Request{Key: key, App: "bfs"}); err != ErrClosed {
 		t.Fatalf("Submit after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestCanceledBeforeStart pins the deadline contract: a job whose context is
+// canceled while it waits in the queue is dropped at the queue head — no
+// "started" event, a "canceled" terminal event, ErrCanceled from Wait, and
+// the canceled counter in both Stats and the metrics registry.
+func TestCanceledBeforeStart(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s := New(Config{QueueDepth: 4, Build: gatedBuilder(t, entered, release)})
+	defer s.Close()
+
+	key := Key{Dataset: "patent", Size: "tiny"}
+	first := submit(t, s, Request{Key: key, App: "bfs"})
+	<-entered // the single worker is pinned inside the build
+
+	ctx, cancel := context.WithCancel(context.Background())
+	doomed, err := s.SubmitCtx(ctx, Request{Key: key, App: "bfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel() // the client leaves while the job is still queued
+	close(release)
+
+	if _, err := first.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doomed.Wait(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled job: err = %v, want ErrCanceled", err)
+	}
+	var kinds []string
+	for ev := range doomed.Events() {
+		kinds = append(kinds, ev.Event)
+	}
+	if want := []string{"queued", "canceled"}; !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("event order = %v, want %v (a canceled job must never start)", kinds, want)
+	}
+
+	st := s.Stats()
+	if st.Canceled != 1 || st.Completed != 2 {
+		t.Fatalf("canceled/completed = %d/%d, want 1/2", st.Canceled, st.Completed)
+	}
+	var found bool
+	for _, r := range st.Recent {
+		if r.RunID == doomed.RunID && r.Status == "canceled" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("canceled run missing from recent ring: %+v", st.Recent)
+	}
+	var sb strings.Builder
+	if err := s.Registry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "gearbox_serve_canceled_total 1") {
+		t.Fatal("canceled counter not exported")
+	}
+}
+
+// TestRunCorrelation pins the correlation-ID contract: one ID — client-
+// supplied here — appears in every lifecycle event, the result, the
+// telemetry snapshot, the trace's process labels, and the recent-run ring.
+func TestRunCorrelation(t *testing.T) {
+	s := New(Config{Build: tinySystem(t)})
+	defer s.Close()
+
+	const rid = "corr-test.01"
+	j, err := s.Submit(Request{
+		Key: Key{Dataset: "patent", Size: "tiny"}, App: "bfs",
+		RunID: rid, Telemetry: true, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.RunID != rid {
+		t.Fatalf("job RunID = %q, want the client-supplied %q", j.RunID, rid)
+	}
+	var res *Result
+	for ev := range j.Events() {
+		if ev.RunID != rid {
+			t.Fatalf("%s event RunID = %q, want %q", ev.Event, ev.RunID, rid)
+		}
+		if ev.Result != nil {
+			res = ev.Result
+		}
+	}
+	if res == nil || res.RunID != rid {
+		t.Fatalf("result RunID = %+v, want %q", res, rid)
+	}
+	if res.Telemetry == nil || res.Telemetry.RunID != rid {
+		t.Fatalf("telemetry snapshot RunID missing: %+v", res.Telemetry)
+	}
+	if res.Trace == nil {
+		t.Fatal("trace requested but missing from result")
+	}
+	var labeled bool
+	for _, ev := range res.Trace.TraceEvents {
+		if ev.Name == "process_labels" && ev.Args["labels"] == "run_id="+rid {
+			labeled = true
+		}
+	}
+	if !labeled {
+		t.Fatal("trace not labeled with the run's correlation ID")
+	}
+	st := s.Stats()
+	if len(st.Recent) != 1 || st.Recent[0].RunID != rid || st.Recent[0].Status != "ok" {
+		t.Fatalf("recent ring = %+v, want one ok record with RunID %q", st.Recent, rid)
+	}
+}
+
+// TestRunIDGeneratedUnique pins server-side ID assignment: omitted run IDs
+// are generated, distinct per job, and invalid client IDs are rejected at
+// Submit (the HTTP 400 path).
+func TestRunIDGeneratedUnique(t *testing.T) {
+	s := New(Config{Build: tinySystem(t)})
+	defer s.Close()
+
+	key := Key{Dataset: "patent", Size: "tiny"}
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		j := submit(t, s, Request{Key: key, App: "bfs"})
+		if j.RunID == "" || seen[j.RunID] {
+			t.Fatalf("run %d: ID %q empty or repeated", i, j.RunID)
+		}
+		seen[j.RunID] = true
+		if _, err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, bad := range []string{"has space", "emoji-é", strings.Repeat("x", 65)} {
+		if _, err := s.Submit(Request{Key: key, App: "bfs", RunID: bad}); err == nil {
+			t.Fatalf("invalid run_id %q accepted", bad)
+		}
 	}
 }
 

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"strconv"
+
+	"gearbox/internal/obs"
+)
+
+// ObsSink bridges the simulated machine's spatial telemetry into a host-side
+// obs.Registry, so one /metrics scrape sees both how the host served traffic
+// and how much simulated work the runs performed. It folds each callback
+// into a handful of pre-resolved aggregate counters — per-step busy time,
+// accumulation classes, link words — rather than per-SPU/per-link series:
+// scrape-grade metrics want bounded cardinality, and the full spatial
+// resolution remains SpatialStats' job (Tee them to get both).
+//
+// Every handle is resolved at construction, so the callbacks are pure atomic
+// adds: allocation-free (they run inside //gearbox:steadystate Iterate code)
+// and safe to leave attached to every pooled machine of a serving process.
+// Counters only accumulate; the registry is shared across runs and machines,
+// so values are process-lifetime totals in the Prometheus sense.
+type ObsSink struct {
+	iterations  *obs.Counter
+	frontierIn  *obs.Counter
+	frontierOut *obs.Counter
+	maxFrontier *obs.Gauge
+
+	busyNs    [NumSteps]*obs.Counter // indexed step-1; non-compute steps stay nil
+	ringWords [NumSteps]*obs.Counter
+	tsvWords  [NumSteps]*obs.Counter
+
+	localAccums  *obs.Counter
+	remoteAccums *obs.Counter
+	longAccums   *obs.Counter
+
+	dispatchHighWater *obs.Gauge
+}
+
+// NewObsSink resolves the simulated-side metric families in r. Calling it
+// twice on one registry returns sinks sharing the same counters (obs
+// registration is get-or-create), which is exactly right for a pool of
+// machines feeding one scrape endpoint.
+func NewObsSink(r *obs.Registry) *ObsSink {
+	s := &ObsSink{
+		iterations: r.Counter("gearbox_sim_iterations_total",
+			"Simulated iterations executed across all runs."),
+		frontierIn: r.Counter("gearbox_sim_frontier_in_entries_total",
+			"Input frontier entries consumed across all iterations."),
+		frontierOut: r.Counter("gearbox_sim_frontier_out_entries_total",
+			"Output frontier entries produced across all iterations."),
+		maxFrontier: r.Gauge("gearbox_sim_max_frontier_entries",
+			"Largest input frontier of any iteration (process high-water)."),
+		dispatchHighWater: r.Gauge("gearbox_sim_dispatch_highwater_pairs",
+			"Highest dispatcher-buffer occupancy (pairs) ever observed."),
+	}
+	accums := r.CounterVec("gearbox_sim_accums_total",
+		"Step-3 accumulations by destination class (local shard, remote owner, long region).",
+		"class")
+	s.localAccums = accums.With("local")
+	s.remoteAccums = accums.With("remote")
+	s.longAccums = accums.With("long")
+	busy := r.CounterVec("gearbox_sim_busy_ns_total",
+		"Summed per-SPU busy time by compute step, in simulated ns.", "step")
+	ring := r.CounterVec("gearbox_sim_ring_words_total",
+		"Words carried by ring segments by network step.", "step")
+	tsv := r.CounterVec("gearbox_sim_tsv_words_total",
+		"Words carried by TSV vault buses by network step.", "step")
+	for _, step := range []int{2, 3, 5, 6} { // compute steps drive StepSPUBusy
+		s.busyNs[step-1] = busy.With(strconv.Itoa(step))
+	}
+	for _, step := range []int{1, 3, 4, 6} { // network steps drive LinkWords
+		s.ringWords[step-1] = ring.With(strconv.Itoa(step))
+		s.tsvWords[step-1] = tsv.With(strconv.Itoa(step))
+	}
+	return s
+}
+
+//gearbox:steadystate
+func (s *ObsSink) BeginIteration(iter int, nowNs float64, frontierNNZ int64) {
+	s.iterations.Inc()
+	s.frontierIn.Add(float64(frontierNNZ))
+	s.maxFrontier.Max(float64(frontierNNZ))
+}
+
+//gearbox:steadystate
+func (s *ObsSink) StepSPUBusy(step int, nowNs float64, busyNs []float64) {
+	var total float64
+	for _, v := range busyNs {
+		total += v
+	}
+	s.busyNs[step-1].Add(total)
+}
+
+//gearbox:steadystate
+func (s *ObsSink) SPUAccums(nowNs float64, local, remote, long []int64) {
+	var l, r, lg int64
+	for i := range local {
+		l += local[i]
+		r += remote[i]
+		lg += long[i]
+	}
+	s.localAccums.Add(float64(l))
+	s.remoteAccums.Add(float64(r))
+	s.longAccums.Add(float64(lg))
+}
+
+//gearbox:steadystate
+func (s *ObsSink) LinkWords(step int, nowNs float64, ringSegWords, tsvVaultWords []int64) {
+	var ring, tsv int64
+	for _, v := range ringSegWords {
+		ring += v
+	}
+	for _, v := range tsvVaultWords {
+		tsv += v
+	}
+	s.ringWords[step-1].Add(float64(ring))
+	s.tsvWords[step-1].Add(float64(tsv))
+}
+
+//gearbox:steadystate
+func (s *ObsSink) DispatchOccupancy(step int, nowNs float64, bankPairs []int64) {
+	var max int64
+	for _, v := range bankPairs {
+		if v > max {
+			max = v
+		}
+	}
+	s.dispatchHighWater.Max(float64(max))
+}
+
+//gearbox:steadystate
+func (s *ObsSink) EndIteration(nowNs float64, frontierOut int64) {
+	s.frontierOut.Add(float64(frontierOut))
+}

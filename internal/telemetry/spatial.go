@@ -15,6 +15,11 @@ import (
 // delivers bit-identical values at any worker count, two SpatialStats filled
 // by the same run at different Workers settings are deeply equal.
 type SpatialStats struct {
+	// RunID is a host-side correlation ID stamped onto snapshots by the
+	// serving layer (never written by the simulation callbacks), so a
+	// telemetry document alone identifies the request that produced it.
+	RunID string `json:"run_id,omitempty"`
+
 	Shape      Shape `json:"shape"`
 	Iterations int   `json:"iterations"`
 

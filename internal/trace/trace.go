@@ -97,6 +97,17 @@ func (r *Recorder) Counter(track string, atNs, value float64) {
 	})
 }
 
+// Label attaches a key=value process label to the trace ("M" process_labels
+// metadata; Perfetto shows labels next to the process name). The serving
+// layer stamps each run's trace with its correlation ID this way, so a
+// trace file alone identifies the request that produced it.
+func (r *Recorder) Label(key, value string) {
+	r.events = append(r.events, Event{
+		Name: "process_labels", Phase: "M", PID: pid,
+		Args: map[string]any{"labels": key + "=" + value},
+	})
+}
+
 // Len reports recorded events.
 func (r *Recorder) Len() int { return len(r.events) }
 
